@@ -1,0 +1,1 @@
+bin/divm_cluster.ml: Arg Cluster Cmd Cmdliner Compile Distribute Divm Gmr List Loc Printf String Term Tpch

@@ -1,0 +1,1 @@
+bin/divm_cluster.mli:

@@ -1,0 +1,1 @@
+bin/divm_stream.ml: Arg Cmd Cmdliner Compile Divm Format Gmr List Printf Runtime String Term Tpch Unix

@@ -1,0 +1,1 @@
+bin/divm_stream.mli:

@@ -1,0 +1,1 @@
+bin/divmc.ml: Arg Cmd Cmdliner Compile Distribute Divm Dprog Format List Loc Prog Sql String Term Tpcds Tpch

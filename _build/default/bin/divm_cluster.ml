@@ -1,0 +1,50 @@
+(* divm_cluster — run the simulated cluster on a TPC-H query and report
+   per-batch metrics (modeled latency, shuffled bytes, stages). *)
+
+open Divm
+open Cmdliner
+
+let run query workers batch_size scale level =
+  let q = Tpch.Queries.find (String.uppercase_ascii query) in
+  let prog = Compile.compile ~streams:Tpch.Schema.streams q.maps in
+  let catalog = Loc.heuristic ~keys:Tpch.Schema.partition_keys prog in
+  let dp =
+    Distribute.compile
+      ~options:{ Distribute.default_options with level }
+      ~catalog prog
+  in
+  let c = Cluster.create ~config:(Cluster.config ~workers ()) dp in
+  let stream = Tpch.Gen.stream { Tpch.Gen.scale; seed = 42 } ~batch_size in
+  Printf.printf
+    "%s on %d workers (opt level %d), batches of %d tuples\n%-10s %8s %9s %8s %7s\n"
+    q.qname workers level batch_size "relation" "tuples" "latency" "shuffle"
+    "stages";
+  List.iter
+    (fun (rel, b) ->
+      let m = Cluster.apply_batch c ~rel b in
+      Printf.printf "%-10s %8d %8.1fms %7dKB %7d\n" rel (Gmr.cardinal b)
+        (m.Cluster.latency *. 1000.)
+        (m.bytes_shuffled / 1024)
+        m.stages)
+    stream;
+  List.iter
+    (fun (mname, _) ->
+      Printf.printf "%s: %d result tuples\n" mname
+        (Gmr.cardinal (Cluster.result c mname)))
+    q.maps
+
+let query_t = Arg.(value & pos 0 string "Q3" & info [] ~docv:"QUERY")
+let workers_t = Arg.(value & opt int 8 & info [ "workers"; "w" ] ~doc:"Workers")
+let batch_t = Arg.(value & opt int 2000 & info [ "batch" ] ~doc:"Batch size")
+let scale_t = Arg.(value & opt float 2.0 & info [ "scale" ] ~doc:"Stream scale")
+
+let level_t =
+  Arg.(value & opt int 3 & info [ "opt-level" ] ~doc:"Optimization level 0–3")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "divm_cluster"
+       ~doc:"Distributed incremental view maintenance on the simulated cluster")
+    Term.(const run $ query_t $ workers_t $ batch_t $ scale_t $ level_t)
+
+let () = exit (Cmd.eval cmd)

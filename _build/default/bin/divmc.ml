@@ -1,0 +1,91 @@
+(* divmc — the view-maintenance compiler front end.
+
+   Compile a TPC-H/TPC-DS query (by name) or an SQL string over the TPC-H
+   schema, and print the trigger program, the distributed program, or its
+   job/stage summary. *)
+
+open Divm
+open Cmdliner
+
+let find_query name =
+  match String.uppercase_ascii name with
+  | n when String.length n >= 2 && String.sub n 0 2 = "DS" ->
+      let q = Tpcds.Queries.find n in
+      (q.maps, Tpcds.Schema.streams, Tpcds.Schema.partition_keys)
+  | n -> (
+      let q = Tpch.Queries.find n in
+      ((q : Tpch.Queries.t).maps, Tpch.Schema.streams, Tpch.Schema.partition_keys))
+
+let run query sql mode preagg level =
+  let maps, streams, keys =
+    match sql with
+    | Some text ->
+        ( Sql.compile ~catalog:Tpch.Schema.streams ~name:"Q" text,
+          Tpch.Schema.streams,
+          Tpch.Schema.partition_keys )
+    | None -> find_query query
+  in
+  let prog =
+    Compile.compile
+      ~options:{ Compile.default_options with preaggregate = preagg }
+      ~streams maps
+  in
+  match mode with
+  | `Local -> Format.printf "%a@." Prog.pp prog
+  | `Dist ->
+      let catalog = Loc.heuristic ~keys prog in
+      let dp =
+        Distribute.compile
+          ~options:{ Distribute.default_options with level }
+          ~catalog prog
+      in
+      Format.printf "%a@." Dprog.pp dp
+  | `Stats ->
+      let catalog = Loc.heuristic ~keys prog in
+      let dp = Distribute.compile ~catalog prog in
+      Format.printf "maps: %d  statements: %d@." (List.length prog.maps)
+        (Prog.stmt_count prog);
+      List.iter
+        (fun (tr : Dprog.dtrigger) ->
+          let jobs, stages = Dprog.jobs_and_stages dp tr.drelation in
+          let l, d = Dprog.block_counts tr in
+          Format.printf
+            "trigger %-12s jobs=%d stages=%d blocks=%d local + %d distributed@."
+            tr.drelation jobs stages l d)
+        dp.dtriggers
+
+let query_t =
+  Arg.(value & pos 0 string "Q3" & info [] ~docv:"QUERY" ~doc:"Query name (Q1–Q22, DS3…)")
+
+let sql_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sql" ] ~docv:"SQL" ~doc:"Compile this SQL string (TPC-H schema) instead")
+
+let mode_t =
+  Arg.(
+    value
+    & vflag `Local
+        [
+          (`Local, info [ "local" ] ~doc:"Print the local trigger program (default)");
+          (`Dist, info [ "dist" ] ~doc:"Print the distributed program");
+          (`Stats, info [ "stats" ] ~doc:"Print program statistics");
+        ])
+
+let preagg_t =
+  Arg.(
+    value & opt bool true
+    & info [ "preagg" ] ~doc:"Batch pre-aggregation (§3.3)")
+
+let level_t =
+  Arg.(
+    value & opt int 3
+    & info [ "opt-level" ] ~doc:"Distributed optimization level 0–3 (Fig 13)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "divmc" ~doc:"Compile queries to incremental maintenance programs")
+    Term.(const run $ query_t $ sql_t $ mode_t $ preagg_t $ level_t)
+
+let () = exit (Cmd.eval cmd)

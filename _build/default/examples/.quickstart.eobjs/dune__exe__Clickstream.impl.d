@@ -1,0 +1,1 @@
+examples/clickstream.ml: Compile Divm Gmr List Printf Prog Random Runtime Schema Sql Unix Value

@@ -1,0 +1,1 @@
+examples/distributed_tpch.ml: Cluster Compile Distribute Divm Dprog Gmr List Loc Printf Runtime Tpch

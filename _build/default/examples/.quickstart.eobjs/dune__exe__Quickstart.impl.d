@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compile Divm Format Gmr List Prog Runtime Schema Sql Value

@@ -1,0 +1,1 @@
+examples/sensors.ml: Array Calc Compile Divm Gmr List Printf Queue Random Runtime Schema Value Vexpr

@@ -1,0 +1,1 @@
+examples/trading.ml: Array Calc Compile Divm Gmr Printf Random Runtime Schema Unix Value Vexpr

@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Compile Divm_compiler Divm_ring Divm_runtime Exec Gmr Prog Runtime Unix

@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Calc Divm_calc Divm_compiler Divm_ring Gmr Schema Vtuple

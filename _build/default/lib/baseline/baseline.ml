@@ -1,0 +1,59 @@
+open Divm_ring
+open Divm_compiler
+open Divm_runtime
+
+type engine = Reeval | Classical | Rivm_interp | Rivm
+
+let engine_name = function
+  | Reeval -> "re-eval"
+  | Classical -> "classical-ivm"
+  | Rivm_interp -> "rivm-interpreted"
+  | Rivm -> "rivm-specialized"
+
+type impl = Interp of Exec.t | Compiled of Runtime.t
+
+type t = { impl : impl; p : Prog.t }
+
+let create engine ~streams queries =
+  match engine with
+  | Reeval ->
+      let p = Compile.compile_reeval ~streams queries in
+      { impl = Interp (Exec.create p); p }
+  | Classical ->
+      let p = Compile.compile_classical ~streams queries in
+      { impl = Interp (Exec.create p); p }
+  | Rivm_interp ->
+      let p = Compile.compile ~streams queries in
+      { impl = Interp (Exec.create p); p }
+  | Rivm ->
+      let p = Compile.compile ~streams queries in
+      { impl = Compiled (Runtime.create p); p }
+
+let load t tables =
+  match t.impl with
+  | Interp ex -> Exec.load ex tables
+  | Compiled rt -> Runtime.load rt tables
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let apply_batch t ~rel batch =
+  match t.impl with
+  | Interp ex -> timed (fun () -> Exec.apply_batch ex ~rel batch)
+  | Compiled rt -> timed (fun () -> Runtime.apply_batch rt ~rel batch)
+
+let apply_single t ~rel tup m =
+  match t.impl with
+  | Compiled rt -> timed (fun () -> Runtime.apply_single rt ~rel tup m)
+  | Interp ex ->
+      timed (fun () ->
+          Exec.apply_batch ex ~rel (Gmr.of_list [ (tup, m) ]))
+
+let result t q =
+  match t.impl with
+  | Interp ex -> Exec.result ex q
+  | Compiled rt -> Runtime.result rt q
+
+let prog t = t.p

@@ -1,0 +1,1 @@
+lib/bench_util/bench_util.ml: Array Float List Printf String Sys Unix

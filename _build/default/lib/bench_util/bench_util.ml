@@ -1,0 +1,90 @@
+(** Experiment-harness helpers: timing, aligned table printing, scaled
+    workload configuration.
+
+    The default run is scaled down so that every experiment finishes on a
+    laptop in seconds; set [DIVM_BENCH=full] for larger streams. Ratios and
+    shapes, not absolute numbers, are the reproduction target (DESIGN.md). *)
+
+let full_mode =
+  match Sys.getenv_opt "DIVM_BENCH" with
+  | Some ("full" | "FULL") -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let time_unit f = snd (time f)
+
+let median l =
+  match List.sort compare l with
+  | [] -> nan
+  | s ->
+      let n = List.length s in
+      List.nth s (n / 2)
+
+(* ------------------------------------------------------------------ *)
+(* Table printing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let hr width = String.make width '-'
+
+let print_table ~title ~header rows =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let pad i s = Printf.sprintf "%*s" widths.(i) s in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let total = Array.fold_left ( + ) (2 * (cols - 1)) widths in
+  Printf.printf "\n== %s ==\n%s\n%s\n" title (line header) (hr total);
+  List.iter (fun row -> print_endline (line row)) rows;
+  print_newline ()
+
+let fmt_rate r =
+  if Float.is_nan r || Float.is_integer r && r = 0. then "-"
+  else if r >= 1e6 then Printf.sprintf "%.2fM" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk" (r /. 1e3)
+  else Printf.sprintf "%.0f" r
+
+let fmt_sec s =
+  if Float.is_nan s then "-"
+  else if s >= 1. then Printf.sprintf "%.2fs" s
+  else Printf.sprintf "%.0fms" (s *. 1000.)
+
+let fmt_bytes b =
+  let f = float_of_int b in
+  if f >= 1e6 then Printf.sprintf "%.1fMB" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1fKB" (f /. 1e3)
+  else Printf.sprintf "%dB" b
+
+let fmt_ratio r =
+  if Float.is_nan r then "-" else Printf.sprintf "%.2fx" r
+
+(* ------------------------------------------------------------------ *)
+(* Workload scales                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* TPC-H stream scale for local experiments (≈6k lineitems per unit). *)
+let tpch_scale = if full_mode then 4.0 else 0.8
+let tpcds_scale = if full_mode then 4.0 else 1.0
+
+(* Batch sizes swept in the local experiments (the paper uses 1..100k on a
+   10 GB stream; the scaled stream keeps the same decades that fit). *)
+let batch_sizes = if full_mode then [ 1; 10; 100; 1000; 10000 ] else [ 1; 10; 100; 1000 ]
+
+(* Worker counts for the cluster experiments (the paper uses 25–1000). *)
+let worker_counts = if full_mode then [ 4; 8; 16; 32; 64; 128 ] else [ 4; 8; 16; 32 ]
+
+(* Simulation scale: paper batch sizes divided by [dist_div]. *)
+let dist_div = if full_mode then 500 else 4000

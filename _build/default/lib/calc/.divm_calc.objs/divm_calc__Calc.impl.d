@@ -1,0 +1,1 @@
+lib/calc/calc.ml: Divm_ring Float Format Gmr Hashtbl List Printf Schema String Value Vexpr

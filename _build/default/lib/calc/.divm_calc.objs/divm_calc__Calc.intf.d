@@ -1,0 +1,1 @@
+lib/calc/calc.mli: Divm_ring Format Schema Value Vexpr

@@ -1,0 +1,1 @@
+lib/calc/vexpr.ml: Divm_ring Float Format Schema Value

@@ -1,0 +1,1 @@
+lib/calc/vexpr.mli: Divm_ring Format Schema Value

@@ -1,0 +1,80 @@
+open Divm_ring
+
+type t =
+  | Const of Value.t
+  | Var of Schema.var
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Min of t * t
+  | Max of t * t
+  | Floor of t
+
+let const_f f = Const (Value.Float f)
+let const_i i = Const (Value.Int i)
+let var v = Var v
+
+let rec vars = function
+  | Const _ -> []
+  | Var v -> [ v ]
+  | Floor a -> vars a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b)
+    ->
+      Schema.union (vars a) (vars b)
+  | Neg a -> vars a
+
+let rec eval lookup = function
+  | Const v -> v
+  | Var v -> lookup v
+  | Add (a, b) -> Value.add (eval lookup a) (eval lookup b)
+  | Sub (a, b) -> Value.sub (eval lookup a) (eval lookup b)
+  | Mul (a, b) -> Value.mul (eval lookup a) (eval lookup b)
+  | Div (a, b) -> Value.div (eval lookup a) (eval lookup b)
+  | Neg a -> Value.neg (eval lookup a)
+  | Floor a -> Value.Int (int_of_float (Float.floor (Value.to_float (eval lookup a))))
+  | Min (a, b) ->
+      let x = eval lookup a and y = eval lookup b in
+      if Value.compare x y <= 0 then x else y
+  | Max (a, b) ->
+      let x = eval lookup a and y = eval lookup b in
+      if Value.compare x y >= 0 then x else y
+
+let rec rename f = function
+  | Const v -> Const v
+  | Var v -> Var (f v)
+  | Add (a, b) -> Add (rename f a, rename f b)
+  | Sub (a, b) -> Sub (rename f a, rename f b)
+  | Mul (a, b) -> Mul (rename f a, rename f b)
+  | Div (a, b) -> Div (rename f a, rename f b)
+  | Neg a -> Neg (rename f a)
+  | Floor a -> Floor (rename f a)
+  | Min (a, b) -> Min (rename f a, rename f b)
+  | Max (a, b) -> Max (rename f a, rename f b)
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> Value.equal x y
+  | Var x, Var y -> Schema.var_equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Div (a1, a2), Div (b1, b2)
+  | Min (a1, a2), Min (b1, b2)
+  | Max (a1, a2), Max (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Neg x, Neg y | Floor x, Floor y -> equal x y
+  | _ -> false
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var v -> Schema.pp_var ppf v
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Neg a -> Format.fprintf ppf "(-%a)" pp a
+  | Floor a -> Format.fprintf ppf "floor(%a)" pp a
+  | Min (a, b) -> Format.fprintf ppf "min(%a, %a)" pp a pp b
+  | Max (a, b) -> Format.fprintf ppf "max(%a, %a)" pp a pp b

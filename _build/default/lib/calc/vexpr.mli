@@ -1,0 +1,34 @@
+(** Arithmetic value expressions over bound variables (the "value"
+    interpreted relations of §3.1): every variable they mention must be bound
+    by the surrounding expression before they are evaluated. *)
+
+open Divm_ring
+
+type t =
+  | Const of Value.t
+  | Var of Schema.var
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Min of t * t
+  | Max of t * t
+  | Floor of t
+
+val const_f : float -> t
+val const_i : int -> t
+val var : Schema.var -> t
+
+(** Variables mentioned, without duplicates. *)
+val vars : t -> Schema.t
+
+(** [eval lookup e] evaluates with [lookup] resolving variables. Raises
+    [Not_found] on an unbound variable. *)
+val eval : (Schema.var -> Value.t) -> t -> Value.t
+
+(** [rename f e] applies a variable renaming. *)
+val rename : (Schema.var -> Schema.var) -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Divm_calc Divm_compiler Divm_dist Divm_ring Divm_runtime Dprog Gmr List Loc Marshal Printf Prog Runtime Vtuple

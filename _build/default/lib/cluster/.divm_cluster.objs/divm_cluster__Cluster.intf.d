@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Divm_dist Divm_ring Dprog Gmr

@@ -1,0 +1,415 @@
+open Divm_ring
+open Divm_compiler
+open Divm_dist
+open Divm_runtime
+
+type config = {
+  workers : int;
+  sync_base : float;
+  sync_per_worker : float;
+  per_op : float;
+  bandwidth : float;
+  ser_per_byte : float;
+  straggler : float;
+}
+
+(* Calibration: Q6 batch sync 65 ms at 50 workers, 386 ms at 1000
+   (§6.2.1) gives sync_base ≈ 48 ms and ≈ 0.34 ms/worker; a worker
+   aggregates 100k tuples in 6 ms → 60 ns per elementary operation. *)
+let default_config =
+  {
+    workers = 50;
+    sync_base = 0.048;
+    sync_per_worker = 0.00034;
+    per_op = 6e-8;
+    bandwidth = 3e8;
+    ser_per_byte = 4e-9;
+    straggler = 0.08;
+  }
+
+let config ?(workers = 50) () = { default_config with workers }
+
+type metrics = {
+  latency : float;
+  stages : int;
+  bytes_shuffled : int;
+  max_bytes_per_worker : int;
+  max_worker_ops : int;
+  driver_ops : int;
+}
+
+type transfer = {
+  tname : string;
+  tkind : Dprog.transfer_kind;
+  key : int array;
+  source : string;
+}
+
+type pstmt =
+  | PDriver of (unit -> unit)
+  | PWorkers of (unit -> unit) array
+  | PTransfer of transfer
+
+type pblock = { pmode : Dprog.mode; pstmts : pstmt list }
+
+type t = {
+  cfg : config;
+  dprog : Dprog.t;
+  driver : Runtime.t;
+  nodes : Runtime.t array;
+  plans : (string * pblock list) list;
+  delta_at_workers : bool;
+}
+
+let workers t = t.cfg.workers
+
+(* The runtimes never fire whole triggers themselves, but the compute
+   statements of the distributed program (with their transfer-renamed map
+   references) must be visible to the access-pattern analysis so the pools
+   get their slice indexes. *)
+let runtime_prog (dp : Dprog.t) =
+  let triggers =
+    List.map
+      (fun (tr : Dprog.dtrigger) ->
+        {
+          Prog.relation = tr.drelation;
+          stmts =
+            List.concat_map
+              (fun b ->
+                List.filter_map
+                  (function Dprog.Compute s -> Some s | Dprog.Transfer _ -> None)
+                  b.Dprog.bstmts)
+              tr.blocks;
+        })
+      dp.dtriggers
+  in
+  { dp.base with Prog.triggers = triggers }
+
+let create ?(config = default_config) (dp : Dprog.t) =
+  let driver = Runtime.create (runtime_prog dp) in
+  let nodes =
+    Array.init config.workers (fun _ -> Runtime.create (runtime_prog dp))
+  in
+  let compile_block (b : Dprog.block) =
+    {
+      pmode = b.bmode;
+      pstmts =
+        List.map
+          (fun d ->
+            match d with
+            | Dprog.Transfer { tname; tkind; key; source } ->
+                PTransfer { tname; tkind; key; source }
+            | Dprog.Compute s -> (
+                match Dprog.mode_of dp.locs (Dprog.Compute s) with
+                | Dprog.MLocal ->
+                    PDriver (List.hd (Runtime.compile_stmts driver [ s ]))
+                | Dprog.MDist ->
+                    PWorkers
+                      (Array.map
+                         (fun rt -> List.hd (Runtime.compile_stmts rt [ s ]))
+                         nodes)))
+          b.bstmts;
+    }
+  in
+  let plans =
+    List.map
+      (fun (tr : Dprog.dtrigger) ->
+        (tr.drelation, List.map compile_block tr.blocks))
+      dp.dtriggers
+  in
+  (* Batches live at the workers when the delta pre-aggregations do. *)
+  let delta_at_workers =
+    List.exists
+      (fun (m : Prog.map_decl) ->
+        m.mkind = Prog.Transient
+        && Divm_calc.Calc.has_deltas m.definition
+        && Loc.find dp.locs m.mname <> Loc.Local)
+      dp.base.maps
+  in
+  { cfg = config; dprog = dp; driver; nodes; plans; delta_at_workers }
+
+(* ------------------------------------------------------------------ *)
+(* Transfers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type net = {
+  mutable total_bytes : int;
+  mutable into_node : int array; (* bytes received per worker since reset *)
+  mutable into_driver : int;
+}
+
+let tuple_bytes tup = Vtuple.byte_size tup + 8
+
+(* Execute one transfer; returns (total network bytes, max bytes into one
+   node, serialization bytes at sources). *)
+let run_transfer t net tr =
+  let src_loc = Loc.find t.dprog.locs tr.source in
+  let dst_loc = Loc.find t.dprog.locs tr.tname in
+  let w = t.cfg.workers in
+  (* (origin, contents) pairs; origin -1 = driver, -2 = replicated *)
+  let sources =
+    match src_loc with
+    | Loc.Local -> [ (-1, Runtime.map_contents t.driver tr.source) ]
+    | Loc.Replicated -> [ (-2, Runtime.map_contents t.nodes.(0) tr.source) ]
+    | Loc.Dist _ | Loc.Random ->
+        Array.to_list
+          (Array.mapi (fun i rt -> (i, Runtime.map_contents rt tr.source)) t.nodes)
+  in
+  (* clear destinations *)
+  (match dst_loc with
+  | Loc.Local -> Runtime.clear_map t.driver tr.tname
+  | _ -> Array.iter (fun rt -> Runtime.clear_map rt tr.tname) t.nodes);
+  let deliver_worker origin wi tup m =
+    Runtime.add_to_map t.nodes.(wi) tr.tname tup m;
+    if origin <> wi then begin
+      let b = tuple_bytes tup in
+      net.total_bytes <- net.total_bytes + b;
+      net.into_node.(wi) <- net.into_node.(wi) + b
+    end
+  in
+  let deliver_driver origin tup m =
+    Runtime.add_to_map t.driver tr.tname tup m;
+    if origin <> -1 then begin
+      let b = tuple_bytes tup in
+      net.total_bytes <- net.total_bytes + b;
+      net.into_driver <- net.into_driver + b
+    end
+  in
+  let ser_bytes = ref 0 in
+  List.iter
+    (fun (origin, contents) ->
+      Gmr.iter
+        (fun tup m ->
+          ser_bytes := !ser_bytes + tuple_bytes tup;
+          match tr.tkind with
+          | Dprog.Gather -> deliver_driver origin tup m
+          | Dprog.Scatter | Dprog.Repart ->
+              if Array.length tr.key = 0 then
+                for wi = 0 to w - 1 do
+                  deliver_worker origin wi tup m
+                done
+              else
+                let sub = Vtuple.project tup tr.key in
+                deliver_worker origin (Vtuple.hash sub mod w) tup m)
+        contents)
+    sources;
+  !ser_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let apply_batch t ~rel batch =
+  let w = t.cfg.workers in
+  (* distribute the incoming batch *)
+  if t.delta_at_workers then begin
+    let shares = Array.init w (fun _ -> Gmr.create ()) in
+    let i = ref 0 in
+    Gmr.iter
+      (fun tup m ->
+        Gmr.add shares.(!i mod w) tup m;
+        incr i)
+      batch;
+    Array.iteri (fun wi rt -> Runtime.load_batch rt ~rel (shares.(wi))) t.nodes;
+    Runtime.load_batch t.driver ~rel (Gmr.create ())
+  end
+  else begin
+    Runtime.load_batch t.driver ~rel batch;
+    Array.iter (fun rt -> Runtime.load_batch rt ~rel (Gmr.create ())) t.nodes
+  end;
+  let blocks =
+    match List.assoc_opt rel t.plans with
+    | Some b -> b
+    | None -> invalid_arg ("Cluster.apply_batch: no trigger for " ^ rel)
+  in
+  let net = { total_bytes = 0; into_node = Array.make w 0; into_driver = 0 } in
+  let latency = ref 0. in
+  let stages = ref 0 in
+  let total_max_ops = ref 0 in
+  let driver_ops0 = Runtime.ops t.driver in
+  let pending_bytes = ref 0 in
+  (* bytes into the busiest node since the last distributed stage, for the
+     straggler factor *)
+  let pending_max_into = ref 0 in
+  List.iter
+    (fun b ->
+      match b.pmode with
+      | Dprog.MLocal ->
+          List.iter
+            (fun ps ->
+              match ps with
+              | PDriver f -> f ()
+              | PTransfer tr ->
+                  let before_max = Array.fold_left max net.into_driver net.into_node in
+                  let ser = run_transfer t net tr in
+                  let after_max = Array.fold_left max net.into_driver net.into_node in
+                  pending_bytes := !pending_bytes + ser;
+                  pending_max_into := max !pending_max_into (after_max - before_max);
+                  latency :=
+                    !latency
+                    +. (t.cfg.ser_per_byte *. float_of_int ser)
+                    +. (float_of_int (after_max - before_max) /. t.cfg.bandwidth)
+              | PWorkers _ -> assert false)
+            b.pstmts
+      | Dprog.MDist ->
+          incr stages;
+          let max_ops = ref 0 in
+          Array.iteri
+            (fun wi rt ->
+              let o0 = Runtime.ops rt in
+              List.iter
+                (fun ps ->
+                  match ps with
+                  | PWorkers fs -> fs.(wi) ()
+                  | PDriver _ | PTransfer _ -> assert false)
+                b.pstmts;
+              max_ops := max !max_ops (Runtime.ops rt - o0))
+            t.nodes;
+          total_max_ops := !total_max_ops + !max_ops;
+          let straggle =
+            1. +. (t.cfg.straggler *. float_of_int !pending_max_into /. 1e6)
+          in
+          pending_bytes := 0;
+          pending_max_into := 0;
+          latency :=
+            !latency
+            +. t.cfg.sync_base
+            +. (t.cfg.sync_per_worker *. float_of_int w)
+            +. (float_of_int !max_ops *. t.cfg.per_op *. straggle))
+    blocks;
+  {
+    latency = !latency;
+    stages = !stages;
+    bytes_shuffled = net.total_bytes;
+    max_bytes_per_worker = Array.fold_left max 0 net.into_node;
+    max_worker_ops = !total_max_ops;
+    driver_ops = Runtime.ops t.driver - driver_ops0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let map_contents t name =
+  match Loc.find t.dprog.locs name with
+  | Loc.Local -> Runtime.map_contents t.driver name
+  | Loc.Replicated -> Runtime.map_contents t.nodes.(0) name
+  | Loc.Dist _ | Loc.Random ->
+      let out = Gmr.create () in
+      Array.iter
+        (fun rt -> Gmr.union_into out (Runtime.map_contents rt name))
+        t.nodes;
+      out
+
+let result t qname =
+  match List.assoc_opt qname t.dprog.base.queries with
+  | Some m -> map_contents t m
+  | None -> invalid_arg ("Cluster.result: unknown query " ^ qname)
+
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Checkpoint = struct
+  (* node -> (map name -> contents); index 0 is the driver, 1..W workers *)
+  type snapshot = (string * (Vtuple.t * float) list) list array
+
+  let save_file (s : snapshot) path =
+    let oc = open_out_bin path in
+    Marshal.to_channel oc s [];
+    close_out oc
+
+  let load_file path : snapshot =
+    let ic = open_in_bin path in
+    let s = (Marshal.from_channel ic : snapshot) in
+    close_in ic;
+    s
+
+  let byte_size (s : snapshot) =
+    Array.fold_left
+      (fun acc node ->
+        List.fold_left
+          (fun acc (_, entries) ->
+            List.fold_left
+              (fun acc (tup, _) -> acc + Vtuple.byte_size tup + 8)
+              acc entries)
+          acc node)
+      0 s
+end
+
+let snapshot_node rt maps =
+  List.filter_map
+    (fun (m : Prog.map_decl) ->
+      match m.mkind with
+      | Prog.Transient -> None
+      | _ -> Some (m.mname, Gmr.to_list (Runtime.map_contents rt m.mname)))
+    maps
+
+let checkpoint t =
+  let maps = t.dprog.base.maps in
+  let snap =
+    Array.init
+      (1 + t.cfg.workers)
+      (fun i ->
+        if i = 0 then snapshot_node t.driver maps
+        else snapshot_node t.nodes.(i - 1) maps)
+  in
+  (* Nodes serialize their partitions in parallel; the checkpoint barrier
+     costs one sync round plus the slowest node's serialization. *)
+  let max_node_bytes =
+    Array.fold_left
+      (fun acc node ->
+        max acc
+          (List.fold_left
+             (fun a (_, entries) ->
+               List.fold_left
+                 (fun a (tup, _) -> a + Vtuple.byte_size tup + 8)
+                 a entries)
+             0 node))
+      0 snap
+  in
+  let latency =
+    t.cfg.sync_base
+    +. (t.cfg.sync_per_worker *. float_of_int t.cfg.workers)
+    +. (float_of_int max_node_bytes
+       *. (t.cfg.ser_per_byte +. (1. /. t.cfg.bandwidth)))
+  in
+  (snap, latency)
+
+let restore_node rt node =
+  List.iter
+    (fun (name, entries) ->
+      Runtime.clear_map rt name;
+      List.iter (fun (tup, m) -> Runtime.add_to_map rt name tup m) entries)
+    node
+
+let restore t snap =
+  restore_node t.driver snap.(0);
+  Array.iteri (fun i rt -> restore_node rt snap.(i + 1)) t.nodes
+
+let fail_worker t wi =
+  List.iter
+    (fun (m : Prog.map_decl) ->
+      match m.mkind with
+      | Prog.Transient -> ()
+      | _ -> Runtime.clear_map t.nodes.(wi) m.mname)
+    t.dprog.base.maps
+
+let check_replicas t =
+  List.iter
+    (fun (m : Prog.map_decl) ->
+      match Loc.find t.dprog.locs m.mname with
+      | Loc.Replicated ->
+          let ref_contents = Runtime.map_contents t.nodes.(0) m.mname in
+          Array.iteri
+            (fun wi rt ->
+              if
+                wi > 0
+                && not (Gmr.equal ref_contents (Runtime.map_contents rt m.mname))
+              then
+                failwith
+                  (Printf.sprintf "Cluster.check_replicas: %s diverges on worker %d"
+                     m.mname wi))
+            t.nodes
+      | _ -> ())
+    t.dprog.base.maps

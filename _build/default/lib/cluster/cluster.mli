@@ -1,0 +1,101 @@
+(** Simulated synchronous driver/worker cluster (the Spark substitute, cf.
+    DESIGN.md).
+
+    Real execution, modeled time. The simulator holds one specialized
+    runtime per worker plus one for the driver, executes every block of the
+    distributed program on real partitioned data, and counts the work: per
+    worker elementary operations per stage, bytes moved per transfer. A cost
+    model calibrated against the paper's §6.2 measurements converts the
+    counts into latency:
+
+    - per distributed stage: [sync_base + sync_per_worker·W] (driver-worker
+      coordination; the paper's Q6 measures 65 ms at 50 workers and 386 ms
+      at 1000) plus [max_worker_ops · per_op],
+    - per transfer: [ser_per_byte · total_bytes / W_effective] +
+      [max bytes into one node / bandwidth],
+    - driver statements: [driver_ops · per_op].
+
+    Straggler variability is modeled as a deterministic multiplicative
+    factor on the slowest worker, growing with the data shuffled per stage
+    (§6.2.1 observes 1.5–3x stage prolongation on shuffle-heavy queries). *)
+
+open Divm_ring
+open Divm_dist
+
+type config = {
+  workers : int;
+  sync_base : float;  (** s, per distributed stage *)
+  sync_per_worker : float;  (** s per worker per stage *)
+  per_op : float;  (** s per elementary record operation *)
+  bandwidth : float;  (** bytes/s into one node *)
+  ser_per_byte : float;  (** serialization cost, s/byte, parallel across W *)
+  straggler : float;
+      (** extra slowdown of the slowest worker per MB shuffled to it *)
+}
+
+(** Calibrated to the paper's cluster (see module doc). 50 workers. *)
+val default_config : config
+
+val config : ?workers:int -> unit -> config
+
+type metrics = {
+  latency : float;  (** modeled end-to-end seconds for the batch *)
+  stages : int;
+  bytes_shuffled : int;  (** total over the network *)
+  max_bytes_per_worker : int;
+  max_worker_ops : int;  (** summed over stages *)
+  driver_ops : int;
+}
+
+type t
+
+val create : ?config:config -> Dprog.t -> t
+val workers : t -> int
+
+(** Process one batch through the trigger of [rel]; batches are partitioned
+    across the workers like the paper's experiments (each worker receives a
+    random share) unless the program was compiled with deltas at the
+    driver. *)
+val apply_batch : t -> rel:string -> Gmr.t -> metrics
+
+(** Assembled global contents of a map (driver + all worker partitions). *)
+val map_contents : t -> string -> Gmr.t
+
+val result : t -> string -> Gmr.t
+
+(** Consistency check: replicated maps hold identical contents on every
+    worker. Raises [Failure] when violated. *)
+val check_replicas : t -> unit
+
+(** {1 Fault tolerance}
+
+    §4: "Using data checkpointing, we can periodically save intermediate
+    state to reliable storage in order to shorten recovery time." A
+    checkpoint snapshots every map on the driver and all workers; recovery
+    rolls the whole cluster back to it, after which the missed batches are
+    replayed. [checkpoint] returns the modeled time the synchronous
+    checkpoint adds to the processing pipeline. *)
+
+module Checkpoint : sig
+  type snapshot
+
+  (** Persist to / read from a file (reliable-storage stand-in). *)
+  val save_file : snapshot -> string -> unit
+
+  val load_file : string -> snapshot
+
+  (** Serialized size in bytes. *)
+  val byte_size : snapshot -> int
+end
+
+(** Snapshot the full cluster state; returns the snapshot and the modeled
+    checkpointing latency (serialization of every node's state in parallel,
+    bounded by the slowest node). *)
+val checkpoint : t -> Checkpoint.snapshot * float
+
+(** Roll every node back to the snapshot (e.g. after [fail_worker]). *)
+val restore : t -> Checkpoint.snapshot -> unit
+
+(** Simulate a worker crash: its partitions are lost. Subsequent results
+    are incorrect until [restore] + replay. *)
+val fail_worker : t -> int -> unit

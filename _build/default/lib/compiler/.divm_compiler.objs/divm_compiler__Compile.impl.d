@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Array Calc Delta Divm_calc Divm_delta Divm_ring Fun Hashtbl List Logs Poly Preagg Printf Prog Schema String

@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Calc Divm_calc Divm_ring Prog Schema

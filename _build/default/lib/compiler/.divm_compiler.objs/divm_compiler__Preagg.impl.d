@@ -1,0 +1,1 @@
+lib/compiler/preagg.ml: Calc Divm_calc Divm_delta Divm_ring Hashtbl List Printf Prog Schema String

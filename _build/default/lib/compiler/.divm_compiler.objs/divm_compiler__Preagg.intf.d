@@ -1,0 +1,1 @@
+lib/compiler/preagg.mli: Prog

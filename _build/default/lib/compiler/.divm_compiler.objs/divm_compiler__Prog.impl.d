@@ -1,0 +1,1 @@
+lib/compiler/prog.ml: Calc Divm_calc Divm_ring Format List Schema String

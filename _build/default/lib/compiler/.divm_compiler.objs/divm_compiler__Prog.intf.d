@@ -1,0 +1,1 @@
+lib/compiler/prog.mli: Calc Divm_calc Divm_ring Format Schema

@@ -1,0 +1,167 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+
+(* Split an RHS into (optional top-level group-by, product factors). *)
+let split_rhs = function
+  | Sum (gb, body) -> (Some gb, Divm_delta.Poly.factors body)
+  | e -> (None, Divm_delta.Poly.factors e)
+
+let rejoin gb fs =
+  let body = prod fs in
+  match gb with Some gb -> sum gb body | None -> body
+
+(* A factor is attachable to the batch pre-aggregation when its variables
+   are all bound by the batch columns: comparisons filter the batch, value
+   terms weight the pre-aggregated multiplicity. *)
+let attachable rvars f =
+  match f with
+  | Cmp _ | Value _ -> Schema.subset (Calc.all_vars f) rvars
+  | _ -> false
+
+(* Positional canonicalization, mirroring Compile.canon_key. *)
+let canon_string ~schema def =
+  let tbl = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let f (v : Schema.var) =
+    match Hashtbl.find_opt tbl v.Schema.name with
+    | Some v' -> v'
+    | None ->
+        let v' = { v with Schema.name = Printf.sprintf "!c%d" !counter } in
+        incr counter;
+        Hashtbl.add tbl v.Schema.name v';
+        v'
+  in
+  let cschema = List.map f schema in
+  let cdef = Calc.rename f def in
+  Calc.to_string cdef ^ " | "
+  ^ String.concat "," (List.map (fun (v : Schema.var) -> v.name) cschema)
+
+(* Can [factors] be pre-aggregated standalone (batch atoms plus filters and
+   value terms over batch columns only)? *)
+let batch_only factors =
+  List.exists (fun f -> match f with DeltaRel _ -> true | _ -> false) factors
+  && List.for_all
+       (fun f ->
+         match f with
+         | DeltaRel _ | Cmp _ | Value _ | Const _ -> true
+         | _ -> false)
+       factors
+
+let apply (prog : Prog.t) =
+  let new_maps = ref [] in
+  let counter = ref 0 in
+  let triggers =
+    List.map
+      (fun (tr : Prog.trigger) ->
+        let cache : (string, string * Schema.t) Hashtbl.t = Hashtbl.create 8 in
+        let transients = ref [] in
+        let intern def schema =
+          let key = canon_string ~schema def in
+          match Hashtbl.find_opt cache key with
+          | Some (n, u) -> (n, u)
+          | None ->
+              incr counter;
+              let n = Printf.sprintf "DELTA_%s_%d" tr.relation !counter in
+              Hashtbl.replace cache key (n, schema);
+              new_maps :=
+                {
+                  Prog.mname = n;
+                  mschema = schema;
+                  mkind = Prog.Transient;
+                  definition = def;
+                }
+                :: !new_maps;
+              transients :=
+                {
+                  Prog.target = n;
+                  target_vars = schema;
+                  op = Prog.Assign;
+                  rhs = def;
+                }
+                :: !transients;
+              (n, schema)
+        in
+        (* Recursive extraction of batch-only subexpressions nested inside
+           Lift/Exists/Sum bodies, so distributed programs can ship
+           pre-aggregated deltas instead of raw batches. *)
+        let rec extract e =
+          match e with
+          | DeltaRel r ->
+              let name, _ = intern (DeltaRel r) r.rvars in
+              Map { mname = name; mvars = r.rvars }
+          | Sum (gb, body)
+            when batch_only (Divm_delta.Poly.factors body)
+                 && (match Calc.schema ~bound:[] (Sum (gb, body)) with
+                    | _ -> true
+                    | exception Type_error _ -> false) ->
+              let name, uvars = intern (Sum (gb, body)) gb in
+              ignore uvars;
+              Map { mname = name; mvars = gb }
+          | Sum (gb, q) -> Sum (gb, extract q)
+          | Lift (v, q) -> Lift (v, extract q)
+          | Exists q -> Exists (extract q)
+          | Prod es -> Prod (List.map extract es)
+          | Add es -> Add (List.map extract es)
+          | e -> e
+        in
+        let rewrite (s : Prog.stmt) =
+          if s.op <> Prog.Add_to then s
+          else
+            let gb, fs = split_rhs s.rhs in
+            let idxs =
+              List.mapi (fun i f -> (i, f)) fs
+              |> List.filter (fun (_, f) ->
+                     match f with DeltaRel _ -> true | _ -> false)
+            in
+            match idxs with
+            | (i0, DeltaRel r) :: _ ->
+                let attached =
+                  List.mapi (fun i f -> (i, f)) fs
+                  |> List.filter (fun (i, f) ->
+                         i <> i0 && attachable r.rvars f)
+                in
+                let attached_idx = List.map fst attached in
+                let others =
+                  List.mapi (fun i f -> (i, f)) fs
+                  |> List.filter (fun (i, _) ->
+                         i <> i0 && not (List.mem i attached_idx))
+                  |> List.map snd
+                  |> List.fold_left
+                       (fun acc f -> Schema.union acc (Calc.all_vars f))
+                       (match gb with
+                       | Some g -> Schema.union s.target_vars g
+                       | None -> s.target_vars)
+                in
+                let used = Schema.inter r.rvars others in
+                let def =
+                  sum used (prod (DeltaRel r :: List.map snd attached))
+                in
+                (* the canonical key is positional, so the shared transient
+                   is accessed with *this* occurrence's variables *)
+                let name, _decl_vars = intern def used in
+                let fs' =
+                  List.mapi (fun i f -> (i, f)) fs
+                  |> List.filter_map (fun (i, f) ->
+                         if i = i0 then
+                           Some (Map { mname = name; mvars = used })
+                         else if List.mem i attached_idx then None
+                         else Some f)
+                in
+                { s with rhs = rejoin gb fs' }
+            | _ -> s
+        in
+        (* Second pass: extract batch-only subexpressions still nested inside
+           Lift/Exists bodies (the top-level pass only touches the product's
+           own delta factor). *)
+        let rewrite s =
+          let s = rewrite s in
+          if s.Prog.op = Prog.Add_to && Calc.has_deltas s.rhs then
+            { s with rhs = extract s.rhs }
+          else s
+        in
+        let stmts = List.map rewrite tr.stmts in
+        { tr with stmts = List.rev !transients @ stmts })
+      prog.triggers
+  in
+  { prog with maps = prog.maps @ List.rev !new_maps; triggers }

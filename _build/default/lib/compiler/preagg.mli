@@ -1,0 +1,11 @@
+(** Batch pre-aggregation (§3.3): for every trigger statement, the incoming
+    batch is filtered by the statement's static conditions, projected onto
+    the columns used downstream, and pre-aggregated into a per-batch
+    transient map that the statement then joins against. Identical
+    pre-aggregations are shared across the statements of a trigger.
+
+    This mirrors the paper's batched-mode code generation: even identity
+    pre-aggregations are materialized (their cost is what makes batching
+    lose to tuple-at-a-time processing on simple queries, cf. Fig. 7). *)
+
+val apply : Prog.t -> Prog.t

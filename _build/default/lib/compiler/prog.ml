@@ -1,0 +1,79 @@
+open Divm_ring
+open Divm_calc
+
+type map_kind = Query | Auxiliary | Base | Transient
+
+type map_decl = {
+  mname : string;
+  mschema : Schema.t;
+  mkind : map_kind;
+  definition : Calc.expr;
+}
+
+type stmt_op = Add_to | Assign
+
+type stmt = {
+  target : string;
+  target_vars : Schema.t;
+  op : stmt_op;
+  rhs : Calc.expr;
+}
+
+type trigger = { relation : string; stmts : stmt list }
+
+type t = {
+  maps : map_decl list;
+  triggers : trigger list;
+  queries : (string * string) list;
+  streams : (string * Schema.t) list;
+}
+
+let find_map t name =
+  match List.find_opt (fun m -> String.equal m.mname name) t.maps with
+  | Some m -> m
+  | None -> invalid_arg ("Prog.find_map: unknown map " ^ name)
+
+let find_trigger t rel =
+  match List.find_opt (fun tr -> String.equal tr.relation rel) t.triggers with
+  | Some tr -> tr
+  | None -> invalid_arg ("Prog.find_trigger: unknown relation " ^ rel)
+
+let readers t name =
+  List.concat_map
+    (fun tr ->
+      List.filter (fun s -> List.mem name (Calc.map_refs s.rhs)) tr.stmts)
+    t.triggers
+
+let stmt_count t =
+  List.fold_left (fun acc tr -> acc + List.length tr.stmts) 0 t.triggers
+
+let pp_op ppf = function
+  | Add_to -> Format.pp_print_string ppf "+="
+  | Assign -> Format.pp_print_string ppf ":="
+
+let pp_stmt ppf s =
+  Format.fprintf ppf "@[<hov 2>%s[%a] %a@ %a@]" s.target Calc.pp_vars
+    s.target_vars pp_op s.op Calc.pp s.rhs
+
+let pp_trigger ppf tr =
+  Format.fprintf ppf "@[<v 2>ON UPDATE %s BY d%s:@ %a@]" tr.relation
+    tr.relation
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt)
+    tr.stmts
+
+let pp_kind ppf = function
+  | Query -> Format.pp_print_string ppf "query"
+  | Auxiliary -> Format.pp_print_string ppf "aux"
+  | Base -> Format.pp_print_string ppf "base"
+  | Transient -> Format.pp_print_string ppf "transient"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>MAPS:@ ";
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "  @[<hov 2>%s[%a] (%a) :=@ %a@]@ " m.mname
+        Calc.pp_vars m.mschema pp_kind m.mkind Calc.pp m.definition)
+    t.maps;
+  Format.fprintf ppf "@ ";
+  List.iter (fun tr -> Format.fprintf ppf "%a@ @ " pp_trigger tr) t.triggers;
+  Format.fprintf ppf "@]"

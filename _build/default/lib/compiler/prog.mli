@@ -1,0 +1,57 @@
+(** Trigger-program IR produced by the recursive IVM compiler.
+
+    A program declares a set of materialized maps and, for every stream
+    relation, one trigger ([ON UPDATE R BY dR]) whose statements refresh the
+    maps bottom-up in dependency order, reading pre-update map state (except
+    re-evaluation statements, which run after their inputs are refreshed). *)
+
+open Divm_ring
+open Divm_calc
+
+type map_kind =
+  | Query  (** a top-level query result *)
+  | Auxiliary  (** materialized update-independent part *)
+  | Base  (** (projected) copy of a base relation *)
+  | Transient  (** per-batch intermediate (e.g. pre-aggregated delta) *)
+
+type map_decl = {
+  mname : string;
+  mschema : Schema.t;  (** key variables, canonical order *)
+  mkind : map_kind;
+  definition : Calc.expr;
+      (** definition over base relations; for [Transient] maps, over the
+          current batch's delta relations *)
+}
+
+type stmt_op =
+  | Add_to  (** [M(vars) += rhs] *)
+  | Assign  (** [M(vars) := rhs] (re-evaluation / transient init) *)
+
+type stmt = {
+  target : string;
+  target_vars : Schema.t;
+  op : stmt_op;
+  rhs : Calc.expr;  (** over [Map], [DeltaRel] and value atoms only *)
+}
+
+type trigger = { relation : string; stmts : stmt list }
+
+type t = {
+  maps : map_decl list;
+  triggers : trigger list;
+  queries : (string * string) list;  (** query name -> result map *)
+  streams : (string * Schema.t) list;  (** updatable base relations *)
+}
+
+val find_map : t -> string -> map_decl
+val find_trigger : t -> string -> trigger
+
+(** Statements of [t] whose RHS reads map [m]. *)
+val readers : t -> string -> stmt list
+
+(** Number of statements across all triggers. *)
+val stmt_count : t -> int
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_trigger : Format.formatter -> trigger -> unit
+val pp : Format.formatter -> t -> unit

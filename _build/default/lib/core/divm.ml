@@ -1,0 +1,74 @@
+(** Public facade: one namespace over the whole system.
+
+    {1 Layers}
+
+    - {!Value}, {!Vtuple}, {!Schema}, {!Gmr} — generalized multiset
+      relations (the data model of §3.1);
+    - {!Vexpr}, {!Calc} — the query calculus;
+    - {!Interp} — reference interpreter (semantic oracle);
+    - {!Delta}, {!Domain}, {!Poly} — delta derivation and domain extraction
+      (§3.1–3.2);
+    - {!Prog}, {!Compile}, {!Preagg} — the recursive IVM compiler (§2.2) and
+      batch pre-aggregation (§3.3);
+    - {!Pool}, {!Colbatch}, {!Trace} — storage (§5.2);
+    - {!Exec}, {!Runtime} — interpreted and specialized local runtimes (§5);
+    - {!Loc}, {!Dprog}, {!Distribute} — the distributed compiler (§4);
+    - {!Cluster} — the simulated Spark-like cluster (§6.2);
+    - {!Sql} — SQL frontend;
+    - {!Tpch}, {!Tpcds} — workloads; {!Baseline} — comparison engines;
+      {!Cachesim} — the Table 2 cache model.
+
+    {1 Quickstart}
+
+    {[
+      open Divm
+
+      let streams = [ ("R", [ va; vb ]); ("S", [ vb; vc ]) ]
+      let maps = Sql.compile ~catalog:streams ~name:"Q"
+          "SELECT R.b, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.b"
+      let prog = Compile.compile ~streams maps
+      let rt = Runtime.create prog
+      let () = Runtime.apply_batch rt ~rel:"R" batch
+      let result = Runtime.result rt "Q"
+    ]} *)
+
+module Value = Divm_ring.Value
+module Vtuple = Divm_ring.Vtuple
+module Schema = Divm_ring.Schema
+module Gmr = Divm_ring.Gmr
+module Vexpr = Divm_calc.Vexpr
+module Calc = Divm_calc.Calc
+module Env = Divm_eval.Env
+module Interp = Divm_eval.Interp
+module Delta = Divm_delta.Delta
+module Domain = Divm_delta.Domain
+module Poly = Divm_delta.Poly
+module Prog = Divm_compiler.Prog
+module Compile = Divm_compiler.Compile
+module Preagg = Divm_compiler.Preagg
+module Pool = Divm_storage.Pool
+module Colbatch = Divm_storage.Colbatch
+module Trace = Divm_storage.Trace
+module Exec = Divm_runtime.Exec
+module Runtime = Divm_runtime.Runtime
+module Patterns = Divm_runtime.Patterns
+module Loc = Divm_dist.Loc
+module Dprog = Divm_dist.Dprog
+module Distribute = Divm_dist.Distribute
+module Cluster = Divm_cluster.Cluster
+module Sql = Divm_sql.Sql
+module Baseline = Divm_baseline.Baseline
+module Cachesim = Divm_cachesim.Cachesim
+
+module Tpch = struct
+  module Schema = Divm_tpch.Schema
+  module Gen = Divm_tpch.Gen
+  module Queries = Divm_tpch.Queries
+  module Load = Divm_tpch.Load
+end
+
+module Tpcds = struct
+  module Schema = Divm_tpcds.Schema
+  module Gen = Divm_tpcds.Gen
+  module Queries = Divm_tpcds.Queries
+end

@@ -1,0 +1,1 @@
+lib/delta/delta.ml: Calc Divm_calc Divm_ring Domain List Schema String

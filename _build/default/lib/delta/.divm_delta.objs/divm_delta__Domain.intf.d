@@ -1,0 +1,1 @@
+lib/delta/domain.mli: Calc Divm_calc Divm_ring Schema

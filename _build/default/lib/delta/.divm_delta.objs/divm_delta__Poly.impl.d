@@ -1,0 +1,1 @@
+lib/delta/poly.ml: Calc Divm_calc Divm_ring List Schema

@@ -1,0 +1,1 @@
+lib/delta/poly.mli: Calc Divm_calc Divm_ring

@@ -1,0 +1,73 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+
+type result = { expr : expr; expensive : bool }
+
+let rec delta ~rel ~bound (e : expr) : result =
+  match e with
+  | Rel r when String.equal r.rname rel ->
+      { expr = DeltaRel r; expensive = false }
+  | Rel _ | Map _ | Const _ | Value _ | Cmp _ | DeltaRel _ ->
+      { expr = zero; expensive = false }
+  | Add es ->
+      let ds = List.map (delta ~rel ~bound) es in
+      {
+        expr = add (List.map (fun d -> d.expr) ds);
+        expensive = List.exists (fun d -> d.expensive) ds;
+      }
+  | Sum (gb, q) ->
+      let d = delta ~rel ~bound q in
+      { d with expr = sum gb d.expr }
+  | Prod es -> delta_prod ~rel ~bound es
+  | Exists q -> delta_diff ~rel ~bound (fun body -> exists body) q
+  | Lift (v, q) -> delta_diff ~rel ~bound (fun body -> lift v body) q
+
+(* Leibniz rule over a product list, threading the binding context
+   left-to-right (deltas preserve schemas, so the context of the i-th factor
+   is the same in every expansion term). *)
+and delta_prod ~rel ~bound es =
+  match es with
+  | [] -> { expr = zero; expensive = false }
+  | [ e ] -> delta ~rel ~bound e
+  | e :: rest ->
+      let de = delta ~rel ~bound e in
+      let bound' = Schema.union bound (Calc.schema ~bound e) in
+      let rest_e = match rest with [ x ] -> x | xs -> Prod xs in
+      let drest = delta_prod ~rel ~bound:bound' rest in
+      {
+        expr =
+          add
+            [
+              prod [ de.expr; rest_e ];
+              prod [ e; drest.expr ];
+              prod [ de.expr; drest.expr ];
+            ];
+        expensive = de.expensive || drest.expensive;
+      }
+
+(* Revised delta rule for Lift/Exists: Qdom ⋈ (mk(Q+ΔQ) − mk(Q)), where
+   Qdom is the extracted domain of ΔQ projected onto the variables the
+   difference term can actually be restricted by: context-bound variables
+   (equality correlations) and the difference's own output variables. *)
+and delta_diff ~rel ~bound mk q =
+  let dq = delta ~rel ~bound q in
+  if is_zero dq.expr then { expr = zero; expensive = false }
+  else
+    let dom = Domain.extract dq.expr in
+    let restrictable =
+      Schema.union bound
+        (match Calc.schema ~bound q with
+        | s -> s
+        | exception Type_error _ -> [])
+    in
+    let corr = Schema.inter (Domain.bound_vars dom) restrictable in
+    let diff = add [ mk (add [ q; dq.expr ]); neg (mk q) ] in
+    match corr with
+    | [] -> { expr = diff; expensive = true }
+    | _ ->
+        let qdom = exists (sum corr (Domain.to_expr ~bound dom)) in
+        { expr = prod [ qdom; diff ]; expensive = dq.expensive }
+
+let of_expr ~rel ?(bound = []) e = delta ~rel ~bound e
+let expr ~rel ?(bound = []) e = (of_expr ~rel ~bound e).expr

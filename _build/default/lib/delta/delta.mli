@@ -1,0 +1,28 @@
+(** Delta derivation (§3.1) with the revised rule for variable assignments
+    and existential quantification based on domain extraction (§3.2.2).
+
+    [of_expr ~rel ~bound e] rewrites [e] into an expression over the same
+    schema that evaluates to the change of [e] when relation [rel] receives
+    the update batch [ΔR] (referenced through [Calc.DeltaRel] atoms; the
+    batch may mix insertions and deletions as positive and negative
+    multiplicities).
+
+    [bound] lists the variables bound by the evaluation context (the trigger
+    derivation passes the enclosing binding context so that equality
+    correlations of nested aggregates can be recognized). *)
+
+open Divm_ring
+open Divm_calc
+
+type result = {
+  expr : Calc.expr;
+  expensive : bool;
+      (** true when some [Lift]/[Exists] difference could not be domain
+          restricted — the §3.2.3 signal that re-evaluation may beat
+          incremental maintenance for this update path. *)
+}
+
+val of_expr : rel:string -> ?bound:Schema.t -> Calc.expr -> result
+
+(** Convenience: just the expression. *)
+val expr : rel:string -> ?bound:Schema.t -> Calc.expr -> Calc.expr

@@ -1,0 +1,78 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+
+type t = Calc.expr list
+
+let dedup factors =
+  List.fold_left
+    (fun acc f -> if List.exists (Calc.equal f) acc then acc else f :: acc)
+    [] factors
+  |> List.rev
+
+let union_doms doms = dedup (List.concat doms)
+
+let inter_doms = function
+  | [] -> []
+  | hd :: tl ->
+      List.filter
+        (fun f -> List.for_all (fun d -> List.exists (Calc.equal f) d) tl)
+        hd
+
+(* Greedy left-to-right ordering keeping only factors whose input variables
+   are bound by [bound] or by earlier kept factors; iterate to a fixpoint so
+   order inside the factor list does not matter. *)
+let sanitize ~bound factors =
+  let rec round kept bound pending =
+    let kept, bound, remaining, progressed =
+      List.fold_left
+        (fun (kept, bound, rem, prog) f ->
+          match Calc.schema ~bound f with
+          | s -> (f :: kept, Schema.union bound s, rem, true)
+          | exception Type_error _ -> (kept, bound, f :: rem, prog))
+        (kept, bound, [], false) pending
+    in
+    if progressed && remaining <> [] then round kept bound (List.rev remaining)
+    else List.rev kept
+  in
+  round [] bound factors
+
+let dom_schema ?(bound = []) factors =
+  let sane = sanitize ~bound factors in
+  List.fold_left
+    (fun acc f ->
+      match Calc.schema ~bound:(Schema.union bound acc) f with
+      | s -> Schema.union acc s
+      | exception Type_error _ -> acc)
+    [] sane
+
+let to_expr ?(bound = []) factors =
+  match sanitize ~bound factors with
+  | [] -> Calc.one
+  | fs -> Calc.prod fs
+
+let bound_vars factors = dom_schema factors
+let restricts factors vars = Schema.inter (bound_vars factors) vars <> []
+
+let rec extract (e : expr) : t =
+  match e with
+  | Add es -> inter_doms (List.map extract es)
+  | Prod es -> union_doms (List.map extract es)
+  | Sum (gb, a) -> (
+      let dom_a = extract a in
+      let sane = sanitize ~bound:[] dom_a in
+      let sch = dom_schema sane in
+      let dom_gb = Schema.inter sch gb in
+      if Schema.equal_as_sets dom_gb gb then dom_a
+      else
+        match (dom_gb, sane) with
+        | [], _ | _, [] -> []
+        | _ -> [ Calc.exists (Calc.sum dom_gb (Calc.prod sane)) ])
+  | Lift (_, a) when Calc.base_rels a <> [] || Calc.delta_rels a <> [] ->
+      extract a
+  | Lift (_, _) -> [ e ]
+  | Exists a -> extract a
+  | DeltaRel _ -> [ Calc.exists e ]
+  | Rel _ | Map _ -> []
+  | Cmp _ -> [ e ]
+  | Const _ | Value _ -> []

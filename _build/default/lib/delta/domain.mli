@@ -1,0 +1,35 @@
+(** Domain extraction (§3.2.2, Figure 1).
+
+    A domain for an expression [e] is a set of constraint factors [ds] such
+    that [prod ds ⋈ e ≡ e]: every tuple of [e]'s support satisfies all the
+    factors, and all factor tuples carry multiplicity one. Prepending the
+    domain to an expensive re-evaluation difference (the revised delta rule
+    for [Lift]/[Exists]) restricts iteration to the output tuples a batch
+    can actually affect. *)
+
+open Divm_ring
+open Divm_calc
+
+(** A domain as a list of constraint factors; [[]] means "no restriction"
+    (the constant 1 of Figure 1). *)
+type t = Calc.expr list
+
+(** [extract e] runs the algorithm of Figure 1 on [e] (normally a delta
+    expression). Delta-relation atoms are treated as low-cardinality;
+    base-relation and map atoms as high-cardinality. *)
+val extract : Calc.expr -> t
+
+(** [to_expr ~bound dom] turns a domain into a single prefix expression,
+    dropping filter factors whose variables are not bound by the domain's
+    relational factors or by [bound] (a conservative but always well-typed
+    weakening). Returns [Calc.one] for the unrestricted domain. *)
+val to_expr : ?bound:Schema.t -> t -> Calc.expr
+
+(** Variables bound by the domain's relational factors. *)
+val bound_vars : t -> Schema.t
+
+(** [restricts dom vars] tells whether the domain binds at least one of
+    [vars] — the §3.2.3 criterion ("incrementally maintain whenever the
+    extracted nested domain binds at least one equality-correlated
+    variable"). *)
+val restricts : t -> Schema.t -> bool

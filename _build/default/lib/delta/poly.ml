@@ -1,0 +1,113 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+
+let rec monomials (e : expr) : expr list =
+  match e with
+  | Add es -> List.concat_map monomials es
+  | Prod es ->
+      let parts = List.map monomials es in
+      let combos =
+        List.fold_left
+          (fun acc ms ->
+            List.concat_map (fun pref -> List.map (fun m -> m :: pref) ms) acc)
+          [ [] ] parts
+      in
+      List.filter_map
+        (fun rev ->
+          let m = Calc.prod (List.rev rev) in
+          if Calc.is_zero m then None else Some m)
+        combos
+  | Sum (gb, q) ->
+      List.filter_map
+        (fun m ->
+          let s = Calc.sum gb m in
+          if Calc.is_zero s then None else Some s)
+        (monomials q)
+  | e -> if Calc.is_zero e then [] else [ e ]
+
+let factors = function Prod es -> es | e -> [ e ]
+
+(* Factor scheduling priority: cheap filters as soon as they are bound,
+   then batch-derived factors (iteration starts from the small delta),
+   then the rest in original order. *)
+let priority e =
+  match e with
+  | Const _ | Value _ | Cmp _ -> 0
+  | Lift (_, q) when not (Calc.has_base_rels q || Calc.has_deltas q) -> 1
+  | DeltaRel _ -> 2
+  | _ when Calc.has_deltas e -> 3
+  | _ -> 4
+
+let reorder ~bound ?orig fs =
+  (* Boundness of each factor's variables at its position in the input
+     order; Lift/Exists semantics depend on it (a lift over a bound
+     variable set is a lookup with default 0; over free variables it
+     iterates non-zero groups), so those factors may only move to positions
+     with the same boundness of their variables. [orig] overrides the
+     reference boundness per factor when the caller knows the semantic
+     context the factor came from (e.g. after materialization rewrote the
+     product around it). *)
+  let input_bound =
+    List.fold_left
+      (fun (acc, b) f ->
+        let b' =
+          match Calc.schema ~bound:b f with
+          | s -> Schema.union b s
+          | exception Type_error _ -> b
+        in
+        (acc @ [ b ], b'))
+      ([], bound) fs
+    |> fst
+  in
+  let orig_bound =
+    match orig with
+    | None -> input_bound
+    | Some os ->
+        List.map2
+          (fun inp o -> match o with Some b -> b | None -> inp)
+          input_bound os
+  in
+  let indexed = List.mapi (fun i f -> (i, f)) fs in
+  (* Only Lift is order-sensitive: a lift over a bound variable set is a
+     lookup with default 0, over free variables an iteration of non-zero
+     groups. Exists always yields its support with multiplicity one, so
+     filter and iterator placements agree in a product. *)
+  let sensitive = function Lift _ -> true | _ -> false in
+  let ready cur_bound (i, f) =
+    (match Calc.schema ~bound:cur_bound f with
+    | _ -> true
+    | exception Type_error _ -> false)
+    && (not (sensitive f))
+    ||
+    (sensitive f
+    &&
+    let vs = Calc.all_vars f in
+    Schema.equal_as_sets
+      (Schema.inter vs cur_bound)
+      (Schema.inter vs (List.nth orig_bound i)))
+  in
+  let rec go bound acc remaining =
+    match remaining with
+    | [] -> Some (List.rev acc)
+    | _ -> (
+        let candidates = List.filter (ready bound) remaining in
+        match candidates with
+        | [] -> None
+        | _ ->
+            let best =
+              List.fold_left
+                (fun (bi, bf) (i, f) ->
+                  let p = priority f and bp = priority bf in
+                  if p < bp || (p = bp && i < bi) then (i, f) else (bi, bf))
+                (List.hd candidates) (List.tl candidates)
+            in
+            let i, f = best in
+            let bound =
+              match Calc.schema ~bound f with
+              | s -> Schema.union bound s
+              | exception Type_error _ -> bound
+            in
+            go bound (f :: acc) (List.filter (fun (j, _) -> j <> i) remaining))
+  in
+  go bound [] indexed

@@ -1,0 +1,30 @@
+(** Polynomial normal form: expansion of an expression into a bag union of
+    monomials, used by the recursive-IVM compiler to factorize and
+    materialize each monomial independently.
+
+    [Sum] is linear and distributes over union; [Lift] and [Exists] are not
+    and stay opaque. *)
+
+open Divm_calc
+
+(** [monomials e] returns [ms] with [e ≡ Calc.add ms]. No monomial is the
+    zero expression. *)
+val monomials : Calc.expr -> Calc.expr list
+
+(** [factors m] flattens a monomial into its product factors (a non-product
+    expression is its own single factor). *)
+val factors : Calc.expr -> Calc.expr list
+
+(** [reorder ~bound fs] stable-sorts factors so that every factor's input
+    variables are bound before it evaluates, preferring delta-relation and
+    domain factors first (the §3.2.1 commuting optimization: iterate small
+    delta-derived terms, look up large ones). Order-sensitive factors
+    ([Lift]/[Exists], whose semantics depend on which of their variables
+    are bound) may only move to positions with the same boundness of their
+    variables — [orig], when given, supplies the reference boundness per
+    factor. Returns [None] when no valid ordering exists. *)
+val reorder :
+  bound:Divm_ring.Schema.t ->
+  ?orig:Divm_ring.Schema.t option list ->
+  Calc.expr list ->
+  Calc.expr list option

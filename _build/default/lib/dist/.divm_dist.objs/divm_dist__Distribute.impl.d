@@ -1,0 +1,1 @@
+lib/dist/distribute.ml: Array Calc Divm_calc Divm_compiler Divm_delta Divm_ring Dprog Hashtbl List Loc Printf Prog Schema

@@ -1,0 +1,1 @@
+lib/dist/distribute.mli: Divm_compiler Dprog Loc Prog

@@ -1,0 +1,1 @@
+lib/dist/dprog.ml: Array Calc Divm_calc Divm_compiler Format List Loc Prog String

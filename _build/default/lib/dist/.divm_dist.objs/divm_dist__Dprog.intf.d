@@ -1,0 +1,1 @@
+lib/dist/dprog.mli: Divm_compiler Format Loc Prog

@@ -1,0 +1,1 @@
+lib/dist/loc.ml: Array Divm_compiler Divm_ring Format List Prog Schema String

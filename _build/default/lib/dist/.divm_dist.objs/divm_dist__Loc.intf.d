@@ -1,0 +1,1 @@
+lib/dist/loc.mli: Divm_compiler Format Prog

@@ -1,0 +1,35 @@
+(** Compilation of local trigger programs into well-formed distributed
+    programs (§4.1–§4.3).
+
+    The trigger compiler produces flat statements (a projection over a
+    product of map references, delta pre-aggregations, and filters), so the
+    annotation and the Figure 3/4 rule engine reduce to choosing, per
+    statement, an execution locus — driver, co-partitioned by some key,
+    replicated, or in-place over the randomly distributed batch — and
+    inserting the location transformers each factor needs to reach it. The
+    optimizer enumerates the candidate loci and keeps the plan with fewest
+    communication rounds (ties broken towards shuffling batch-derived data
+    and away from [Gather], the paper's heuristics); the naive [level 0]
+    annotator mimics the pre-optimization plans of Example 4.1.
+
+    Optimization levels (the Figure 13 ablation):
+    - 0: naive bottom-up annotation;
+    - 1: + locus optimization / transformer simplification;
+    - 2: + block fusion (Appendix C.3);
+    - 3: + transfer CSE and dead-code elimination. *)
+
+open Divm_compiler
+
+type options = {
+  level : int;  (** 0–3 *)
+  delta_at : [ `Workers | `Driver ];
+      (** where update batches arrive: pre-partitioned across workers (the
+          experiments of §6.2) or at the driver (the Figure 5 listing) *)
+}
+
+val default_options : options
+
+(** [compile ~catalog prog] requires [prog] to be pre-aggregated (no raw
+    delta atom outside transient definitions). The catalog gives locations
+    for [prog]'s maps; locations for transfer transients are added. *)
+val compile : ?options:options -> catalog:Loc.catalog -> Prog.t -> Dprog.t

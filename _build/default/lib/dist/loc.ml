@@ -1,0 +1,49 @@
+open Divm_ring
+open Divm_compiler
+
+type t = Local | Dist of int array | Replicated | Random
+type catalog = (string * t) list
+
+let equal a b =
+  match (a, b) with
+  | Local, Local | Replicated, Replicated | Random, Random -> true
+  | Dist p1, Dist p2 -> p1 = p2
+  | _ -> false
+
+let pp ppf = function
+  | Local -> Format.pp_print_string ppf "LOCAL"
+  | Replicated -> Format.pp_print_string ppf "REPLICATED"
+  | Random -> Format.pp_print_string ppf "RANDOM"
+  | Dist p ->
+      Format.fprintf ppf "DIST<%s>"
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int p)))
+
+let find cat name =
+  match List.assoc_opt name cat with Some l -> l | None -> Local
+
+let heuristic ~keys (prog : Prog.t) : catalog =
+  List.map
+    (fun (m : Prog.map_decl) ->
+      let loc =
+        match m.mkind with
+        | Prog.Transient -> Random
+        | _ -> (
+            if m.mschema = [] then Local
+            else
+              (* first key name (highest cardinality first) present in the
+                 schema wins *)
+              let rec pick = function
+                | [] -> Local
+                | k :: rest -> (
+                    let idx = ref (-1) in
+                    List.iteri
+                      (fun i (v : Schema.var) ->
+                        if !idx < 0 && String.equal v.name k then idx := i)
+                      m.mschema;
+                    match !idx with -1 -> pick rest | i -> Dist [| i |])
+              in
+              pick keys)
+      in
+      (m.mname, loc))
+    prog.maps

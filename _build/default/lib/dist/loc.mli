@@ -1,0 +1,32 @@
+(** Location tags (§4.2).
+
+    A materialized view lives on the driver ([Local]), is hash-partitioned
+    over the workers by a subset of its key columns ([Dist positions]), is
+    fully replicated on every worker ([Replicated] — the paper's
+    partitioning functions may map a tuple to a set of nodes), or is spread
+    randomly ([Random] — e.g. per-worker pre-aggregations of the worker's
+    own batch partition). *)
+
+open Divm_compiler
+
+type t =
+  | Local
+  | Dist of int array  (** partition key: positions into the map's schema *)
+  | Replicated
+  | Random
+
+type catalog = (string * t) list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [find cat name] defaults to [Local] for unknown maps (scalar results). *)
+val find : catalog -> string -> t
+
+(** Default partitioning heuristic of §6.2: partition each non-scalar map on
+    the position of the highest-cardinality primary-key-like column, given
+    [keys] mapping stream relations to their key variable names (ordered by
+    decreasing cardinality); maps with none of those columns in their schema
+    and scalar maps stay on the driver. Transient delta pre-aggregations are
+    tagged [Random] (each worker pre-aggregates its own batch partition). *)
+val heuristic : keys:string list -> Prog.t -> catalog

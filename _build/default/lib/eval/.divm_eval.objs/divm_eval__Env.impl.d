@@ -1,0 +1,1 @@
+lib/eval/env.ml: Array Divm_ring Format List Schema Value

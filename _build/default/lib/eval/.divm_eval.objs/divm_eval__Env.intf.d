@@ -1,0 +1,1 @@
+lib/eval/env.mli: Divm_ring Format Schema Value Vtuple

@@ -1,0 +1,1 @@
+lib/eval/interp.ml: Array Calc Divm_calc Divm_ring Env Gmr Hashtbl List Printf Schema String Value Vexpr Vtuple

@@ -1,0 +1,1 @@
+lib/eval/interp.mli: Calc Divm_calc Divm_ring Env Gmr Schema

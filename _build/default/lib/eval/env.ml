@@ -1,0 +1,34 @@
+open Divm_ring
+
+type t = (string * Value.t) list
+
+let empty = []
+let bind env (v : Schema.var) value = (v.name, value) :: env
+let find env (v : Schema.var) = List.assoc_opt v.name env
+
+let find_exn env (v : Schema.var) =
+  match find env v with
+  | Some x -> x
+  | None -> raise Not_found
+
+let is_bound env (v : Schema.var) = List.mem_assoc v.name env
+
+let project env vars =
+  Array.of_list (List.map (fun v -> find_exn env v) vars)
+
+let of_list l = List.map (fun ((v : Schema.var), x) -> (v.name, x)) l
+
+let domain env =
+  List.fold_left
+    (fun acc (n, _) ->
+      if List.exists (fun (v : Schema.var) -> v.name = n) acc then acc
+      else Schema.var n :: acc)
+    [] env
+  |> List.rev
+
+let pp ppf env =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (n, v) -> Format.fprintf ppf "%s=%a" n Value.pp v))
+    env

@@ -1,0 +1,22 @@
+(** Variable bindings threaded left-to-right through evaluation. *)
+
+open Divm_ring
+
+type t
+
+val empty : t
+val bind : t -> Schema.var -> Value.t -> t
+val find : t -> Schema.var -> Value.t option
+val find_exn : t -> Schema.var -> Value.t
+val is_bound : t -> Schema.var -> bool
+
+(** [project env vars] builds the tuple of [vars]'s values, raising
+    [Not_found] if one is unbound. *)
+val project : t -> Schema.t -> Vtuple.t
+
+val of_list : (Schema.var * Value.t) list -> t
+
+(** Bound variables, without duplicates (types are nominal: comparisons in
+    [Schema] are by name). *)
+val domain : t -> Schema.t
+val pp : Format.formatter -> t -> unit

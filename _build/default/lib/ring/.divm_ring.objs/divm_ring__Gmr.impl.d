@@ -1,0 +1,1 @@
+lib/ring/gmr.ml: Float Format List Vtuple

@@ -1,0 +1,1 @@
+lib/ring/gmr.mli: Format Vtuple

@@ -1,0 +1,1 @@
+lib/ring/schema.ml: Array Format List String Value

@@ -1,0 +1,1 @@
+lib/ring/schema.mli: Format Value

@@ -1,0 +1,1 @@
+lib/ring/value.ml: Float Format Hashtbl Stdlib String

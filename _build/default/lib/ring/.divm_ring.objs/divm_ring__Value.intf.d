@@ -1,0 +1,1 @@
+lib/ring/value.mli: Format

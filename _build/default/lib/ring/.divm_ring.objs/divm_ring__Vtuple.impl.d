@@ -1,0 +1,1 @@
+lib/ring/vtuple.ml: Array Format Hashtbl Stdlib Value

@@ -1,0 +1,1 @@
+lib/ring/vtuple.mli: Format Hashtbl Value

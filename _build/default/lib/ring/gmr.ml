@@ -1,0 +1,55 @@
+type t = float Vtuple.Tbl.t
+
+let zero_eps = 1e-9
+let is_zero m = Float.abs m < zero_eps
+let create ?(size = 16) () = Vtuple.Tbl.create size
+
+let add r tup m =
+  if not (is_zero m) then
+    match Vtuple.Tbl.find_opt r tup with
+    | None -> Vtuple.Tbl.replace r tup m
+    | Some old ->
+        let m' = old +. m in
+        if is_zero m' then Vtuple.Tbl.remove r tup
+        else Vtuple.Tbl.replace r tup m'
+
+let set r tup m =
+  if is_zero m then Vtuple.Tbl.remove r tup else Vtuple.Tbl.replace r tup m
+
+let mult r tup = match Vtuple.Tbl.find_opt r tup with None -> 0. | Some m -> m
+let mem = Vtuple.Tbl.mem
+let iter f r = Vtuple.Tbl.iter f r
+let fold f r acc = Vtuple.Tbl.fold f r acc
+let cardinal = Vtuple.Tbl.length
+let is_empty r = Vtuple.Tbl.length r = 0
+let copy = Vtuple.Tbl.copy
+let clear = Vtuple.Tbl.clear
+let union_into dst src = iter (fun tup m -> add dst tup m) src
+
+let scale r c =
+  let out = create ~size:(cardinal r) () in
+  if not (is_zero c) then iter (fun tup m -> add out tup (m *. c)) r;
+  out
+
+let of_list l =
+  let r = create ~size:(List.length l) () in
+  List.iter (fun (tup, m) -> add r tup m) l;
+  r
+
+let to_list r = fold (fun tup m acc -> (tup, m) :: acc) r []
+
+let to_sorted_list r =
+  List.sort (fun (a, _) (b, _) -> Vtuple.compare a b) (to_list r)
+
+let equal ?(eps = 1e-6) a b =
+  cardinal a = cardinal b
+  && fold (fun tup m ok -> ok && Float.abs (mult b tup -. m) <= eps) a true
+
+let byte_size r = fold (fun tup _ acc -> acc + Vtuple.byte_size tup + 8) r 0
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>{";
+  List.iter
+    (fun (tup, m) -> Format.fprintf ppf "@ %a -> %g;" Vtuple.pp tup m)
+    (to_sorted_list r);
+  Format.fprintf ppf "@ }@]"

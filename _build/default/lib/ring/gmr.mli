@@ -1,0 +1,53 @@
+(** Generalized multiset relations (GMRs): finite maps from tuples to
+    non-zero real multiplicities (§3.1, Appendix A).
+
+    A GMR both represents base-table contents (count multiplicities) and
+    materialized aggregate results (aggregate values stored in the
+    multiplicity). Addition is the bag union of the calculus: multiplicities
+    of equal tuples sum, tuples reaching multiplicity zero disappear. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+
+(** [add r tup m] adds multiplicity [m] to tuple [tup], removing the entry if
+    the result cancels to zero. *)
+val add : t -> Vtuple.t -> float -> unit
+
+(** [set r tup m] overwrites the multiplicity (removing on zero). *)
+val set : t -> Vtuple.t -> float -> unit
+
+(** Multiplicity of a tuple; [0.] if absent. *)
+val mult : t -> Vtuple.t -> float
+
+val mem : t -> Vtuple.t -> bool
+val iter : (Vtuple.t -> float -> unit) -> t -> unit
+val fold : (Vtuple.t -> float -> 'a -> 'a) -> t -> 'a -> 'a
+val cardinal : t -> int
+val is_empty : t -> bool
+val copy : t -> t
+val clear : t -> unit
+
+(** In-place bag union: [union_into dst src] adds every entry of [src]. *)
+val union_into : t -> t -> unit
+
+(** [scale r c] multiplies every multiplicity by [c] (fresh GMR). *)
+val scale : t -> float -> t
+
+val of_list : (Vtuple.t * float) list -> t
+val to_list : t -> (Vtuple.t * float) list
+
+(** Sorted, canonical listing — used for equality in tests. *)
+val to_sorted_list : t -> (Vtuple.t * float) list
+
+(** Equality up to a small numeric tolerance on multiplicities. *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** Total serialized byte size (tuples + one 8-byte multiplicity each). *)
+val byte_size : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** [zero_eps] is the cancellation threshold: multiplicities with absolute
+    value below it are treated as zero. *)
+val zero_eps : float

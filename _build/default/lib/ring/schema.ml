@@ -1,0 +1,33 @@
+type var = { name : string; ty : Value.ty }
+type t = var list
+
+let var ?(ty = Value.TFloat) name = { name; ty }
+let var_equal a b = String.equal a.name b.name
+let mem v l = List.exists (var_equal v) l
+let union a b = a @ List.filter (fun v -> not (mem v a)) b
+let inter a b = List.filter (fun v -> mem v b) a
+let diff a b = List.filter (fun v -> not (mem v b)) a
+let subset a b = List.for_all (fun v -> mem v b) a
+let equal_as_sets a b = subset a b && subset b a
+
+let positions sub sup =
+  let idx v =
+    let rec go i = function
+      | [] -> raise Not_found
+      | x :: _ when var_equal x v -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 sup
+  in
+  Array.of_list (List.map idx sub)
+
+let pp_var ppf v = Format.pp_print_string ppf v.name
+
+let pp ppf l =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_var)
+    l
+
+let to_string l = Format.asprintf "%a" pp l

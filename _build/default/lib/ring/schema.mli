@@ -1,0 +1,30 @@
+(** Typed variables and schemas of calculus expressions. *)
+
+type var = { name : string; ty : Value.ty }
+type t = var list
+
+val var : ?ty:Value.ty -> string -> var
+
+(** Variable equality is by name only: the calculus never reuses one name at
+    two types inside one expression. *)
+val var_equal : var -> var -> bool
+
+val mem : var -> t -> bool
+val union : t -> t -> t
+
+(** [inter a b] keeps the elements of [a] that occur in [b], in [a]'s order. *)
+val inter : t -> t -> t
+
+(** [diff a b] keeps the elements of [a] not in [b]. *)
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+val equal_as_sets : t -> t -> bool
+
+(** [positions sub sup] gives, for each variable of [sub], its index in
+    [sup]. Raises [Not_found] if one is missing. *)
+val positions : t -> t -> int array
+
+val pp_var : Format.formatter -> var -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

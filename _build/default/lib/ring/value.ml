@@ -1,0 +1,103 @@
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int
+
+type ty = TInt | TFloat | TString | TDate
+
+let ty_of = function
+  | Int _ -> TInt
+  | Float _ -> TFloat
+  | String _ -> TString
+  | Date _ -> TDate
+
+let ty_to_string = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TString -> "string"
+  | TDate -> "date"
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | Date x, Date y -> x = y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | Date x, Date y -> Stdlib.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | _ -> Stdlib.compare (ty_of a) (ty_of b)
+
+let compare_approx a b =
+  match (a, b) with
+  | (Int _ | Float _ | Date _), (Int _ | Float _ | Date _) ->
+      let x = (match a with Int i -> float_of_int i | Float f -> f | Date d -> float_of_int d | _ -> 0.)
+      and y = (match b with Int i -> float_of_int i | Float f -> f | Date d -> float_of_int d | _ -> 0.) in
+      let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+      if Float.abs (x -. y) <= 1e-9 *. scale then 0 else Float.compare x y
+  | _ -> compare a b
+
+let hash = function
+  | Int x -> Hashtbl.hash x
+  | Float x ->
+      (* Hash float-valued integers like the integer, so that mixed-type
+         equal values collide as [equal] demands. *)
+      if Float.is_integer x && Float.abs x < 1e15 then
+        Hashtbl.hash (int_of_float x)
+      else Hashtbl.hash x
+  | String x -> Hashtbl.hash x
+  | Date x -> Hashtbl.hash (x lxor 0x5a5a)
+
+let to_float = function
+  | Int x -> float_of_int x
+  | Float x -> x
+  | Date x -> float_of_int x
+  | String s -> invalid_arg ("Value.to_float: string " ^ s)
+
+let arith name fi ff a b =
+  match (a, b) with
+  | Int x, Int y -> Int (fi x y)
+  | (Int _ | Float _ | Date _), (Int _ | Float _ | Date _) ->
+      Float (ff (to_float a) (to_float b))
+  | _ -> invalid_arg ("Value." ^ name ^ ": non-numeric operand")
+
+let add a b = arith "add" ( + ) ( +. ) a b
+let sub a b = arith "sub" ( - ) ( -. ) a b
+let mul a b = arith "mul" ( * ) ( *. ) a b
+
+let div a b =
+  match (a, b) with
+  | _, Int 0 -> invalid_arg "Value.div: division by zero"
+  | Int x, Int y when x mod y = 0 -> Int (x / y)
+  | _ -> Float (to_float a /. to_float b)
+
+let neg = function
+  | Int x -> Int (-x)
+  | Float x -> Float (-.x)
+  | v -> invalid_arg ("Value.neg: " ^ ty_to_string (ty_of v))
+
+let date y m d = Date ((y * 10000) + (m * 100) + d)
+
+let byte_size = function
+  | Int _ | Date _ -> 8
+  | Float _ -> 8
+  | String s -> 4 + String.length s
+
+let pp ppf = function
+  | Int x -> Format.fprintf ppf "%d" x
+  | Float x -> Format.fprintf ppf "%g" x
+  | String s -> Format.fprintf ppf "%S" s
+  | Date x ->
+      Format.fprintf ppf "%04d-%02d-%02d" (x / 10000) (x / 100 mod 100)
+        (x mod 100)
+
+let to_string v = Format.asprintf "%a" pp v

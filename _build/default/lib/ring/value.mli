@@ -1,0 +1,50 @@
+(** Atomic values stored in tuples of generalized multiset relations.
+
+    The paper's data model (Appendix A) operates on relations whose tuples
+    carry typed fields; we support the types needed by the TPC-H and TPC-DS
+    workloads: integers, floats, strings, and dates (encoded as [yyyymmdd]
+    integers so comparisons are plain integer comparisons). *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int  (** encoded [yyyymmdd] *)
+
+type ty = TInt | TFloat | TString | TDate
+
+val ty_of : t -> ty
+val ty_to_string : ty -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Comparison with a relative numeric tolerance (1e-9): floats whose
+    difference is within rounding noise compare equal. Predicates over
+    aggregate values use this — two evaluation orders of the same sum must
+    not flip a comparison (cf. the MIN/MAX encodings). Keys keep the exact
+    [compare]. *)
+val compare_approx : t -> t -> int
+
+val hash : t -> int
+
+(** Numeric view of a value; [String] raises [Invalid_argument]. *)
+val to_float : t -> float
+
+(** Arithmetic lifts ints to floats when mixed. Raises on strings. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+
+(** [date y m d] builds an encoded date value. *)
+val date : int -> int -> int -> t
+
+(** Serialized size in bytes, used by the cluster simulator's shuffle
+    accounting. *)
+val byte_size : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

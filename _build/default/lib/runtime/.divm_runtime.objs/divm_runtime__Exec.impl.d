@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Divm_compiler Divm_eval Divm_ring Gmr Hashtbl List Prog Schema String Vtuple

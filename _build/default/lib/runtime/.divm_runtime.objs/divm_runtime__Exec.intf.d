@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Divm_compiler Divm_ring Gmr Prog

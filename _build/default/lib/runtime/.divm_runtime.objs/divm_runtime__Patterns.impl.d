@@ -1,0 +1,1 @@
+lib/runtime/patterns.ml: Array Calc Divm_calc Divm_compiler Divm_ring Hashtbl List Prog Schema

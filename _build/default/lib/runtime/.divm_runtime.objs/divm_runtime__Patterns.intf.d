@@ -1,0 +1,1 @@
+lib/runtime/patterns.mli: Divm_compiler Prog

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Calc Colbatch Divm_calc Divm_compiler Divm_delta Divm_eval Divm_ring Divm_storage Float Gmr Hashtbl List Patterns Pool Prog Schema String Value Vexpr Vtuple

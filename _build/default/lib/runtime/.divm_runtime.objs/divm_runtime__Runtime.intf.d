@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Divm_compiler Divm_ring Gmr Prog Vtuple

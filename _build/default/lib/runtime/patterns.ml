@@ -1,0 +1,63 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+open Divm_compiler
+
+(* Bound positions (indices into the atom's variable list) given the bound
+   variable set; duplicates of earlier positions count as bound. *)
+let bound_positions bound vars =
+  let seen = ref [] in
+  List.mapi
+    (fun i v ->
+      let b = Schema.mem v bound || Schema.mem v !seen in
+      seen := Schema.union !seen [ v ];
+      (i, b))
+    vars
+  |> List.filter snd |> List.map fst
+
+(* Walk an expression, calling [f kind name vars bound_pos] per atom with
+   the statically-known bound set, mirroring the evaluation order. Returns
+   the schema of the expression. *)
+let rec walk ~bound e f =
+  match e with
+  | Const _ | Value _ | Cmp _ -> ()
+  | Rel r -> f `Rel r.rname r.rvars (bound_positions bound r.rvars)
+  | DeltaRel r -> f `Delta r.rname r.rvars (bound_positions bound r.rvars)
+  | Map m -> f `Map m.mname m.mvars (bound_positions bound m.mvars)
+  | Lift (_, q) | Exists q -> walk ~bound q f
+  | Sum (_, q) -> walk ~bound q f
+  | Prod es ->
+      ignore
+        (List.fold_left
+           (fun bound e ->
+             walk ~bound e f;
+             match Calc.schema ~bound e with
+             | s -> Schema.union bound s
+             | exception Type_error _ -> bound)
+           bound es)
+  | Add es -> List.iter (fun e -> walk ~bound e f) es
+
+let collect prog select =
+  let tbl : (string, int array list) Hashtbl.t = Hashtbl.create 16 in
+  let record name vars pos =
+    let width = List.length vars in
+    if pos <> [] && List.length pos < width then begin
+      let arr = Array.of_list pos in
+      let prev =
+        match Hashtbl.find_opt tbl name with Some l -> l | None -> []
+      in
+      if not (List.mem arr prev) then Hashtbl.replace tbl name (arr :: prev)
+    end
+  in
+  List.iter
+    (fun (tr : Prog.trigger) ->
+      List.iter
+        (fun (s : Prog.stmt) ->
+          walk ~bound:[] s.rhs (fun kind name vars pos ->
+              if select kind then record name vars pos))
+        tr.stmts)
+    prog.Prog.triggers;
+  Hashtbl.fold (fun name l acc -> (name, List.rev l) :: acc) tbl []
+
+let slices prog = collect prog (fun k -> k = `Map)
+let batch_slices prog = collect prog (fun k -> k = `Delta)

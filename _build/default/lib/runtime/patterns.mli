@@ -1,0 +1,18 @@
+(** Access-pattern analysis (§5.2.1).
+
+    Walks every trigger statement with the same static bound-variable
+    tracking as the closure compiler and records, for every map, the key
+    positions that are bound when the map is accessed:
+    - all positions bound → [get] (unique hash index, always present),
+    - none → [foreach] (no index needed),
+    - a strict subset → [slice] (one non-unique hash index per pattern). *)
+
+open Divm_compiler
+
+(** [slices prog] returns, for each map name, the list of distinct slice
+    patterns (sorted position arrays, strict non-empty subsets of the key). *)
+val slices : Prog.t -> (string * int array list) list
+
+(** Batch relation patterns: slice patterns over the raw update batch of
+    each stream relation (for programs that reference [DeltaRel] inline). *)
+val batch_slices : Prog.t -> (string * int array list) list

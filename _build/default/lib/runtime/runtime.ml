@@ -1,0 +1,647 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+open Divm_storage
+open Divm_compiler
+
+type env = Value.t array
+type code = env -> (float -> unit) -> unit
+
+type t = {
+  prog : Prog.t;
+  pools : (string, Pool.t) Hashtbl.t;
+  batch_pools : (string, Pool.t) Hashtbl.t; (* per-stream, refilled per batch *)
+  mutable cur_tuple : Vtuple.t;
+  mutable cur_mult : float;
+  mutable ops : int;
+  mutable triggers_batch : (string * (unit -> unit) list) list;
+  mutable triggers_single : (string * (unit -> unit) list) list;
+  mutable col_runners : (string * (Colbatch.t -> unit) list) list;
+      (* per-relation columnar pre-aggregation executors (§5.2.2) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Variable layouts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type layout = { slots : (string, int) Hashtbl.t; mutable width : int }
+
+let layout_of_stmt (s : Prog.stmt) =
+  let l = { slots = Hashtbl.create 16; width = 0 } in
+  let bind (v : Schema.var) =
+    if not (Hashtbl.mem l.slots v.name) then begin
+      Hashtbl.replace l.slots v.name l.width;
+      l.width <- l.width + 1
+    end
+  in
+  List.iter bind s.target_vars;
+  List.iter bind (Calc.all_vars s.rhs);
+  l
+
+let slot l (v : Schema.var) =
+  match Hashtbl.find_opt l.slots v.name with
+  | Some i -> i
+  | None -> invalid_arg ("Runtime: variable without slot: " ^ v.name)
+
+let slots_of l vars = Array.of_list (List.map (slot l) vars)
+
+(* ------------------------------------------------------------------ *)
+(* Value expression compilation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_vexpr l (v : Vexpr.t) : env -> Value.t =
+  match v with
+  | Vexpr.Const c -> fun _ -> c
+  | Vexpr.Var x ->
+      let s = slot l x in
+      fun env -> env.(s)
+  | Vexpr.Add (a, b) -> bin l Value.add a b
+  | Vexpr.Sub (a, b) -> bin l Value.sub a b
+  | Vexpr.Mul (a, b) -> bin l Value.mul a b
+  | Vexpr.Div (a, b) -> bin l Value.div a b
+  | Vexpr.Neg a ->
+      let ca = compile_vexpr l a in
+      fun env -> Value.neg (ca env)
+  | Vexpr.Floor a ->
+      let ca = compile_vexpr l a in
+      fun env ->
+        Value.Int (int_of_float (Float.floor (Value.to_float (ca env))))
+  | Vexpr.Min (a, b) ->
+      let ca = compile_vexpr l a and cb = compile_vexpr l b in
+      fun env ->
+        let x = ca env and y = cb env in
+        if Value.compare x y <= 0 then x else y
+  | Vexpr.Max (a, b) ->
+      let ca = compile_vexpr l a and cb = compile_vexpr l b in
+      fun env ->
+        let x = ca env and y = cb env in
+        if Value.compare x y >= 0 then x else y
+
+and bin l op a b =
+  let ca = compile_vexpr l a and cb = compile_vexpr l b in
+  fun env -> op (ca env) (cb env)
+
+(* ------------------------------------------------------------------ *)
+(* Atom compilation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Static classification of an atom's key positions: bound positions are
+   checked, first occurrences of unbound variables are written, later
+   duplicate occurrences are checked against the written slot. *)
+let classify ~bound l vars =
+  let seen = ref [] in
+  List.mapi
+    (fun i v ->
+      let b = Schema.mem v bound || Schema.mem v !seen in
+      seen := Schema.union !seen [ v ];
+      (i, slot l v, b))
+    vars
+
+let compile_pool_atom rt ~pool_of ~bound l vars : code =
+  let cls = classify ~bound l vars in
+  let n = List.length vars in
+  let bound_cls = List.filter (fun (_, _, b) -> b) cls in
+  let free_cls = List.filter (fun (_, _, b) -> not b) cls in
+  if List.length bound_cls = n then begin
+    (* full key lookup *)
+    let key_slots = Array.of_list (List.map (fun (_, s, _) -> s) cls) in
+    fun env k ->
+      let pool = pool_of () in
+      rt.ops <- rt.ops + 1;
+      let key = Array.map (fun s -> env.(s)) key_slots in
+      let m = Pool.get pool key in
+      if m <> 0. then k m
+  end
+  else begin
+    let writes = Array.of_list (List.map (fun (i, s, _) -> (i, s)) free_cls) in
+    let checks = Array.of_list (List.map (fun (i, s, _) -> (i, s)) bound_cls) in
+    let visit env k (key : Vtuple.t) m =
+      rt.ops <- rt.ops + 1;
+      let ok = ref true in
+      Array.iter
+        (fun (i, s) -> if not (Value.equal key.(i) env.(s)) then ok := false)
+        checks;
+      if !ok then begin
+        (* duplicate free occurrences: write first, check later ones *)
+        Array.iter (fun (i, s) -> env.(s) <- key.(i)) writes;
+        let dup_ok = ref true in
+        Array.iter
+          (fun (i, s) -> if not (Value.equal key.(i) env.(s)) then dup_ok := false)
+          writes;
+        if !dup_ok then k m
+      end
+    in
+    if bound_cls = [] then fun env k ->
+      let pool = pool_of () in
+      Pool.foreach pool (visit env k)
+    else
+      let bpos = Array.of_list (List.map (fun (i, _, _) -> i) bound_cls) in
+      let bslots = Array.of_list (List.map (fun (_, s, _) -> s) bound_cls) in
+      fun env k ->
+        let pool = pool_of () in
+        match Pool.find_slice pool bpos with
+        | Some index ->
+            let sub = Array.map (fun s -> env.(s)) bslots in
+            Pool.slice pool ~index sub (visit env k)
+        | None ->
+            (* no declared index: scan with checks (correct, slower) *)
+            Pool.foreach pool (visit env k)
+  end
+
+(* Single-tuple delta atom: binds the current tuple's fields directly. *)
+let compile_single_delta rt ~bound l vars : code =
+  let cls = classify ~bound l vars in
+  let writes =
+    Array.of_list
+      (List.filter_map (fun (i, s, b) -> if b then None else Some (i, s)) cls)
+  in
+  let checks =
+    Array.of_list
+      (List.filter_map (fun (i, s, b) -> if b then Some (i, s) else None) cls)
+  in
+  fun env k ->
+    rt.ops <- rt.ops + 1;
+    let key = rt.cur_tuple in
+    let ok = ref true in
+    Array.iter
+      (fun (i, s) -> if not (Value.equal key.(i) env.(s)) then ok := false)
+      checks;
+    if !ok then begin
+      Array.iter (fun (i, s) -> env.(s) <- key.(i)) writes;
+      let dup_ok = ref true in
+      Array.iter
+        (fun (i, s) -> if not (Value.equal key.(i) env.(s)) then dup_ok := false)
+        writes;
+      if !dup_ok then k rt.cur_mult
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pool rt name =
+  match Hashtbl.find_opt rt.pools name with
+  | Some p -> p
+  | None -> invalid_arg ("Runtime: unknown map " ^ name)
+
+type mode = Batch | Single
+
+let rec compile_expr rt ~mode ~bound l (e : expr) : code =
+  match e with
+  | Const c -> fun _ k -> k c
+  | Value v ->
+      let cv = compile_vexpr l v in
+      fun env k ->
+        rt.ops <- rt.ops + 1;
+        let x = Value.to_float (cv env) in
+        if x <> 0. then k x
+  | Cmp (op, a, b) ->
+      let ca = compile_vexpr l a and cb = compile_vexpr l b in
+      fun env k ->
+        rt.ops <- rt.ops + 1;
+        if Calc.eval_cmp op (ca env) (cb env) then k 1.
+  | Rel r ->
+      invalid_arg ("Runtime: raw base relation in statement: " ^ r.rname)
+  | Map m ->
+      let p = pool rt m.mname in
+      compile_pool_atom rt ~pool_of:(fun () -> p) ~bound l m.mvars
+  | DeltaRel r -> (
+      match mode with
+      | Single -> compile_single_delta rt ~bound l r.rvars
+      | Batch ->
+          let p =
+            match Hashtbl.find_opt rt.batch_pools r.rname with
+            | Some p -> p
+            | None -> invalid_arg ("Runtime: no batch pool for " ^ r.rname)
+          in
+          compile_pool_atom rt ~pool_of:(fun () -> p) ~bound l r.rvars)
+  | Prod es ->
+      let rec go bound = function
+        | [] -> fun _ k -> k 1.
+        | [ e ] -> compile_expr rt ~mode ~bound l e
+        | e :: rest ->
+            let ce = compile_expr rt ~mode ~bound l e in
+            let bound' =
+              match Calc.schema ~bound e with
+              | s -> Schema.union bound s
+              | exception Type_error _ -> bound
+            in
+            let crest = go bound' rest in
+            fun env k -> ce env (fun m1 -> crest env (fun m2 -> k (m1 *. m2)))
+      in
+      go bound es
+  | Add es ->
+      let cs = List.map (compile_expr rt ~mode ~bound l) es in
+      fun env k -> List.iter (fun c -> c env k) cs
+  | Sum (gb, q) ->
+      let out = List.filter (fun v -> not (Schema.mem v bound)) gb in
+      let cq = compile_expr rt ~mode ~bound l q in
+      let out_slots = slots_of l out in
+      if out = [] then (fun env k ->
+        let total = ref 0. in
+        cq env (fun m -> total := !total +. m);
+        if Float.abs !total >= Gmr.zero_eps then k !total)
+      else
+        fun env k ->
+          let temp = Gmr.create () in
+          cq env (fun m ->
+              Gmr.add temp (Array.map (fun s -> env.(s)) out_slots) m);
+          Gmr.iter
+            (fun key m ->
+              rt.ops <- rt.ops + 1;
+              Array.iteri (fun j s -> env.(s) <- key.(j)) out_slots;
+              k m)
+            temp
+  | Exists q ->
+      let qsch = Calc.schema ~bound q in
+      let cq = compile_expr rt ~mode ~bound l q in
+      if qsch = [] then (fun env k ->
+        let total = ref 0. in
+        cq env (fun m -> total := !total +. m);
+        if Float.abs !total >= Gmr.zero_eps then k 1.)
+      else
+        let q_slots = slots_of l qsch in
+        fun env k ->
+          let temp = Gmr.create () in
+          cq env (fun m ->
+              Gmr.add temp (Array.map (fun s -> env.(s)) q_slots) m);
+          Gmr.iter
+            (fun key _m ->
+              rt.ops <- rt.ops + 1;
+              Array.iteri (fun j s -> env.(s) <- key.(j)) q_slots;
+              k 1.)
+            temp
+  | Lift (v, q) ->
+      let qsch = Calc.schema ~bound q in
+      let cq = compile_expr rt ~mode ~bound l q in
+      let v_bound = Schema.mem v bound in
+      let v_slot = slot l v in
+      if qsch = [] then
+        fun env k ->
+          let total = ref 0. in
+          cq env (fun m -> total := !total +. m);
+          rt.ops <- rt.ops + 1;
+          if v_bound then begin
+            if Value.compare_approx env.(v_slot) (Value.Float !total) = 0 then k 1.
+          end
+          else begin
+            env.(v_slot) <- Value.Float !total;
+            k 1.
+          end
+      else
+        let q_slots = slots_of l qsch in
+        fun env k ->
+          let temp = Gmr.create () in
+          cq env (fun m ->
+              Gmr.add temp (Array.map (fun s -> env.(s)) q_slots) m);
+          Gmr.iter
+            (fun key m ->
+              rt.ops <- rt.ops + 1;
+              Array.iteri (fun j s -> env.(s) <- key.(j)) q_slots;
+              if v_bound then begin
+                if Value.compare_approx env.(v_slot) (Value.Float m) = 0 then k 1.
+              end
+              else begin
+                env.(v_slot) <- Value.Float m;
+                k 1.
+              end)
+            temp
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let compile_stmt rt ~mode (s : Prog.stmt) : unit -> unit =
+  let l = layout_of_stmt s in
+  let tv_slots = slots_of l s.target_vars in
+  (* Exploit a top-level Sum over exactly the target variables: accumulate
+     straight into the pool with no intermediate grouping. *)
+  let body =
+    match s.rhs with
+    | Sum (gb, body) when Schema.equal_as_sets gb s.target_vars -> body
+    | rhs -> rhs
+  in
+  let code = compile_expr rt ~mode ~bound:[] l body in
+  let target = pool rt s.target in
+  (* If the RHS reads the target map, adding into the pool while evaluating
+     would expose mid-statement writes (and mutate a pool being scanned) —
+     buffer the result and apply afterwards. *)
+  let self_reading = List.mem s.target (Calc.map_refs s.rhs) in
+  let direct () =
+    let env = Array.make l.width (Value.Int 0) in
+    code env (fun m ->
+        Pool.add target (Array.map (fun sl -> env.(sl)) tv_slots) m)
+  in
+  let buffered () =
+    let env = Array.make l.width (Value.Int 0) in
+    let buf = Gmr.create () in
+    code env (fun m ->
+        Gmr.add buf (Array.map (fun sl -> env.(sl)) tv_slots) m);
+    buf
+  in
+  match (s.op, self_reading) with
+  | Prog.Add_to, false -> direct
+  | Prog.Add_to, true ->
+      fun () ->
+        let buf = buffered () in
+        Gmr.iter (fun key m -> Pool.add target key m) buf
+  | Prog.Assign, false ->
+      fun () ->
+        Pool.clear target;
+        direct ()
+  | Prog.Assign, true ->
+      fun () ->
+        let buf = buffered () in
+        Pool.clear target;
+        Gmr.iter (fun key m -> Pool.add target key m) buf
+
+(* ------------------------------------------------------------------ *)
+(* Columnar batch pre-aggregation (§5.2.2)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Transient delta pre-aggregations of the common shape
+   [D := Sum_used(dR ⋈ const-comparisons ⋈ batch-column values)] bypass
+   the generic closure path: the batch is transposed once into columnar
+   form, static conditions scan single columns, and the projected rows are
+   aggregated straight into the transient pool. *)
+type col_plan = {
+  cp_target : string;
+  cp_keep : int array; (* batch columns kept, in target-key order *)
+  cp_filters : (int * Calc.cmp_op * Value.t) list;
+  cp_weight : (int -> Colbatch.t -> float) option;
+}
+
+(* the delta relation a statement's pre-aggregation reads, if any *)
+let trigger_rel_of _rt (s : Prog.stmt) =
+  match Calc.delta_rels s.rhs with [ r ] -> r | _ -> ""
+
+let columnar_plan (s : Prog.stmt) : col_plan option =
+  let shape =
+    match s.rhs with
+    | Sum (_, body) -> Some (Divm_delta.Poly.factors body)
+    | (DeltaRel _ | Prod _) as e -> Some (Divm_delta.Poly.factors e)
+    | _ -> None
+  in
+  match (s.op, shape) with
+  | Prog.Assign, Some (DeltaRel r :: rest) -> (
+      let pos_of (v : Schema.var) =
+        let rec go i = function
+          | [] -> None
+          | (x : Schema.var) :: tl ->
+              if Schema.var_equal x v then Some i else go (i + 1) tl
+        in
+        go 0 r.rvars
+      in
+      try
+        let filters = ref [] and weights = ref [] in
+        List.iter
+          (fun f ->
+            match f with
+            | Cmp (op, Vexpr.Var v, Vexpr.Const c) -> (
+                match pos_of v with
+                | Some i -> filters := (i, op, c) :: !filters
+                | None -> raise Exit)
+            | Cmp (op, Vexpr.Const c, Vexpr.Var v) -> (
+                let flip =
+                  match op with
+                  | Lt -> Gt
+                  | Lte -> Gte
+                  | Gt -> Lt
+                  | Gte -> Lte
+                  | (Eq | Neq) as o -> o
+                in
+                match pos_of v with
+                | Some i -> filters := (i, flip, c) :: !filters
+                | None -> raise Exit)
+            | Value ve ->
+                let vars = Vexpr.vars ve in
+                let slots =
+                  List.map
+                    (fun v ->
+                      match pos_of v with
+                      | Some i -> (v.Schema.name, i)
+                      | None -> raise Exit)
+                    vars
+                in
+                weights :=
+                  (fun row (cb : Colbatch.t) ->
+                    let lookup (v : Schema.var) =
+                      Colbatch.column cb (List.assoc v.name slots)
+                      |> fun col -> col.(row)
+                    in
+                    Value.to_float (Vexpr.eval lookup ve))
+                  :: !weights
+            | _ -> raise Exit)
+          rest;
+        let keep =
+          Array.of_list
+            (List.map
+               (fun v ->
+                 match pos_of v with Some i -> i | None -> raise Exit)
+               s.target_vars)
+        in
+        let weight =
+          match !weights with
+          | [] -> None
+          | ws ->
+              Some
+                (fun row cb ->
+                  List.fold_left (fun acc w -> acc *. w row cb) 1. ws)
+        in
+        Some
+          {
+            cp_target = s.target;
+            cp_keep = keep;
+            cp_filters = !filters;
+            cp_weight = weight;
+          }
+      with Exit -> None)
+  | _ -> None
+
+let run_col_plan rt (cb : Colbatch.t) plan =
+  let target = pool rt plan.cp_target in
+  Pool.clear target;
+  let mults = Colbatch.mults cb in
+  let filter_cols =
+    List.map (fun (i, op, c) -> (Colbatch.column cb i, op, c)) plan.cp_filters
+  in
+  let keep_cols = Array.map (Colbatch.column cb) plan.cp_keep in
+  for row = 0 to Colbatch.length cb - 1 do
+    if
+      List.for_all
+        (fun (col, op, c) -> Calc.eval_cmp op col.(row) c)
+        filter_cols
+    then begin
+      let w =
+        match plan.cp_weight with None -> 1. | Some f -> f row cb
+      in
+      rt.ops <- rt.ops + 1;
+      Pool.add target
+        (Array.map (fun col -> col.(row)) keep_cols)
+        (mults.(row) *. w)
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Program loading                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
+  let slice_patterns = if auto_index then Patterns.slices prog else [] in
+  let batch_patterns = if auto_index then Patterns.batch_slices prog else [] in
+  let pools = Hashtbl.create 32 in
+  List.iter
+    (fun (m : Prog.map_decl) ->
+      let slices =
+        match List.assoc_opt m.mname slice_patterns with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace pools m.mname
+        (Pool.create ~name:m.mname ~key_width:(List.length m.mschema) ~slices
+           ()))
+    prog.maps;
+  let batch_pools = Hashtbl.create 8 in
+  List.iter
+    (fun (r, vars) ->
+      let slices =
+        match List.assoc_opt r batch_patterns with Some l -> l | None -> []
+      in
+      Hashtbl.replace batch_pools r
+        (Pool.create ~name:("batch_" ^ r) ~key_width:(List.length vars)
+           ~slices ()))
+    prog.streams;
+  let rt =
+    {
+      prog;
+      pools;
+      batch_pools;
+      cur_tuple = Vtuple.empty;
+      cur_mult = 0.;
+      ops = 0;
+      triggers_batch = [];
+      triggers_single = [];
+      col_runners = [];
+    }
+  in
+  (* Batch mode: pre-aggregations of the supported shape go through the
+     columnar path; their statements compile to no-ops. *)
+  let planned = Hashtbl.create 8 in
+  if columnar then
+    rt.col_runners <-
+      List.map
+        (fun (tr : Prog.trigger) ->
+          ( tr.relation,
+            List.filter_map
+              (fun (st : Prog.stmt) ->
+                if not (String.equal (trigger_rel_of rt st) tr.relation) then
+                  None
+                else
+                  match columnar_plan st with
+                  | Some plan ->
+                      Hashtbl.replace planned (tr.relation, st.target) ();
+                      Some (fun cb -> run_col_plan rt cb plan)
+                  | None -> None)
+              tr.stmts ))
+        prog.triggers;
+  rt.triggers_batch <-
+    List.map
+      (fun (tr : Prog.trigger) ->
+        ( tr.relation,
+          List.map
+            (fun (st : Prog.stmt) ->
+              if Hashtbl.mem planned (tr.relation, st.target) then fun () -> ()
+              else compile_stmt rt ~mode:Batch st)
+            tr.stmts ))
+      prog.triggers;
+  rt.triggers_single <-
+    List.map
+      (fun (tr : Prog.trigger) ->
+        (tr.relation, List.map (compile_stmt rt ~mode:Single) tr.stmts))
+      prog.triggers;
+  rt
+
+let prog rt = rt.prog
+
+let compile_stmts rt stmts = List.map (compile_stmt rt ~mode:Batch) stmts
+
+let load_batch rt ~rel batch =
+  let bp =
+    match Hashtbl.find_opt rt.batch_pools rel with
+    | Some p -> p
+    | None -> invalid_arg ("Runtime.load_batch: unknown stream " ^ rel)
+  in
+  Pool.clear bp;
+  Gmr.iter (fun tup m -> Pool.add bp tup m) batch
+
+let add_to_map rt name tup m = Pool.add (pool rt name) tup m
+let clear_map rt name = Pool.clear (pool rt name)
+let map_cardinal rt name = Pool.cardinal (pool rt name)
+
+let apply_batch rt ~rel batch =
+  load_batch rt ~rel batch;
+  (match List.assoc_opt rel rt.col_runners with
+  | Some (_ :: _ as runners) ->
+      let width =
+        match List.assoc_opt rel rt.prog.streams with
+        | Some vars -> List.length vars
+        | None -> 0
+      in
+      let cb = Colbatch.of_gmr ~width batch in
+      List.iter (fun run -> run cb) runners
+  | _ -> ());
+  match List.assoc_opt rel rt.triggers_batch with
+  | Some stmts -> List.iter (fun f -> f ()) stmts
+  | None -> invalid_arg ("Runtime.apply_batch: no trigger for " ^ rel)
+
+let apply_single rt ~rel tup m =
+  rt.cur_tuple <- tup;
+  rt.cur_mult <- m;
+  match List.assoc_opt rel rt.triggers_single with
+  | Some stmts -> List.iter (fun f -> f ()) stmts
+  | None -> invalid_arg ("Runtime.apply_single: no trigger for " ^ rel)
+
+let load rt tables =
+  (* streams absent from the load are empty relations *)
+  let tables =
+    tables
+    @ List.filter_map
+        (fun (r, _) ->
+          if List.mem_assoc r tables then None else Some (r, Gmr.create ()))
+        rt.prog.streams
+  in
+  let src = Divm_eval.Interp.source_of_rels tables in
+  List.iter
+    (fun (m : Prog.map_decl) ->
+      match m.mkind with
+      | Prog.Transient -> ()
+      | _ ->
+          let sch, g = Divm_eval.Interp.eval_closed src m.definition in
+          let p = pool rt m.mname in
+          Pool.clear p;
+          if sch = m.mschema then Gmr.iter (fun tup mm -> Pool.add p tup mm) g
+          else begin
+            let pos = Schema.positions m.mschema sch in
+            Gmr.iter
+              (fun tup mm -> Pool.add p (Vtuple.project tup pos) mm)
+              g
+          end)
+    rt.prog.maps
+
+let map_contents rt name = Pool.to_gmr (pool rt name)
+
+let result rt qname =
+  match List.assoc_opt qname rt.prog.queries with
+  | Some m -> map_contents rt m
+  | None -> invalid_arg ("Runtime.result: unknown query " ^ qname)
+
+let ops rt = rt.ops
+let reset_ops rt = rt.ops <- 0
+
+let total_tuples rt =
+  List.fold_left
+    (fun acc (m : Prog.map_decl) ->
+      match m.mkind with
+      | Prog.Transient -> acc
+      | _ -> acc + Pool.cardinal (pool rt m.mname))
+    0 rt.prog.maps

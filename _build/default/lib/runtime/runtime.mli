@@ -1,0 +1,72 @@
+(** Specialized local runtime (§5): trigger statements are compiled, at
+    program-load time, into OCaml closures in continuation-passing style —
+    the stand-in for the paper's LMS-generated native code.
+
+    Specialization performed here, mirroring §5.1–§5.2:
+    - high-level operators become concrete [foreach] / [get] / [slice]
+      operations over record pools, selected by static analysis of which
+      key positions are bound at each access;
+    - non-unique hash indexes are created exactly for the observed slice
+      patterns ({!Patterns});
+    - continuation passing avoids intermediate materialization of unions
+      and top-level aggregates;
+    - a single-tuple fast path binds the update tuple's fields directly,
+      with no batch materialization ([apply_single]). *)
+
+open Divm_ring
+open Divm_compiler
+
+type t
+
+(** [create prog] loads a program. [auto_index] (default true) controls the
+    §5.2.1 automatic secondary-index creation — disabling it falls back to
+    scans with checks (the index ablation). [columnar] (default true)
+    routes supported batch pre-aggregations through the §5.2.2 columnar
+    path: the batch is transposed once, static conditions scan single
+    columns, and projected rows aggregate straight into the transient
+    pool. *)
+val create : ?auto_index:bool -> ?columnar:bool -> Prog.t -> t
+val prog : t -> Prog.t
+
+(** Fire the batch trigger for [rel]. *)
+val apply_batch : t -> rel:string -> Gmr.t -> unit
+
+(** Fire the single-tuple fast path for [rel] with one (tuple, mult). *)
+val apply_single : t -> rel:string -> Vtuple.t -> float -> unit
+
+(** Bulk initial load: set every non-transient map to its definition
+    evaluated over the given base-table contents. *)
+val load : t -> (string * Gmr.t) list -> unit
+
+(** Fresh snapshot of a map. *)
+val map_contents : t -> string -> Gmr.t
+
+val result : t -> string -> Gmr.t
+
+(** Elementary record operations executed since last reset. *)
+val ops : t -> int
+
+val reset_ops : t -> unit
+
+(** Total stored tuples over non-transient maps. *)
+val total_tuples : t -> int
+
+(** {1 Hooks for the cluster simulator}
+
+    The distributed runtime executes statements at a finer granularity than
+    whole triggers and moves map contents between nodes itself. *)
+
+(** Compile an arbitrary statement list against this runtime's pools
+    (batch mode). *)
+val compile_stmts : t -> Prog.stmt list -> (unit -> unit) list
+
+(** Load the update batch for [rel] without firing its trigger. *)
+val load_batch : t -> rel:string -> Gmr.t -> unit
+
+(** Add one tuple into a map (used to deliver shuffled data). *)
+val add_to_map : t -> string -> Vtuple.t -> float -> unit
+
+val clear_map : t -> string -> unit
+
+(** Number of stored tuples in one map. *)
+val map_cardinal : t -> string -> int

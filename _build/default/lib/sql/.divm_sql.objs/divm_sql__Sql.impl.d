@@ -1,0 +1,1 @@
+lib/sql/sql.ml: Lexer Parser To_calc

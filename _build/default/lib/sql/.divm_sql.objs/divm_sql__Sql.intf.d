@@ -1,0 +1,1 @@
+lib/sql/sql.mli: Ast Calc Divm_calc Divm_ring Schema

@@ -1,0 +1,1 @@
+lib/sql/to_calc.ml: Ast Calc Divm_calc Divm_ring Hashtbl List Parser Printf Schema String Value Vexpr

@@ -1,0 +1,38 @@
+(* Abstract syntax of the supported SQL subset (§3.1: flat queries with
+   aggregates, equality-correlated nested aggregates, EXISTS/IN). *)
+
+type expr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | DateLit of int * int * int
+  | Col of string option * string (* alias.column *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+
+type cmp = Eq | Neq | Lt | Lte | Gt | Gte
+
+type pred =
+  | Cmp of cmp * expr * expr
+  | CmpSub of cmp * expr * query (* scalar subquery comparison *)
+  | Exists of query
+  | NotExists of query
+  | In of expr * query
+  | Or of pred * pred
+  | Between of expr * expr * expr
+
+and select_item =
+  | SelCol of expr * string option (* group-by column [AS name] *)
+  | SelSum of expr * string option
+  | SelCount of string option
+  | SelAvg of expr * string option
+
+and query = {
+  distinct : bool;
+  select : select_item list;
+  from : (string * string) list; (* table, alias *)
+  where : pred list; (* conjunction *)
+  group_by : (string option * string) list;
+}

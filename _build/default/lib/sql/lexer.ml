@@ -1,0 +1,105 @@
+(* Hand-rolled lexer for the SQL subset. Keywords are case-insensitive;
+   identifiers keep their case. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string (* uppercased keyword *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | CMP of Ast.cmp
+  | EOF
+
+exception Error of string
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AND"; "OR";
+    "EXISTS"; "NOT"; "IN"; "AS"; "SUM"; "COUNT"; "AVG"; "DATE"; "BETWEEN";
+  ]
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let out = ref [] in
+  let push t = out := t :: !out in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    || (c >= '0' && c <= '9')
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '(' then (push LPAREN; incr i)
+    else if c = ')' then (push RPAREN; incr i)
+    else if c = ',' then (push COMMA; incr i)
+    else if c = '.' && not (!i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+    then (push DOT; incr i)
+    else if c = '*' then (push STAR; incr i)
+    else if c = '+' then (push PLUS; incr i)
+    else if c = '-' then (push MINUS; incr i)
+    else if c = '/' then (push SLASH; incr i)
+    else if c = '=' then (push (CMP Ast.Eq); incr i)
+    else if c = '<' then begin
+      incr i;
+      match peek () with
+      | Some '=' -> (push (CMP Ast.Lte); incr i)
+      | Some '>' -> (push (CMP Ast.Neq); incr i)
+      | _ -> push (CMP Ast.Lt)
+    end
+    else if c = '>' then begin
+      incr i;
+      match peek () with
+      | Some '=' -> (push (CMP Ast.Gte); incr i)
+      | _ -> push (CMP Ast.Gt)
+    end
+    else if c = '!' && !i + 1 < n && s.[!i + 1] = '=' then begin
+      push (CMP Ast.Neq);
+      i := !i + 2
+    end
+    else if c = '\'' then begin
+      incr i;
+      let b = Buffer.create 8 in
+      while !i < n && s.[!i] <> '\'' do
+        Buffer.add_char b s.[!i];
+        incr i
+      done;
+      if !i >= n then raise (Error "unterminated string literal");
+      incr i;
+      push (STRING (Buffer.contents b))
+    end
+    else if (c >= '0' && c <= '9') || (c = '.' && !i + 1 < n) then begin
+      let start = !i in
+      let isfloat = ref false in
+      while
+        !i < n
+        && ((s.[!i] >= '0' && s.[!i] <= '9') || s.[!i] = '.')
+      do
+        if s.[!i] = '.' then isfloat := true;
+        incr i
+      done;
+      let lit = String.sub s start (!i - start) in
+      if !isfloat then push (FLOAT (float_of_string lit))
+      else push (INT (int_of_string lit))
+    end
+    else if is_ident c then begin
+      let start = !i in
+      while !i < n && is_ident s.[!i] do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      let up = String.uppercase_ascii word in
+      if List.mem up keywords then push (KW up) else push (IDENT word)
+    end
+    else raise (Error (Printf.sprintf "unexpected character %c at %d" c !i))
+  done;
+  List.rev (EOF :: !out)

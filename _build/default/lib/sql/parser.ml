@@ -1,0 +1,261 @@
+(* Recursive-descent parser for the SQL subset. *)
+
+open Ast
+
+exception Error of string
+
+type st = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: tl -> st.toks <- tl
+
+let expect st t =
+  if peek st = t then advance st
+  else raise (Error "unexpected token")
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw -> advance st
+  | _ -> raise (Error ("expected " ^ kw))
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.KW k when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> raise (Error "expected identifier")
+
+(* expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)* *)
+let rec parse_expr st =
+  let lhs = parse_term st in
+  match peek st with
+  | Lexer.PLUS ->
+      advance st;
+      Add (lhs, parse_expr st)
+  | Lexer.MINUS ->
+      advance st;
+      Sub (lhs, parse_expr st)
+  | _ -> lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  match peek st with
+  | Lexer.STAR ->
+      advance st;
+      Mul (lhs, parse_term st)
+  | Lexer.SLASH ->
+      advance st;
+      Div (lhs, parse_term st)
+  | _ -> lhs
+
+and parse_factor st =
+  match peek st with
+  | Lexer.INT k ->
+      advance st;
+      Int k
+  | Lexer.FLOAT f ->
+      advance st;
+      Float f
+  | Lexer.STRING s ->
+      advance st;
+      Str s
+  | Lexer.KW "DATE" -> (
+      advance st;
+      match peek st with
+      | Lexer.STRING s -> (
+          advance st;
+          match String.split_on_char '-' s with
+          | [ y; m; d ] ->
+              DateLit (int_of_string y, int_of_string m, int_of_string d)
+          | _ -> raise (Error ("bad date literal " ^ s)))
+      | _ -> raise (Error "expected date string"))
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT a -> (
+      advance st;
+      match peek st with
+      | Lexer.DOT ->
+          advance st;
+          Col (Some a, ident st)
+      | _ -> Col (None, a))
+  | _ -> raise (Error "expected expression")
+
+(* predicates *)
+let rec parse_pred st =
+  let p = parse_pred_atom st in
+  if accept_kw st "OR" then Or (p, parse_pred st) else p
+
+and parse_pred_atom st =
+  if accept_kw st "EXISTS" then begin
+    expect st Lexer.LPAREN;
+    let q = parse_query st in
+    expect st Lexer.RPAREN;
+    Exists q
+  end
+  else if accept_kw st "NOT" then begin
+    expect_kw st "EXISTS";
+    expect st Lexer.LPAREN;
+    let q = parse_query st in
+    expect st Lexer.RPAREN;
+    NotExists q
+  end
+  else if peek st = Lexer.LPAREN then begin
+    (* parenthesized predicate *)
+    advance st;
+    let p = parse_pred st in
+    expect st Lexer.RPAREN;
+    p
+  end
+  else begin
+    let lhs = parse_expr st in
+    if accept_kw st "IN" then begin
+      expect st Lexer.LPAREN;
+      let q = parse_query st in
+      expect st Lexer.RPAREN;
+      In (lhs, q)
+    end
+    else if accept_kw st "BETWEEN" then begin
+      let lo = parse_expr st in
+      expect_kw st "AND";
+      let hi = parse_expr st in
+      Between (lhs, lo, hi)
+    end
+    else
+      match peek st with
+      | Lexer.CMP op -> (
+          advance st;
+          (* scalar subquery? *)
+          match st.toks with
+          | Lexer.KW "SELECT" :: _ -> raise (Error "unparenthesized subquery")
+          | _ ->
+              if peek st = Lexer.LPAREN then begin
+                match st.toks with
+                | Lexer.LPAREN :: Lexer.KW "SELECT" :: _ ->
+                    advance st;
+                    let q = parse_query st in
+                    expect st Lexer.RPAREN;
+                    CmpSub (op, lhs, q)
+                | _ ->
+                    let rhs = parse_expr st in
+                    Cmp (op, lhs, rhs)
+              end
+              else
+                let rhs = parse_expr st in
+                Cmp (op, lhs, rhs))
+      | _ -> raise (Error "expected comparison")
+  end
+
+and parse_where st =
+  let rec go acc =
+    let p = parse_pred st in
+    let acc =
+      match p with
+      | Between (e, lo, hi) -> Cmp (Lte, e, hi) :: Cmp (Gte, e, lo) :: acc
+      | p -> p :: acc
+    in
+    if accept_kw st "AND" then go acc else List.rev acc
+  in
+  go []
+
+and parse_select_item st =
+  if accept_kw st "SUM" then begin
+    expect st Lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    let alias = if accept_kw st "AS" then Some (ident st) else None in
+    SelSum (e, alias)
+  end
+  else if accept_kw st "AVG" then begin
+    expect st Lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    let alias = if accept_kw st "AS" then Some (ident st) else None in
+    SelAvg (e, alias)
+  end
+  else if accept_kw st "COUNT" then begin
+    expect st Lexer.LPAREN;
+    (match peek st with
+    | Lexer.STAR -> advance st
+    | _ -> ignore (parse_expr st));
+    expect st Lexer.RPAREN;
+    let alias = if accept_kw st "AS" then Some (ident st) else None in
+    SelCount alias
+  end
+  else
+    let e = parse_expr st in
+    let alias = if accept_kw st "AS" then Some (ident st) else None in
+    SelCol (e, alias)
+
+and parse_query st =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let rec items acc =
+    let it = parse_select_item st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      items (it :: acc)
+    end
+    else List.rev (it :: acc)
+  in
+  let select = items [] in
+  expect_kw st "FROM";
+  let rec tables acc =
+    let t = ident st in
+    let alias =
+      match peek st with
+      | Lexer.IDENT a ->
+          advance st;
+          a
+      | _ -> t
+    in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      tables ((t, alias) :: acc)
+    end
+    else List.rev ((t, alias) :: acc)
+  in
+  let from = tables [] in
+  let where = if accept_kw st "WHERE" then parse_where st else [] in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec cols acc =
+        let a = ident st in
+        let col =
+          match peek st with
+          | Lexer.DOT ->
+              advance st;
+              (Some a, ident st)
+          | _ -> (None, a)
+        in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          cols (col :: acc)
+        end
+        else List.rev (col :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  { distinct; select; from; where; group_by }
+
+let parse (s : string) : query =
+  let st = { toks = Lexer.tokenize s } in
+  let q = parse_query st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | _ -> raise (Error "trailing tokens"));
+  q

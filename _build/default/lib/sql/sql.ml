@@ -1,0 +1,11 @@
+exception Parse_error of string
+exception Compile_error of string
+
+let compile ~catalog ?name s =
+  try To_calc.compile_string ?name catalog s with
+  | Lexer.Error m | Parser.Error m -> raise (Parse_error m)
+  | To_calc.Error m -> raise (Compile_error m)
+
+let parse s =
+  try Parser.parse s with
+  | Lexer.Error m | Parser.Error m -> raise (Parse_error m)

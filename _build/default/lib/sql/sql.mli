@@ -1,0 +1,35 @@
+(** SQL frontend: a parser and calculus translator for the paper's query
+    class — flat aggregate queries plus equality-correlated nested
+    aggregates, EXISTS/NOT EXISTS, IN, and scalar subquery comparisons.
+
+    {[
+      let maps =
+        Sql.compile
+          ~catalog:[ ("R", [ va; vb ]); ("S", [ vb2; vc ]) ]
+          ~name:"Q"
+          "SELECT R.a, SUM(R.b * S.c) FROM R, S \
+           WHERE R.b = S.b GROUP BY R.a"
+      (* -> [ ("Q", <calculus expr>) ] ready for Compile.compile *)
+    ]}
+
+    Column equalities become shared calculus variables (joins and
+    correlations are nominal in the calculus); correlated subqueries are
+    compiled to the group-by-correlated [Lift] form that the
+    domain-extraction machinery of §3.2.2 incrementalizes. *)
+
+open Divm_ring
+open Divm_calc
+
+exception Parse_error of string
+exception Compile_error of string
+
+(** [compile ~catalog ~name sql] parses and translates one query; returns
+    one named map per aggregate (AVG yields a [_sum]/[_count] pair). *)
+val compile :
+  catalog:(string * Schema.t) list ->
+  ?name:string ->
+  string ->
+  (string * Calc.expr) list
+
+(** Parse only (exposed for tooling/tests). *)
+val parse : string -> Ast.query

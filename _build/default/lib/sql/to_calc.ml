@@ -1,0 +1,325 @@
+(* Translation of the SQL subset into the calculus.
+
+   Equality predicates between columns are turned into shared variables
+   (the calculus expresses joins and correlations through names): a
+   union-find over column variables picks one representative per class,
+   preferring outer-scope variables so that correlated nested aggregates
+   end up in the group-by-correlated form the domain-extraction machinery
+   recognizes (§3.2.2). *)
+
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+
+exception Error of string
+
+type catalog = (string * Schema.t) list
+
+(* ------------------------------------------------------------------ *)
+(* Scopes and variable instantiation                                   *)
+(* ------------------------------------------------------------------ *)
+
+type scope = {
+  bindings : ((string * string) * Schema.var) list; (* (alias, col) -> var *)
+  depth : int;
+}
+
+let counter = ref 0
+
+let fresh_name base =
+  incr counter;
+  Printf.sprintf "%s_%d" base !counter
+
+let instantiate cat ~depth from =
+  let bindings = ref [] in
+  let atoms =
+    List.map
+      (fun (table, alias) ->
+        let schema =
+          match List.assoc_opt table cat with
+          | Some s -> s
+          | None -> raise (Error ("unknown table " ^ table))
+        in
+        let vars =
+          List.map
+            (fun (cv : Schema.var) ->
+              let v =
+                { cv with Schema.name = fresh_name (alias ^ "_" ^ cv.name) }
+              in
+              bindings := ((alias, cv.name), v) :: !bindings;
+              v)
+            schema
+        in
+        Calc.rel table vars)
+      from
+  in
+  (atoms, { bindings = List.rev !bindings; depth })
+
+let resolve scopes (alias_opt, col) =
+  let try_scope sc =
+    match alias_opt with
+    | Some a -> List.assoc_opt (a, col) sc.bindings
+    | None -> (
+        match
+          List.filter (fun ((_, c), _) -> String.equal c col) sc.bindings
+        with
+        | [ (_, v) ] -> Some v
+        | [] -> None
+        | _ -> raise (Error ("ambiguous column " ^ col)))
+  in
+  let rec go = function
+    | [] ->
+        raise
+          (Error
+             ("unknown column "
+             ^ (match alias_opt with Some a -> a ^ "." | None -> "")
+             ^ col))
+    | sc :: rest -> ( match try_scope sc with Some v -> v | None -> go rest)
+  in
+  go scopes
+
+(* ------------------------------------------------------------------ *)
+(* Union-find over column variables (by name)                          *)
+(* ------------------------------------------------------------------ *)
+
+type uf = (string, string) Hashtbl.t
+
+let rec find (uf : uf) x =
+  match Hashtbl.find_opt uf x with
+  | None -> x
+  | Some p ->
+      let r = find uf p in
+      if r <> p then Hashtbl.replace uf x r;
+      r
+
+(* Union preferring the shallower (outer) scope's variable as the
+   representative. *)
+let union uf ~depth_of a b =
+  let ra = find uf a and rb = find uf b in
+  if ra <> rb then begin
+    let da = depth_of ra and db = depth_of rb in
+    if da <= db then Hashtbl.replace uf rb ra else Hashtbl.replace uf ra rb
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Expression translation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec tr_expr scopes (e : Ast.expr) : Vexpr.t =
+  match e with
+  | Ast.Int k -> Vexpr.const_i k
+  | Ast.Float f -> Vexpr.const_f f
+  | Ast.Str s -> Vexpr.Const (Value.String s)
+  | Ast.DateLit (y, m, d) -> Vexpr.Const (Value.date y m d)
+  | Ast.Col (a, c) -> Vexpr.var (resolve scopes (a, c))
+  | Ast.Add (a, b) -> Vexpr.Add (tr_expr scopes a, tr_expr scopes b)
+  | Ast.Sub (a, b) -> Vexpr.Sub (tr_expr scopes a, tr_expr scopes b)
+  | Ast.Mul (a, b) -> Vexpr.Mul (tr_expr scopes a, tr_expr scopes b)
+  | Ast.Div (a, b) -> Vexpr.Div (tr_expr scopes a, tr_expr scopes b)
+
+let tr_cmp (c : Ast.cmp) : Calc.cmp_op =
+  match c with
+  | Ast.Eq -> Eq
+  | Ast.Neq -> Neq
+  | Ast.Lt -> Lt
+  | Ast.Lte -> Lte
+  | Ast.Gt -> Gt
+  | Ast.Gte -> Gte
+
+(* ------------------------------------------------------------------ *)
+(* Query body compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile a query body under outer [scopes]: returns the product factors
+   (atoms, filters, nested lifts) with variable unification applied, plus
+   the local scope. *)
+let rec compile_body cat scopes (q : Ast.query) =
+  let depth = match scopes with [] -> 0 | sc :: _ -> sc.depth + 1 in
+  let atoms, local = instantiate cat ~depth q.Ast.from in
+  let scopes' = local :: scopes in
+  (* pass 1: unification of column equalities *)
+  let uf : uf = Hashtbl.create 16 in
+  let depth_of name =
+    let rec go = function
+      | [] -> max_int
+      | sc :: rest ->
+          if List.exists (fun (_, (v : Schema.var)) -> v.name = name) sc.bindings
+          then sc.depth
+          else go rest
+    in
+    go scopes'
+  in
+  List.iter
+    (fun p ->
+      match p with
+      | Ast.Cmp (Ast.Eq, Ast.Col (a1, c1), Ast.Col (a2, c2)) ->
+          let v1 = resolve scopes' (a1, c1) and v2 = resolve scopes' (a2, c2) in
+          union uf ~depth_of v1.Schema.name v2.Schema.name
+      | _ -> ())
+    q.Ast.where;
+  let subst_var (v : Schema.var) = { v with Schema.name = find uf v.name } in
+  let subst_expr = Calc.rename subst_var in
+  let atoms = List.map subst_expr atoms in
+  (* rewrite the local scope so later resolution sees representatives *)
+  let local =
+    { local with bindings = List.map (fun (k, v) -> (k, subst_var v)) local.bindings }
+  in
+  let scopes' = local :: scopes in
+  (* pass 2: remaining predicates *)
+  let filters =
+    List.concat_map
+      (fun p ->
+        match p with
+        | Ast.Cmp (Ast.Eq, Ast.Col _, Ast.Col _) -> [] (* unified away *)
+        | p -> [ compile_pred cat scopes' p ])
+      q.Ast.where
+  in
+  (atoms @ filters, local, scopes')
+
+and compile_pred cat scopes (p : Ast.pred) : Calc.expr =
+  match p with
+  | Ast.Cmp (op, a, b) ->
+      Calc.cmp (tr_cmp op) (tr_expr scopes a) (tr_expr scopes b)
+  | Ast.Between (e, lo, hi) ->
+      let ve = tr_expr scopes e in
+      Calc.prod
+        [
+          Calc.cmp Gte ve (tr_expr scopes lo);
+          Calc.cmp Lte ve (tr_expr scopes hi);
+        ]
+  | Ast.Or (a, b) ->
+      Calc.add [ compile_pred cat scopes a; compile_pred cat scopes b ]
+  | Ast.Exists sub ->
+      let e = Schema.var (fresh_name "ex") in
+      Calc.prod
+        [
+          Calc.lift e (subquery_count cat scopes sub);
+          Calc.cmp Neq (Vexpr.var e) (Vexpr.const_i 0);
+        ]
+  | Ast.NotExists sub ->
+      let e = Schema.var (fresh_name "nex") in
+      Calc.prod
+        [
+          Calc.lift e (subquery_count cat scopes sub);
+          Calc.cmp Eq (Vexpr.var e) (Vexpr.const_i 0);
+        ]
+  | Ast.In (e, sub) -> (
+      (* e IN (SELECT c ...) ≡ EXISTS(... AND c = e) *)
+      match sub.Ast.select with
+      | [ Ast.SelCol (Ast.Col (ca, cc), _) ] ->
+          let factors, _, sub_scopes = compile_body cat scopes sub in
+          let cv = resolve sub_scopes (ca, cc) in
+          let corr = correlated scopes factors in
+          let e' = tr_expr scopes e in
+          let x = Schema.var (fresh_name "inx") in
+          Calc.prod
+            [
+              Calc.lift x
+                (Calc.sum corr
+                   (Calc.prod
+                      (factors @ [ Calc.cmp Eq (Vexpr.var cv) e' ])));
+              Calc.cmp Neq (Vexpr.var x) (Vexpr.const_i 0);
+            ]
+      | _ -> raise (Error "IN subquery must select a single column"))
+  | Ast.CmpSub (op, e, sub) -> (
+      match sub.Ast.select with
+      | [ item ] ->
+          let factors, _, sub_scopes = compile_body cat scopes sub in
+          let corr = correlated scopes factors in
+          let body =
+            match item with
+            | Ast.SelSum (ae, _) ->
+                Calc.prod (factors @ [ Calc.value (tr_expr sub_scopes ae) ])
+            | Ast.SelCount _ -> Calc.prod factors
+            | _ -> raise (Error "scalar subquery must be SUM or COUNT")
+          in
+          let x = Schema.var (fresh_name "sub") in
+          Calc.prod
+            [
+              Calc.lift x (Calc.sum corr body);
+              Calc.cmp (tr_cmp op) (tr_expr scopes e) (Vexpr.var x);
+            ]
+      | _ -> raise (Error "scalar subquery must have one select item"))
+
+(* Correlated variables: outer-scope variables referenced by the inner
+   factors (after unification) — they become the inner group-by, enabling
+   domain extraction. *)
+and correlated outer_scopes factors =
+  let outer_vars =
+    List.concat_map (fun sc -> List.map snd sc.bindings) outer_scopes
+  in
+  let used =
+    List.fold_left
+      (fun acc f -> Schema.union acc (Calc.all_vars f))
+      [] factors
+  in
+  Schema.inter outer_vars used
+
+and subquery_count cat scopes sub =
+  let factors, _, _ = compile_body cat scopes sub in
+  let corr = correlated scopes factors in
+  Calc.sum corr (Calc.prod factors)
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?(name = "Q") (cat : catalog) (q : Ast.query) :
+    (string * Calc.expr) list =
+  counter := 0;
+  let factors, _, scopes = compile_body cat [] q in
+  let gb = List.map (fun (a, c) -> resolve scopes (a, c)) q.Ast.group_by in
+  let aggs =
+    List.filter
+      (function Ast.SelCol _ -> false | _ -> true)
+      q.Ast.select
+  in
+  if aggs = [] then begin
+    (* plain projection: meaningful only with DISTINCT *)
+    let cols =
+      List.filter_map
+        (function
+          | Ast.SelCol (Ast.Col (ca, cc), _) -> Some (resolve scopes (ca, cc))
+          | Ast.SelCol _ -> raise (Error "non-column projection")
+          | _ -> None)
+        q.Ast.select
+    in
+    let keys = Schema.union gb cols in
+    if q.Ast.distinct then
+      [ (name, Calc.exists (Calc.sum keys (Calc.prod factors))) ]
+    else [ (name, Calc.sum keys (Calc.prod factors)) ]
+  end
+  else
+    List.concat
+      (List.mapi
+         (fun i item ->
+           let mk suffix body = (Printf.sprintf "%s%s" name suffix, body) in
+           let suffix alias fallback =
+             match alias with
+             | Some a -> "_" ^ a
+             | None ->
+                 if List.length aggs = 1 then ""
+                 else Printf.sprintf "_%s%d" fallback i
+           in
+           match item with
+           | Ast.SelSum (e, alias) ->
+               [
+                 mk
+                   (suffix alias "sum")
+                   (Calc.sum gb
+                      (Calc.prod (factors @ [ Calc.value (tr_expr scopes e) ])));
+               ]
+           | Ast.SelCount alias ->
+               [ mk (suffix alias "count") (Calc.sum gb (Calc.prod factors)) ]
+           | Ast.SelAvg (e, alias) ->
+               let base = suffix alias "avg" in
+               [
+                 mk (base ^ "_sum")
+                   (Calc.sum gb
+                      (Calc.prod (factors @ [ Calc.value (tr_expr scopes e) ])));
+                 mk (base ^ "_count") (Calc.sum gb (Calc.prod factors));
+               ]
+           | Ast.SelCol _ -> [])
+         q.Ast.select)
+
+let compile_string ?name cat s = compile ?name cat (Parser.parse s)

@@ -1,0 +1,1 @@
+lib/storage/colbatch.ml: Array Divm_ring Gmr Value

@@ -1,0 +1,1 @@
+lib/storage/colbatch.mli: Divm_ring Gmr Value Vtuple

@@ -1,0 +1,1 @@
+lib/storage/pool.ml: Array Bool Divm_ring Float Gmr List Trace Vtuple

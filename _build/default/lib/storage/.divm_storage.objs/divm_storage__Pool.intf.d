@@ -1,0 +1,1 @@
+lib/storage/pool.mli: Divm_ring Gmr Vtuple

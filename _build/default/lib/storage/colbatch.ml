@@ -1,0 +1,69 @@
+open Divm_ring
+
+type t = {
+  columns : Value.t array array; (* [width][length] *)
+  mults : float array;
+  n : int;
+}
+
+let width t = Array.length t.columns
+let length t = t.n
+
+let of_gmr ~width g =
+  let n = Gmr.cardinal g in
+  let columns = Array.init width (fun _ -> Array.make n (Value.Int 0)) in
+  let mults = Array.make n 0. in
+  let i = ref 0 in
+  Gmr.iter
+    (fun tup m ->
+      for c = 0 to width - 1 do
+        columns.(c).(!i) <- tup.(c)
+      done;
+      mults.(!i) <- m;
+      incr i)
+    g;
+  { columns; mults; n }
+
+let to_gmr t =
+  let g = Gmr.create ~size:t.n () in
+  let w = width t in
+  for i = 0 to t.n - 1 do
+    let tup = Array.init w (fun c -> t.columns.(c).(i)) in
+    Gmr.add g tup t.mults.(i)
+  done;
+  g
+
+let column t c = t.columns.(c)
+let mults t = t.mults
+
+let iter_rows t f =
+  let w = width t in
+  for i = 0 to t.n - 1 do
+    f (Array.init w (fun c -> t.columns.(c).(i))) t.mults.(i)
+  done
+
+let filter t pred =
+  let keep = ref [] in
+  for i = t.n - 1 downto 0 do
+    if pred i then keep := i :: !keep
+  done;
+  let keep = Array.of_list !keep in
+  let n = Array.length keep in
+  {
+    columns =
+      Array.map (fun col -> Array.init n (fun j -> col.(keep.(j)))) t.columns;
+    mults = Array.init n (fun j -> t.mults.(keep.(j)));
+    n;
+  }
+
+let project t keep =
+  { t with columns = Array.map (fun c -> t.columns.(c)) keep }
+
+let aggregate t = to_gmr t
+
+let byte_size t =
+  let acc = ref (8 * t.n) in
+  Array.iter
+    (fun col -> Array.iter (fun v -> acc := !acc + Value.byte_size v) col)
+    t.columns;
+  !acc

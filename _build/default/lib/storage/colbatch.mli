@@ -1,0 +1,40 @@
+(** Column-oriented update batches (§5.2.2).
+
+    Input batches and shuffled view contents travel in columnar form: one
+    value array per attribute plus a multiplicity array. Filtering and
+    projection scan single columns (cache-friendly); row transformers
+    convert to and from row-oriented GMRs/pools. *)
+
+open Divm_ring
+
+type t
+
+val width : t -> int
+val length : t -> int
+
+(** Row-to-column transformer. [width] must be the tuple width; empty GMRs
+    need it to be supplied explicitly. *)
+val of_gmr : width:int -> Gmr.t -> t
+
+(** Column-to-row transformer. *)
+val to_gmr : t -> Gmr.t
+
+val column : t -> int -> Value.t array
+val mults : t -> float array
+
+(** [iter_rows b f] calls [f tuple mult] per row (tuples are fresh). *)
+val iter_rows : t -> (Vtuple.t -> float -> unit) -> unit
+
+(** [filter b pred] keeps the rows whose index satisfies [pred] (the
+    predicate reads columns directly). *)
+val filter : t -> (int -> bool) -> t
+
+(** [project b keep] keeps the columns at positions [keep]. *)
+val project : t -> int array -> t
+
+(** [aggregate b] merges equal rows, summing multiplicities (the row-format
+    output is the pre-aggregated batch). *)
+val aggregate : t -> Gmr.t
+
+(** Serialized size in bytes. *)
+val byte_size : t -> int

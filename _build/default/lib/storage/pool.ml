@@ -1,0 +1,212 @@
+open Divm_ring
+
+type sec = {
+  positions : int array;
+  tbl : int list Vtuple.Tbl.t; (* sub-key -> live slots *)
+  sec_base : int;
+}
+
+type t = {
+  kw : int;
+  rec_bytes : int;
+  base : int;
+  mutable keys : Vtuple.t array;
+  mutable values : float array;
+  mutable live : Bool.t array;
+  mutable hwm : int; (* high-water mark *)
+  mutable free : int list;
+  mutable count : int;
+  unique : int Vtuple.Tbl.t;
+  unique_base : int;
+  secs : sec array;
+}
+
+let create ?name ~key_width ~slices () =
+  ignore name;
+  let cap = 16 in
+  let rec_bytes = (key_width * 8) + 8 + 16 in
+  {
+    kw = key_width;
+    rec_bytes;
+    base = Trace.alloc_region (1 lsl 28);
+    keys = Array.make cap Vtuple.empty;
+    values = Array.make cap 0.;
+    live = Array.make cap false;
+    hwm = 0;
+    free = [];
+    count = 0;
+    unique = Vtuple.Tbl.create cap;
+    unique_base = Trace.alloc_region (1 lsl 24);
+    secs =
+      Array.of_list
+        (List.map
+           (fun positions ->
+             {
+               positions;
+               tbl = Vtuple.Tbl.create cap;
+               sec_base = Trace.alloc_region (1 lsl 24);
+             })
+           slices);
+  }
+
+let cardinal t = t.count
+let key_width t = t.kw
+
+let addr t slot = t.base + (slot * t.rec_bytes)
+
+let probe t key =
+  if Trace.enabled () then
+    Trace.emit (t.unique_base + (Vtuple.hash key land 0xffff) * 8) Trace.Read
+
+let grow t =
+  let cap = Array.length t.keys in
+  let cap' = cap * 2 in
+  let keys = Array.make cap' Vtuple.empty in
+  Array.blit t.keys 0 keys 0 cap;
+  let values = Array.make cap' 0. in
+  Array.blit t.values 0 values 0 cap;
+  let live = Array.make cap' false in
+  Array.blit t.live 0 live 0 cap;
+  t.keys <- keys;
+  t.values <- values;
+  t.live <- live
+
+let alloc_slot t =
+  match t.free with
+  | s :: rest ->
+      t.free <- rest;
+      s
+  | [] ->
+      if t.hwm >= Array.length t.keys then grow t;
+      let s = t.hwm in
+      t.hwm <- t.hwm + 1;
+      s
+
+let sec_insert t slot key =
+  Array.iter
+    (fun sec ->
+      let sub = Vtuple.project key sec.positions in
+      let prev =
+        match Vtuple.Tbl.find_opt sec.tbl sub with Some l -> l | None -> []
+      in
+      Vtuple.Tbl.replace sec.tbl sub (slot :: prev))
+    t.secs
+
+let sec_remove t slot key =
+  Array.iter
+    (fun sec ->
+      let sub = Vtuple.project key sec.positions in
+      match Vtuple.Tbl.find_opt sec.tbl sub with
+      | None -> ()
+      | Some l -> (
+          match List.filter (fun s -> s <> slot) l with
+          | [] -> Vtuple.Tbl.remove sec.tbl sub
+          | l' -> Vtuple.Tbl.replace sec.tbl sub l'))
+    t.secs
+
+let get t key =
+  probe t key;
+  match Vtuple.Tbl.find_opt t.unique key with
+  | None -> 0.
+  | Some slot ->
+      if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
+      t.values.(slot)
+
+let remove_slot t key slot =
+  Vtuple.Tbl.remove t.unique key;
+  t.live.(slot) <- false;
+  t.keys.(slot) <- Vtuple.empty;
+  t.free <- slot :: t.free;
+  t.count <- t.count - 1;
+  sec_remove t slot key
+
+let insert t key m =
+  let slot = alloc_slot t in
+  t.keys.(slot) <- key;
+  t.values.(slot) <- m;
+  t.live.(slot) <- true;
+  t.count <- t.count + 1;
+  Vtuple.Tbl.replace t.unique key slot;
+  sec_insert t slot key;
+  if Trace.enabled () then Trace.emit (addr t slot) Trace.Write
+
+let add t key m =
+  if Float.abs m >= Gmr.zero_eps then begin
+    probe t key;
+    match Vtuple.Tbl.find_opt t.unique key with
+    | None -> insert t key m
+    | Some slot ->
+        let v = t.values.(slot) +. m in
+        if Trace.enabled () then Trace.emit (addr t slot) Trace.Write;
+        if Float.abs v < Gmr.zero_eps then remove_slot t key slot
+        else t.values.(slot) <- v
+  end
+
+let set t key m =
+  probe t key;
+  match Vtuple.Tbl.find_opt t.unique key with
+  | None -> if Float.abs m >= Gmr.zero_eps then insert t key m
+  | Some slot ->
+      if Float.abs m < Gmr.zero_eps then remove_slot t key slot
+      else begin
+        t.values.(slot) <- m;
+        if Trace.enabled () then Trace.emit (addr t slot) Trace.Write
+      end
+
+let foreach t f =
+  for slot = 0 to t.hwm - 1 do
+    if t.live.(slot) then begin
+      if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
+      f t.keys.(slot) t.values.(slot)
+    end
+  done
+
+let slice t ~index sub f =
+  let sec = t.secs.(index) in
+  if Trace.enabled () then
+    Trace.emit (sec.sec_base + (Vtuple.hash sub land 0xffff) * 8) Trace.Read;
+  match Vtuple.Tbl.find_opt sec.tbl sub with
+  | None -> ()
+  | Some slots ->
+      List.iter
+        (fun slot ->
+          if t.live.(slot) then begin
+            if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
+            f t.keys.(slot) t.values.(slot)
+          end)
+        slots
+
+let find_slice t positions =
+  let rec go i =
+    if i >= Array.length t.secs then None
+    else if t.secs.(i).positions = positions then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let clear t =
+  Vtuple.Tbl.clear t.unique;
+  Array.iter (fun sec -> Vtuple.Tbl.clear sec.tbl) t.secs;
+  Array.fill t.live 0 (Array.length t.live) false;
+  t.hwm <- 0;
+  t.free <- [];
+  t.count <- 0
+
+let to_gmr t =
+  let g = Gmr.create ~size:t.count () in
+  for slot = 0 to t.hwm - 1 do
+    if t.live.(slot) then Gmr.add g t.keys.(slot) t.values.(slot)
+  done;
+  g
+
+let of_gmr ?name ~key_width ~slices g =
+  let t = create ?name ~key_width ~slices () in
+  Gmr.iter (fun key m -> add t key m) g;
+  t
+
+let byte_size t =
+  let acc = ref 0 in
+  foreach t (fun key _ -> acc := !acc + Vtuple.byte_size key + 8);
+  !acc
+
+let free_slots t = List.length t.free

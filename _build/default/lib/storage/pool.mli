@@ -1,0 +1,51 @@
+(** Multi-indexed record pools (§5.2, Figure 6).
+
+    A pool stores fixed-format records (a key tuple plus one aggregate
+    value) in a growable arena with a free list. A unique hash index serves
+    [get]/[update]/[delete]; non-unique hash indexes over key subsets serve
+    [slice]. Indexes are declared up front by the compiler's access-pattern
+    analysis (§5.2.1) and maintained incrementally. *)
+
+open Divm_ring
+
+type t
+
+(** [create ~key_width ~slices ()] builds a pool for records whose key has
+    [key_width] fields. Each element of [slices] lists the key positions of
+    one non-unique secondary index. *)
+val create : ?name:string -> key_width:int -> slices:int array list -> unit -> t
+
+val cardinal : t -> int
+val key_width : t -> int
+
+(** Multiplicity of [key]; [0.] if absent. *)
+val get : t -> Vtuple.t -> float
+
+(** [add pool key m] adds [m] to the multiplicity of [key], inserting or
+    removing the record as needed (zero multiplicities are not stored). *)
+val add : t -> Vtuple.t -> float -> unit
+
+(** [set pool key m] overwrites (removing on zero). *)
+val set : t -> Vtuple.t -> float -> unit
+
+val foreach : t -> (Vtuple.t -> float -> unit) -> unit
+
+(** [slice pool ~index sub f] iterates the records whose key projected on
+    the [index]-th declared slice equals [sub]. *)
+val slice : t -> index:int -> Vtuple.t -> (Vtuple.t -> float -> unit) -> unit
+
+(** Index of the declared slice with exactly these positions. *)
+val find_slice : t -> int array -> int option
+
+val clear : t -> unit
+
+(** Snapshot to a GMR (fresh). *)
+val to_gmr : t -> Gmr.t
+
+val of_gmr : ?name:string -> key_width:int -> slices:int array list -> Gmr.t -> t
+
+(** Serialized size in bytes (for shuffle accounting). *)
+val byte_size : t -> int
+
+(** Number of free-list slots currently available for reuse. *)
+val free_slots : t -> int

@@ -1,0 +1,1 @@
+lib/tpcds/gen.ml: Array Divm_ring Gmr List Random Schema Value Vtuple

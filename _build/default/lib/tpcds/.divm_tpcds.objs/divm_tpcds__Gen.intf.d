@@ -1,0 +1,1 @@
+lib/tpcds/gen.mli: Divm_ring Gmr

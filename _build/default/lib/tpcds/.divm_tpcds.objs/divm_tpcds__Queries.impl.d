@@ -1,0 +1,1 @@
+lib/tpcds/queries.ml: Calc Divm_calc Divm_ring List Schema String Value Vexpr

@@ -1,0 +1,1 @@
+lib/tpcds/schema.ml: Divm_ring List Schema Value

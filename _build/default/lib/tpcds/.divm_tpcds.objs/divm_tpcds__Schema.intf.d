@@ -1,0 +1,1 @@
+lib/tpcds/schema.mli: Divm_ring Schema

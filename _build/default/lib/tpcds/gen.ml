@@ -1,0 +1,128 @@
+module Tsch = Schema
+open Divm_ring
+open Value
+
+type config = { scale : float; seed : int }
+
+let default = { scale = 1.; seed = 99 }
+
+(* At scale 1: 3000 sales rows across 1000 tickets, 730 dates (two years),
+   200 items, 150 customers, 10 stores, 50 household and 60 customer
+   demographic profiles, 100 addresses. *)
+let counts cfg =
+  let u x = max 1 (int_of_float (float_of_int x *. cfg.scale)) in
+  (u 3000, u 1000, u 200, u 150, u 100)
+
+let tables_list cfg : (string * Vtuple.t list) list =
+  let st = Random.State.make [| cfg.seed |] in
+  let n_sales, n_tickets, n_item, n_cust, n_addr = counts cfg in
+  let n_dates = 730 and n_store = 10 and n_hd = 50 and n_cd = 60 in
+  let f x = Float x and i x = Int x and s x = String x in
+  let date_dim =
+    List.init n_dates (fun k ->
+        let year = 1998 + (k / 365) in
+        let doy = k mod 365 in
+        [| i k; i year; i (1 + (doy / 31)); i (1 + (doy mod 28)); i (k mod 7) |])
+  in
+  let item =
+    List.init n_item (fun k ->
+        [|
+          i k;
+          i (1 + Random.State.int st 50);
+          i (1 + Random.State.int st 10);
+          i (1 + Random.State.int st 20);
+          i (1 + Random.State.int st 40);
+        |])
+  in
+  let customer =
+    List.init n_cust (fun k -> [| i k; i (Random.State.int st n_addr) |])
+  in
+  let store =
+    List.init n_store (fun k ->
+        [| i k; i (Random.State.int st 20); i (Random.State.int st 8) |])
+  in
+  let hd =
+    List.init n_hd (fun k ->
+        [| i k; i (Random.State.int st 10); i (Random.State.int st 5) |])
+  in
+  let cd =
+    List.init n_cd (fun k ->
+        [|
+          i k;
+          s [| "M"; "F" |].(Random.State.int st 2);
+          s [| "M"; "S"; "D" |].(Random.State.int st 3);
+          s [| "Primary"; "College"; "Advanced Degree" |].(Random.State.int st 3);
+        |])
+  in
+  let ca =
+    List.init n_addr (fun k -> [| i k; i (Random.State.int st 20) |])
+  in
+  let sales =
+    List.init n_sales (fun _ ->
+        let list_price = 10. +. Random.State.float st 290. in
+        let sales_price = list_price *. (0.5 +. Random.State.float st 0.5) in
+        let qty = float_of_int (1 + Random.State.int st 20) in
+        [|
+          i (Random.State.int st n_dates);
+          i (Random.State.int st n_item);
+          i (Random.State.int st n_cust);
+          i (Random.State.int st n_cd);
+          i (Random.State.int st n_hd);
+          i (Random.State.int st n_addr);
+          i (Random.State.int st n_store);
+          i (Random.State.int st n_tickets);
+          f qty;
+          f list_price;
+          f sales_price;
+          f (sales_price *. qty);
+          f (Random.State.float st 20.);
+          f ((sales_price -. (list_price *. 0.7)) *. qty);
+        |])
+  in
+  [
+    ("store_sales", sales);
+    ("date_dim", date_dim);
+    ("item", item);
+    ("customer", customer);
+    ("store", store);
+    ("household_demographics", hd);
+    ("customer_demographics", cd);
+    ("customer_address", ca);
+  ]
+
+let tables cfg =
+  List.map
+    (fun (n, tuples) ->
+      let g = Gmr.create ~size:(List.length tuples) () in
+      List.iter (fun t -> Gmr.add g t 1.) tuples;
+      (n, g))
+    (tables_list cfg)
+
+let stream cfg ~batch_size =
+  let tl = tables_list cfg in
+  (* dimensions first (they are small and static-ish), then the fact table
+     chunked — the round-robin effect of §6 matters only for the fact
+     stream here *)
+  let dims = List.filter (fun (n, _) -> n <> "store_sales") tl in
+  let sales = List.assoc "store_sales" tl in
+  let out = ref [] in
+  List.iter
+    (fun (n, tuples) ->
+      let g = Gmr.create ~size:(List.length tuples) () in
+      List.iter (fun t -> Gmr.add g t 1.) tuples;
+      out := (n, g) :: !out)
+    dims;
+  let cur = ref (Gmr.create ~size:batch_size ()) in
+  let k = ref 0 in
+  List.iter
+    (fun t ->
+      Gmr.add !cur t 1.;
+      incr k;
+      if !k >= batch_size then begin
+        out := ("store_sales", !cur) :: !out;
+        cur := Gmr.create ~size:batch_size ();
+        k := 0
+      end)
+    sales;
+  if Gmr.cardinal !cur > 0 then out := ("store_sales", !cur) :: !out;
+  List.rev !out

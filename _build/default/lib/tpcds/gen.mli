@@ -1,0 +1,18 @@
+(** Deterministic synthetic TPC-DS data and stream generator.
+
+    At [scale = 1.]: 3000 store_sales rows over 1000 tickets, 730 dates,
+    200 items, 150 customers, 10 stores, 50/60 demographic profiles, 100
+    addresses. *)
+
+open Divm_ring
+
+type config = { scale : float; seed : int }
+
+val default : config
+
+(** Full table contents. *)
+val tables : config -> (string * Gmr.t) list
+
+(** Update stream: dimension tables first (bulk), then the fact stream
+    chunked into batches of [batch_size]. *)
+val stream : config -> batch_size:int -> (string * Gmr.t) list

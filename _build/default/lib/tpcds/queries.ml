@@ -1,0 +1,282 @@
+module Tsch = Schema
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+
+(* The 13 TPC-DS queries of Table 1 (3, 7, 19, 27, 34, 42, 43, 46, 52, 55,
+   68, 73, 79) over the reduced star schema, in streaming form. The four
+   OVER-clause queries of [23] are excluded like in the paper. Queries 34,
+   46, 68, 73 and 79 keep their per-ticket nested aggregates (HAVING-style
+   count/sum conditions), which exercise the domain-extraction path. *)
+
+type t = { qname : string; maps : (string * Calc.expr) list }
+
+let atom name = Calc.rel name (List.assoc name Tsch.streams)
+let v = Tsch.v
+let x n = Vexpr.var (v n)
+let xv vv = Vexpr.var vv
+let c_f = Vexpr.const_f
+let c_i = Vexpr.const_i
+let c_s s = Vexpr.Const (Value.String s)
+let vr ?(ty = Value.TFloat) n = Schema.var ~ty n
+let eq a b = cmp Eq a b
+let gte a b = cmp Gte a b
+let lte a b = cmp Lte a b
+let gt a b = cmp Gt a b
+let lt a b = cmp Lt a b
+let q qname maps = { qname; maps }
+
+let ds3 =
+  q "DS3"
+    [
+      ( "DS3",
+        sum
+          [ v "d_year"; v "i_brand_id" ]
+          (prod
+             [
+               atom "date_dim";
+               eq (x "d_moy") (c_i 11);
+               atom "store_sales";
+               atom "item";
+               eq (x "i_manufact_id") (c_i 5);
+               value (x "ss_ext_sales_price");
+             ]) );
+    ]
+
+let ds7 =
+  q "DS7"
+    [
+      ( "DS7",
+        sum [ v "isk" ]
+          (prod
+             [
+               atom "customer_demographics";
+               eq (x "cd_gender") (c_s "F");
+               eq (x "cd_marital") (c_s "M");
+               atom "store_sales";
+               atom "date_dim";
+               eq (x "d_year") (c_i 1999);
+               value (x "ss_quantity");
+             ]) );
+    ]
+
+let ds19 =
+  q "DS19"
+    [
+      ( "DS19",
+        sum
+          [ v "i_brand_id" ]
+          (prod
+             [
+               atom "date_dim";
+               eq (x "d_moy") (c_i 11);
+               eq (x "d_year") (c_i 1999);
+               atom "store_sales";
+               atom "item";
+               eq (x "i_manager_id") (c_i 7);
+               atom "customer";
+               atom "store";
+               value (x "ss_ext_sales_price");
+             ]) );
+    ]
+
+let ds27 =
+  q "DS27"
+    [
+      ( "DS27",
+        sum
+          [ v "isk"; v "s_county" ]
+          (prod
+             [
+               atom "customer_demographics";
+               eq (x "cd_gender") (c_s "M");
+               eq (x "cd_marital") (c_s "S");
+               eq (x "cd_edu") (c_s "College");
+               atom "store_sales";
+               atom "date_dim";
+               eq (x "d_year") (c_i 1998);
+               atom "store";
+               value (x "ss_quantity");
+             ]) );
+    ]
+
+(* Per-ticket basket-size queries: count (or sum) the items of each
+   (customer, ticket) pair under dimension filters, then keep the tickets
+   whose aggregate falls in a band — the nested-aggregate pattern. *)
+let basket qname ~agg_value ~lo ~hi ~dim_filters =
+  let cnt = vr "basket_agg" in
+  let inner =
+    sum
+      [ v "csk"; v "ss_ticket" ]
+      (prod ([ atom "store_sales" ] @ dim_filters @ agg_value))
+  in
+  q qname
+    [
+      ( qname,
+        sum
+          [ v "csk"; v "ss_ticket" ]
+          (prod
+             ([ exists inner; lift cnt inner ]
+             @ [ gte (xv cnt) lo; lte (xv cnt) hi ])) );
+    ]
+
+let ds34 =
+  basket "DS34" ~agg_value:[] ~lo:(c_f 15.) ~hi:(c_f 20.)
+    ~dim_filters:
+      [
+        atom "date_dim";
+        add [ lte (x "d_dom") (c_i 3); gte (x "d_dom") (c_i 25) ];
+        atom "household_demographics";
+        gt (x "hd_dep_count") (c_i 5);
+      ]
+
+let ds42 =
+  q "DS42"
+    [
+      ( "DS42",
+        sum
+          [ v "d_year"; v "i_category_id" ]
+          (prod
+             [
+               atom "date_dim";
+               eq (x "d_moy") (c_i 11);
+               atom "store_sales";
+               atom "item";
+               value (x "ss_ext_sales_price");
+             ]) );
+    ]
+
+let ds43 =
+  q "DS43"
+    [
+      ( "DS43",
+        sum
+          [ v "ssk"; v "d_dow" ]
+          (prod
+             [
+               atom "date_dim";
+               eq (x "d_year") (c_i 1998);
+               atom "store_sales";
+               atom "store";
+               value (x "ss_sales_price");
+             ]) );
+    ]
+
+let ds46 =
+  basket "DS46"
+    ~agg_value:[ value (x "ss_coupon_amt") ]
+    ~lo:(c_f 0.00001) ~hi:(c_f 1e12)
+    ~dim_filters:
+      [
+        atom "date_dim";
+        add [ eq (x "d_dow") (c_i 6); eq (x "d_dow") (c_i 0) ];
+        atom "household_demographics";
+        gt (x "hd_vehicle_count") (c_i 2);
+      ]
+
+let ds52 =
+  q "DS52"
+    [
+      ( "DS52",
+        sum
+          [ v "d_year"; v "i_brand_id" ]
+          (prod
+             [
+               atom "date_dim";
+               eq (x "d_moy") (c_i 12);
+               atom "store_sales";
+               atom "item";
+               eq (x "i_manager_id") (c_i 1);
+               value (x "ss_ext_sales_price");
+             ]) );
+    ]
+
+let ds55 =
+  q "DS55"
+    [
+      ( "DS55",
+        sum
+          [ v "i_brand_id" ]
+          (prod
+             [
+               atom "date_dim";
+               eq (x "d_moy") (c_i 11);
+               eq (x "d_year") (c_i 1999);
+               atom "store_sales";
+               atom "item";
+               eq (x "i_manager_id") (c_i 28);
+               value (x "ss_ext_sales_price");
+             ]) );
+    ]
+
+let ds68 =
+  let ext = vr "sum_ext" and lst = vr "sum_list" in
+  let mk value_term =
+    sum
+      [ v "csk"; v "ss_ticket" ]
+      (prod
+         [
+           atom "store_sales";
+           atom "date_dim";
+           add [ lte (x "d_dom") (c_i 2); gte (x "d_dom") (c_i 27) ];
+           atom "household_demographics";
+           gt (x "hd_dep_count") (c_i 4);
+           value_term;
+         ])
+  in
+  q "DS68"
+    [
+      ( "DS68",
+        sum
+          [ v "csk"; v "ss_ticket" ]
+          (prod
+             [
+               exists (mk (value (x "ss_ext_sales_price")));
+               lift ext (mk (value (x "ss_ext_sales_price")));
+               lift lst (mk (value (x "ss_list_price")));
+               lt (xv ext) (xv lst);
+             ]) );
+    ]
+
+let ds73 =
+  basket "DS73" ~agg_value:[] ~lo:(c_f 1.) ~hi:(c_f 5.)
+    ~dim_filters:
+      [
+        atom "date_dim";
+        add [ lte (x "d_dom") (c_i 2); gte (x "d_dom") (c_i 26) ];
+        atom "household_demographics";
+        gt (x "hd_vehicle_count") (c_i 1);
+      ]
+
+let ds79 =
+  let prof = vr "sum_profit" in
+  let inner =
+    sum
+      [ v "csk"; v "ss_ticket" ]
+      (prod
+         [
+           atom "store_sales";
+           atom "date_dim";
+           eq (x "d_dow") (c_i 1);
+           atom "household_demographics";
+           gt (x "hd_dep_count") (c_i 3);
+           atom "store";
+           value (x "ss_net_profit");
+         ])
+  in
+  q "DS79"
+    [
+      ( "DS79",
+        sum
+          [ v "csk"; v "ss_ticket" ]
+          (prod
+             [ exists inner; lift prof inner; gt (xv prof) (c_f 0.); value (xv prof) ]) );
+    ]
+
+let all =
+  [ ds3; ds7; ds19; ds27; ds34; ds42; ds43; ds46; ds52; ds55; ds68; ds73; ds79 ]
+
+let find name =
+  match List.find_opt (fun q -> String.equal q.qname name) all with
+  | Some q -> q
+  | None -> invalid_arg ("Tpcds.Queries.find: unknown query " ^ name)

@@ -1,0 +1,13 @@
+(** The 13 TPC-DS queries of the paper's Table 1 (3, 7, 19, 27, 34, 42,
+    43, 46, 52, 55, 68, 73, 79) over the reduced star schema, in streaming
+    form; the four OVER-clause queries of the source workload are excluded
+    like in the paper. Queries 34, 46, 68, 73 and 79 keep their per-ticket
+    nested aggregates (HAVING-style conditions), which exercise the
+    domain-extraction path. *)
+
+open Divm_calc
+
+type t = { qname : string; maps : (string * Calc.expr) list }
+
+val all : t list
+val find : string -> t

@@ -1,0 +1,83 @@
+open Divm_ring
+open Value
+
+(* Reduced TPC-DS star schema: the store_sales fact table plus the
+   dimensions the Table 1 query subset touches. Surrogate keys share one
+   canonical variable per dimension so natural joins link fact to
+   dimension. *)
+
+let v' name ty = Schema.var ~ty name
+let dsk = v' "dsk" TInt (* date_dim surrogate *)
+let isk = v' "isk" TInt (* item *)
+let csk = v' "csk" TInt (* customer *)
+let cdsk = v' "cdsk" TInt (* customer_demographics *)
+let hdsk = v' "hdsk" TInt (* household_demographics *)
+let cask = v' "cask" TInt (* customer_address *)
+let ssk = v' "ssk" TInt (* store *)
+
+let store_sales =
+  [
+    dsk; isk; csk; cdsk; hdsk; cask; ssk;
+    v' "ss_ticket" TInt;
+    v' "ss_quantity" TFloat;
+    v' "ss_list_price" TFloat;
+    v' "ss_sales_price" TFloat;
+    v' "ss_ext_sales_price" TFloat;
+    v' "ss_coupon_amt" TFloat;
+    v' "ss_net_profit" TFloat;
+  ]
+
+let date_dim =
+  [ dsk; v' "d_year" TInt; v' "d_moy" TInt; v' "d_dom" TInt; v' "d_dow" TInt ]
+
+let item =
+  [
+    isk;
+    v' "i_brand_id" TInt;
+    v' "i_category_id" TInt;
+    v' "i_manufact_id" TInt;
+    v' "i_manager_id" TInt;
+  ]
+
+let customer = [ csk; v' "c_cask" TInt ]
+let store = [ ssk; v' "s_city" TInt; v' "s_county" TInt ]
+
+let household_demographics =
+  [ hdsk; v' "hd_dep_count" TInt; v' "hd_vehicle_count" TInt ]
+
+let customer_demographics =
+  [
+    cdsk;
+    v' "cd_gender" TString;
+    v' "cd_marital" TString;
+    v' "cd_edu" TString;
+  ]
+
+let customer_address = [ cask; v' "ca_city" TInt ]
+
+let streams =
+  [
+    ("store_sales", store_sales);
+    ("date_dim", date_dim);
+    ("item", item);
+    ("customer", customer);
+    ("store", store);
+    ("household_demographics", household_demographics);
+    ("customer_demographics", customer_demographics);
+    ("customer_address", customer_address);
+  ]
+
+let all_vars =
+  List.concat_map snd streams
+  |> List.fold_left
+       (fun acc (x : Schema.var) ->
+         if List.exists (fun (y : Schema.var) -> y.name = x.name) acc then acc
+         else x :: acc)
+       []
+
+let v name =
+  match List.find_opt (fun (x : Schema.var) -> x.name = name) all_vars with
+  | Some x -> x
+  | None -> invalid_arg ("Tpcds.Schema.v: unknown column " ^ name)
+
+let partition_keys = [ "ss_ticket"; "isk"; "csk"; "dsk"; "ssk" ]

@@ -1,0 +1,24 @@
+(** Reduced TPC-DS star schema: the store_sales fact table and the
+    dimensions the Table 1 query subset of the paper touches, as typed
+    calculus variables. Surrogate keys share one canonical variable per
+    dimension so natural joins link fact to dimension. *)
+
+open Divm_ring
+
+val store_sales : Schema.t
+val date_dim : Schema.t
+val item : Schema.t
+val customer : Schema.t
+val store : Schema.t
+val household_demographics : Schema.t
+val customer_demographics : Schema.t
+val customer_address : Schema.t
+
+(** All relations as (name, columns). *)
+val streams : (string * Schema.t) list
+
+(** Column lookup by name; raises on unknown. *)
+val v : string -> Schema.var
+
+(** Partitioning keys in decreasing cardinality (the §6.2 heuristic). *)
+val partition_keys : string list

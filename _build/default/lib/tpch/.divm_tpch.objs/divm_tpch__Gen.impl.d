@@ -1,0 +1,1 @@
+lib/tpch/gen.ml: Array Divm_ring Gmr Hashtbl List Printf Random Schema Value Vtuple

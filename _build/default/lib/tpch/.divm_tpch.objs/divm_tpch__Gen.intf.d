@@ -1,0 +1,1 @@
+lib/tpch/gen.mli: Divm_ring Gmr Vtuple

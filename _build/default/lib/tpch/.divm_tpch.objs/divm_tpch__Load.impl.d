@@ -1,0 +1,1 @@
+lib/tpch/load.ml: Divm_ring Filename Gmr Hashtbl List Printf Schema String Sys Value

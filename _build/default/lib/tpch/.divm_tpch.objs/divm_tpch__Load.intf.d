@@ -1,0 +1,1 @@
+lib/tpch/load.mli: Divm_ring Gmr Vtuple

@@ -1,0 +1,1 @@
+lib/tpch/queries.ml: Calc Divm_calc Divm_ring List Schema String Value Vexpr

@@ -1,0 +1,1 @@
+lib/tpch/schema.ml: Divm_ring List Schema Value

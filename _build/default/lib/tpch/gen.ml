@@ -1,0 +1,224 @@
+module Tsch = Schema
+open Divm_ring
+open Value
+
+type config = { scale : float; seed : int }
+
+let default = { scale = 1.; seed = 42 }
+
+let segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let containers =
+  [| "SM CASE"; "SM BOX"; "MED BAG"; "MED BOX"; "LG CASE"; "LG BOX"; "JUMBO PKG"; "WRAP CASE" |]
+
+let types =
+  [|
+    "STANDARD ANODIZED BRASS"; "STANDARD BURNISHED TIN"; "SMALL PLATED COPPER";
+    "SMALL POLISHED STEEL"; "MEDIUM BRUSHED BRASS"; "MEDIUM ANODIZED NICKEL";
+    "LARGE PLATED STEEL"; "LARGE BURNISHED COPPER"; "ECONOMY ANODIZED STEEL";
+    "ECONOMY POLISHED TIN"; "PROMO BRUSHED NICKEL"; "PROMO PLATED BRASS";
+  |]
+
+let ship_modes = [| "AIR"; "AIR REG"; "FOB"; "MAIL"; "RAIL"; "SHIP"; "TRUCK" |]
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let rand_date st =
+  let y = 1992 + Random.State.int st 7 in
+  let m = 1 + Random.State.int st 12 in
+  let d = 1 + Random.State.int st 28 in
+  Value.date y m d
+
+let date_plus d days =
+  (* coarse date arithmetic in the synthetic calendar (28-day months) *)
+  match d with
+  | Date x ->
+      let y = x / 10000 and m = x / 100 mod 100 and dd = x mod 100 in
+      let total = (((y * 12) + (m - 1)) * 28) + (dd - 1) + days in
+      let y' = total / (12 * 28) in
+      let m' = total / 28 mod 12 in
+      let d' = total mod 28 in
+      Value.date y' (m' + 1) (d' + 1)
+  | _ -> invalid_arg "date_plus"
+
+let counts cfg =
+  let u x = max 1 (int_of_float (float_of_int x *. cfg.scale)) in
+  ( u 100 (* supplier *),
+    u 150 (* customer *),
+    u 200 (* part *),
+    u 1500 (* orders *) )
+
+let tables_list cfg : (string * Vtuple.t list) list =
+  let st = Random.State.make [| cfg.seed |] in
+  let n_supp, n_cust, n_part, n_ord = counts cfg in
+  let f x = Float x and i x = Int x and s x = String x in
+  let region =
+    List.init 5 (fun k -> [| i k; s region_names.(k) |])
+  in
+  let nation =
+    List.init 25 (fun k ->
+        [| i k; s (Printf.sprintf "NATION_%02d" k); i (k mod 5) |])
+  in
+  let supplier =
+    List.init n_supp (fun k ->
+        [|
+          i k;
+          s (Printf.sprintf "Supplier#%05d" k);
+          i (Random.State.int st 25);
+          f (Random.State.float st 11000. -. 1000.);
+        |])
+  in
+  let customer =
+    List.init n_cust (fun k ->
+        [|
+          i k;
+          s (Printf.sprintf "Customer#%06d" k);
+          i (Random.State.int st 25);
+          s segments.(Random.State.int st 5);
+          f (Random.State.float st 10000. -. 1000.);
+          i (10 + Random.State.int st 25);
+        |])
+  in
+  let part =
+    List.init n_part (fun k ->
+        [|
+          i k;
+          i (Random.State.int st 10);
+          s (Printf.sprintf "MFGR#%d" (1 + Random.State.int st 5));
+          s (Printf.sprintf "Brand#%d%d" (1 + Random.State.int st 5)
+               (1 + Random.State.int st 5));
+          s types.(Random.State.int st (Array.length types));
+          i (1 + Random.State.int st 50);
+          s containers.(Random.State.int st (Array.length containers));
+        |])
+  in
+  let partsupp =
+    List.concat
+      (List.init n_part (fun p ->
+           List.init 4 (fun _ ->
+               [|
+                 i p;
+                 i (Random.State.int st n_supp);
+                 i (1 + Random.State.int st 9999);
+                 f (1. +. Random.State.float st 999.);
+               |])))
+  in
+  let orders = ref [] in
+  let lineitem = ref [] in
+  for ok = 0 to n_ord - 1 do
+    let odate = rand_date st in
+    let status = [| "O"; "F"; "P" |].(Random.State.int st 3) in
+    orders :=
+      [|
+        i ok;
+        i (Random.State.int st n_cust);
+        s status;
+        f (1000. +. Random.State.float st 400000.);
+        odate;
+        s priorities.(Random.State.int st 5);
+        i 0;
+      |]
+      :: !orders;
+    let nlines = 1 + Random.State.int st 7 in
+    for ln = 1 to nlines do
+      let sdate = date_plus odate (1 + Random.State.int st 120) in
+      let cdate = date_plus odate (15 + Random.State.int st 60) in
+      let rdate = date_plus sdate (1 + Random.State.int st 30) in
+      lineitem :=
+        [|
+          i ok;
+          i (Random.State.int st n_part);
+          i (Random.State.int st n_supp);
+          i ln;
+          f (float_of_int (1 + Random.State.int st 50));
+          f (900. +. Random.State.float st 104000.);
+          f (float_of_int (Random.State.int st 11) /. 100.);
+          f (float_of_int (Random.State.int st 9) /. 100.);
+          s [| "A"; "N"; "R" |].(Random.State.int st 3);
+          s [| "O"; "F" |].(Random.State.int st 2);
+          sdate;
+          cdate;
+          rdate;
+          s ship_modes.(Random.State.int st (Array.length ship_modes));
+        |]
+        :: !lineitem
+    done
+  done;
+  [
+    ("lineitem", List.rev !lineitem);
+    ("orders", List.rev !orders);
+    ("customer", customer);
+    ("part", part);
+    ("partsupp", partsupp);
+    ("supplier", supplier);
+    ("nation", nation);
+    ("region", region);
+  ]
+
+let tables cfg =
+  List.map
+    (fun (n, tuples) ->
+      let g = Gmr.create ~size:(List.length tuples) () in
+      List.iter (fun t -> Gmr.add g t 1.) tuples;
+      (n, g))
+    (tables_list cfg)
+
+(* Proportional round-robin interleave: at every step emit from the relation
+   with the largest remaining fraction, so all relations finish together. *)
+let stream_tuples cfg =
+  let tl = tables_list cfg in
+  let arrs = List.map (fun (n, l) -> (n, Array.of_list l)) tl in
+  let idx = List.map (fun (n, a) -> (n, ref 0, a)) arrs in
+  let total = List.fold_left (fun acc (_, a) -> acc + Array.length a) 0 arrs in
+  let out = ref [] in
+  for _ = 1 to total do
+    let best = ref None in
+    List.iter
+      (fun (n, i, a) ->
+        let len = Array.length a in
+        if !i < len then begin
+          let remaining = float_of_int (len - !i) /. float_of_int len in
+          match !best with
+          | Some (_, _, _, r) when r >= remaining -> ()
+          | _ -> best := Some (n, i, a, remaining)
+        end)
+      idx;
+    match !best with
+    | Some (n, i, a, _) ->
+        out := (n, a.(!i)) :: !out;
+        incr i
+    | None -> ()
+  done;
+  List.rev !out
+
+let stream cfg ~batch_size =
+  let events = stream_tuples cfg in
+  (* chunk consecutive events into per-relation batches of [batch_size] *)
+  let open_batches : (string, Gmr.t * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  let flush n =
+    match Hashtbl.find_opt open_batches n with
+    | Some (g, _) when Gmr.cardinal g > 0 ->
+        out := (n, g) :: !out;
+        Hashtbl.remove open_batches n
+    | _ -> Hashtbl.remove open_batches n
+  in
+  List.iter
+    (fun (n, tup) ->
+      let g, count =
+        match Hashtbl.find_opt open_batches n with
+        | Some x -> x
+        | None ->
+            let x = (Gmr.create ~size:batch_size (), ref 0) in
+            Hashtbl.replace open_batches n x;
+            x
+      in
+      Gmr.add g tup 1.;
+      incr count;
+      if !count >= batch_size then flush n)
+    events;
+  List.iter (fun (n, _) -> flush n) Tsch.streams;
+  List.rev !out

@@ -1,0 +1,25 @@
+(** Deterministic synthetic TPC-H data and stream generator.
+
+    Row counts scale linearly: at [scale = 1.] the generator produces
+    roughly 1/1000 of a TPC-H SF-1 database (1500 orders, ~6000 lineitems,
+    150 customers, 200 parts, 800 partsupps, 100 suppliers, 25 nations,
+    5 regions). Value distributions follow the TPC-H shapes the workload's
+    predicates exercise (dates 1992–1998, discounts 0–0.10, quantities
+    1–50, ...). *)
+
+open Divm_ring
+
+type config = { scale : float; seed : int }
+
+val default : config
+
+(** Full table contents (insert-only multiplicities of 1). *)
+val tables : config -> (string * Gmr.t) list
+
+(** [stream cfg ~batch_size] synthesizes the update stream of §6: per-table
+    insertions interleaved round-robin (proportionally, so all tables finish
+    together), chunked into per-relation batches of [batch_size]. *)
+val stream : config -> batch_size:int -> (string * Gmr.t) list
+
+(** Event-level stream: every insertion as a single tuple, same order. *)
+val stream_tuples : config -> (string * Vtuple.t) list

@@ -1,0 +1,99 @@
+module Tsch = Schema
+open Divm_ring
+open Value
+
+exception Error of string
+
+let split line = String.split_on_char '|' line
+
+let int_field ctx s =
+  match int_of_string_opt (String.trim s) with
+  | Some k -> Int k
+  | None -> raise (Error (ctx ^ ": expected int, got '" ^ s ^ "'"))
+
+let float_field ctx s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> Float f
+  | None -> raise (Error (ctx ^ ": expected float, got '" ^ s ^ "'"))
+
+let date_field ctx s =
+  match String.split_on_char '-' (String.trim s) with
+  | [ y; m; d ] -> (
+      try Value.date (int_of_string y) (int_of_string m) (int_of_string d)
+      with _ -> raise (Error (ctx ^ ": bad date '" ^ s ^ "'")))
+  | _ -> raise (Error (ctx ^ ": bad date '" ^ s ^ "'"))
+
+let str_field s = String (String.trim s)
+
+(* Derived category columns replacing LIKE predicates of the synthetic
+   schema: a stable hash of the source text into a small domain. *)
+let category ~buckets s =
+  Int (Hashtbl.hash (String.trim s) mod buckets)
+
+(* Phone country code: the digits before the first '-'. *)
+let country_code ctx s =
+  match String.index_opt s '-' with
+  | Some i -> int_field ctx (String.sub s 0 i)
+  | None -> category ~buckets:25 s
+
+let nth ctx fields i =
+  match List.nth_opt fields i with
+  | Some f -> f
+  | None -> raise (Error (ctx ^ ": missing column " ^ string_of_int i))
+
+let parse_line table line =
+  let fs = split line in
+  let g = nth table fs in
+  let i k = int_field table (g k) in
+  let f k = float_field table (g k) in
+  let d k = date_field table (g k) in
+  let s k = str_field (g k) in
+  match table with
+  (* dbgen column layouts; trailing comment columns are skipped *)
+  | "region" -> [| i 0; s 1 |]
+  | "nation" -> [| i 0; s 1; i 2 |]
+  | "supplier" ->
+      (* suppkey, name, address, nationkey, phone, acctbal, comment *)
+      [| i 0; s 1; i 3; f 5 |]
+  | "customer" ->
+      (* custkey, name, address, nationkey, phone, acctbal, mktsegment *)
+      [| i 0; s 1; i 3; s 6; f 5; country_code table (g 4) |]
+  | "part" ->
+      (* partkey, name, mfgr, brand, type, size, container, retail, comment *)
+      [| i 0; category ~buckets:10 (g 1); s 2; s 3; s 4; i 5; s 6 |]
+  | "partsupp" -> [| i 0; i 1; i 2; f 3 |]
+  | "orders" ->
+      (* okey, ckey, status, totalprice, date, priority, clerk, shippriority *)
+      [| i 0; i 1; s 2; f 3; d 4; s 5; i 7 |]
+  | "lineitem" ->
+      (* okey, pkey, skey, linenum, qty, extprice, disc, tax, rflag, status,
+         shipdate, commitdate, receiptdate, shipinstruct, shipmode, comment *)
+      [|
+        i 0; i 1; i 2; i 3; f 4; f 5; f 6; f 7; s 8; s 9; d 10; d 11; d 12;
+        s 14;
+      |]
+  | _ -> raise (Error ("unknown table " ^ table))
+
+let load_file table path =
+  let ic = open_in path in
+  let g = Gmr.create () in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.length (String.trim line) > 0 then
+         try Gmr.add g (parse_line table line) 1.
+         with Error m ->
+           close_in ic;
+           raise (Error (Printf.sprintf "%s:%d: %s" path !lineno m))
+     done
+   with End_of_file -> close_in ic);
+  g
+
+let load_dir dir =
+  List.filter_map
+    (fun (table, _) ->
+      let path = Filename.concat dir (table ^ ".tbl") in
+      if Sys.file_exists path then Some (table, load_file table path) else None)
+    Tsch.streams

@@ -1,0 +1,22 @@
+(** Loader for dbgen-format [.tbl] files ('|'-separated, one row per line),
+    so real TPC-H data can drive the system instead of the synthetic
+    generator. Columns are mapped onto the streaming schema (extra dbgen
+    columns such as comments are skipped; LIKE-category columns are derived
+    where the synthetic schema replaced them, e.g. [p_color] from
+    [p_name]). *)
+
+open Divm_ring
+
+exception Error of string
+
+(** [parse_line table line] parses one dbgen row of [table] into a tuple of
+    the streaming schema. Raises [Error] with line context on malformed
+    input. *)
+val parse_line : string -> string -> Vtuple.t
+
+(** [load_file table path] reads a .tbl file into a GMR (multiplicity 1 per
+    row). *)
+val load_file : string -> string -> Gmr.t
+
+(** [load_dir dir] loads every [<relation>.tbl] present in [dir]. *)
+val load_dir : string -> (string * Gmr.t) list

@@ -1,0 +1,97 @@
+open Divm_ring
+open Value
+
+let v' name ty = Schema.var ~ty name
+
+(* Join keys share one canonical variable name across relations, so that
+   natural joins in the calculus link them without explicit predicates;
+   queries that need distinct instances rename at the use site. *)
+let rkey = v' "rkey" TInt
+let nkey = v' "nkey" TInt
+let skey = v' "skey" TInt
+let ckey = v' "ckey" TInt
+let pkey = v' "pkey" TInt
+let okey = v' "okey" TInt
+
+let region = [ rkey; v' "r_name" TString ]
+let nation = [ nkey; v' "n_name" TString; rkey ]
+let supplier = [ skey; v' "s_name" TString; nkey; v' "s_acctbal" TFloat ]
+
+let customer =
+  [
+    ckey;
+    v' "c_name" TString;
+    nkey;
+    v' "c_mktsegment" TString;
+    v' "c_acctbal" TFloat;
+    v' "c_cc" TInt (* phone country code, stands in for substring(c_phone) *);
+  ]
+
+let part =
+  [
+    pkey;
+    v' "p_color" TInt (* stands in for LIKE patterns over p_name *);
+    v' "p_mfgr" TString;
+    v' "p_brand" TString;
+    v' "p_type" TString;
+    v' "p_size" TInt;
+    v' "p_container" TString;
+  ]
+
+let partsupp = [ pkey; skey; v' "ps_availqty" TInt; v' "ps_supplycost" TFloat ]
+
+let orders =
+  [
+    okey;
+    ckey;
+    v' "o_status" TString;
+    v' "o_totalprice" TFloat;
+    v' "o_date" TDate;
+    v' "o_priority" TString;
+    v' "o_spriority" TInt;
+  ]
+
+let lineitem =
+  [
+    okey;
+    pkey;
+    skey;
+    v' "l_num" TInt;
+    v' "l_qty" TFloat;
+    v' "l_price" TFloat;
+    v' "l_disc" TFloat;
+    v' "l_tax" TFloat;
+    v' "l_rflag" TString;
+    v' "l_status" TString;
+    v' "l_sdate" TDate;
+    v' "l_cdate" TDate;
+    v' "l_rdate" TDate;
+    v' "l_smode" TString;
+  ]
+
+let streams =
+  [
+    ("lineitem", lineitem);
+    ("orders", orders);
+    ("customer", customer);
+    ("part", part);
+    ("partsupp", partsupp);
+    ("supplier", supplier);
+    ("nation", nation);
+    ("region", region);
+  ]
+
+let all_vars =
+  List.concat_map snd streams
+  |> List.fold_left
+       (fun acc (x : Schema.var) ->
+         if List.exists (fun (y : Schema.var) -> y.name = x.name) acc then acc
+         else x :: acc)
+       []
+
+let v name =
+  match List.find_opt (fun (x : Schema.var) -> x.name = name) all_vars with
+  | Some x -> x
+  | None -> invalid_arg ("Tpch.Schema.v: unknown column " ^ name)
+
+let partition_keys = [ "okey"; "ckey"; "pkey"; "skey"; "nkey"; "rkey" ]

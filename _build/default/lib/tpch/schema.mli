@@ -1,0 +1,26 @@
+(** The TPC-H schema in its streaming form (§6): the eight base relations,
+    with the columns the streaming query workload uses, as typed calculus
+    variables. Dates are [yyyymmdd] ints; identifiers are dense ints. *)
+
+open Divm_ring
+
+(** Column variables of each relation, in declaration order. *)
+val region : Schema.t
+
+val nation : Schema.t
+val supplier : Schema.t
+val customer : Schema.t
+val part : Schema.t
+val partsupp : Schema.t
+val orders : Schema.t
+val lineitem : Schema.t
+
+(** All eight relations as (name, columns). *)
+val streams : (string * Schema.t) list
+
+(** Variable lookup by name, e.g. [v "l_orderkey"]. Raises on unknown. *)
+val v : string -> Schema.var
+
+(** Partitioning keys in decreasing cardinality (§6.2 heuristic):
+    ["l_orderkey"; "o_orderkey"; ...]. *)
+val partition_keys : string list

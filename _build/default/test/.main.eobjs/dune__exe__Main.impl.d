@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_calc Test_compiler Test_delta Test_dist Test_ft Test_interp Test_misc Test_ring Test_runtime Test_sql Test_storage Test_tpcds Test_tpch

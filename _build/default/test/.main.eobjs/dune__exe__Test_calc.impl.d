@@ -1,0 +1,1 @@
+test/test_calc.ml: Alcotest Divm_calc Divm_ring Schema Vexpr

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Calc Compile Divm_calc Divm_compiler Divm_eval Divm_ring Divm_runtime Exec Gen Gmr List Printf Prog QCheck QCheck_alcotest Schema Value Vexpr

@@ -1,0 +1,1 @@
+test/test_delta.ml: Alcotest Delta Divm_calc Divm_delta Divm_eval Divm_ring Domain Format Gen Gmr Interp List Poly Printf QCheck QCheck_alcotest Schema Value Vexpr

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Cluster Compile Distribute Divm_calc Divm_cluster Divm_compiler Divm_dist Divm_ring Divm_runtime Divm_tpch Dprog Exec Gmr List Loc Printf Prog Schema Value Vexpr

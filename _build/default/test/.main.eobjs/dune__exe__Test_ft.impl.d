@@ -1,0 +1,1 @@
+test/test_ft.ml: Alcotest Array Cluster Compile Distribute Divm_calc Divm_cluster Divm_compiler Divm_dist Divm_eval Divm_ring Divm_tpch Filename Gmr List Loc Schema Sys Unix Value

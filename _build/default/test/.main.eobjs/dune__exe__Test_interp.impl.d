@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Divm_calc Divm_eval Divm_ring Env Gmr Interp Schema Value Vexpr

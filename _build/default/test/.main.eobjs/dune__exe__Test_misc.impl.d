@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Cachesim Divm_baseline Divm_cachesim Divm_calc Divm_ring Divm_storage Gmr List Schema Value

@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Divm_ring Gmr List Schema Value Vtuple

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Compile Divm_calc Divm_compiler Divm_ring Divm_runtime Exec Gen Gmr List QCheck QCheck_alcotest Runtime Schema Value Vexpr

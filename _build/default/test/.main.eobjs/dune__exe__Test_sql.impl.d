@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Divm_compiler Divm_eval Divm_ring Divm_runtime Divm_sql Gmr List Schema Sql Value Vtuple

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Colbatch Divm_ring Divm_storage Float Gen Gmr List Pool Printf QCheck QCheck_alcotest Trace Value

@@ -1,0 +1,1 @@
+test/test_tpcds.ml: Alcotest Compile Divm_compiler Divm_eval Divm_ring Divm_runtime Divm_tpcds Exec Gen Gmr Lazy List Printf Queries Runtime Schema

@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Compile Divm_baseline Divm_cluster Divm_compiler Divm_dist Divm_eval Divm_ring Divm_runtime Divm_tpch Exec Gen Gmr Hashtbl Lazy List Printf Queries Runtime Schema

@@ -1,0 +1,114 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+
+let va = Schema.var "A"
+let vb = Schema.var "B"
+let vc = Schema.var "C"
+let vx = Schema.var "X"
+
+let r_ab = rel "R" [ va; vb ]
+let s_bc = rel "S" [ vb; vc ]
+
+let test_smart_prod () =
+  Alcotest.(check bool) "zero absorbs" true (is_zero (prod [ r_ab; zero ]));
+  Alcotest.(check bool) "one neutral" true (equal (prod [ one; r_ab ]) r_ab);
+  (match prod [ prod [ r_ab; s_bc ]; r_ab ] with
+  | Prod [ _; _; _ ] -> ()
+  | e -> Alcotest.failf "prod did not flatten: %s" (to_string e));
+  match prod [ const 2.; const 3.; r_ab ] with
+  | Prod [ Const 6.; _ ] -> ()
+  | e -> Alcotest.failf "constants not folded: %s" (to_string e)
+
+let test_smart_add () =
+  Alcotest.(check bool) "zero dropped" true (equal (add [ zero; r_ab ]) r_ab);
+  Alcotest.(check bool) "empty is zero" true (is_zero (add []));
+  match add [ add [ r_ab; s_bc ]; r_ab ] with
+  | Add [ _; _; _ ] -> ()
+  | e -> Alcotest.failf "add did not flatten: %s" (to_string e)
+
+let test_neg_is_product () =
+  match neg r_ab with
+  | Prod [ Const -1.; Rel _ ] -> ()
+  | e -> Alcotest.failf "neg encoding: %s" (to_string e)
+
+let test_schema_inference () =
+  let q = sum [ vb ] (prod [ r_ab; s_bc ]) in
+  Alcotest.(check string) "sum schema" "[B]" (Schema.to_string (schema q));
+  Alcotest.(check string)
+    "prod binds left to right" "[A, B, C]"
+    (Schema.to_string (schema (prod [ r_ab; s_bc ])));
+  Alcotest.(check string)
+    "bound vars excluded" "[B, C]"
+    (Schema.to_string (schema ~bound:[ va ] (prod [ r_ab; s_bc ])));
+  let lifted = prod [ r_ab; lift vx (sum [] s_bc) ] in
+  Alcotest.(check string)
+    "lift adds its var" "[A, B, X]"
+    (Schema.to_string (schema lifted))
+
+let test_schema_errors () =
+  (* A Value over an unbound variable is invalid. *)
+  (try
+     ignore (schema (value (Vexpr.var va)));
+     Alcotest.fail "expected Type_error"
+   with Type_error _ -> ());
+  (* Union members must agree on schema. *)
+  (try
+     ignore (schema (Add [ r_ab; s_bc ]));
+     Alcotest.fail "expected Type_error"
+   with Type_error _ -> ());
+  (* Sum group-by vars must be produced. *)
+  try
+    ignore (schema (Sum ([ vx ], r_ab)));
+    Alcotest.fail "expected Type_error"
+  with Type_error _ -> ()
+
+let test_analyses () =
+  let q = sum [ vb ] (prod [ r_ab; delta_rel "S" [ vb; vc ]; map_ "M" [ vc ] ]) in
+  Alcotest.(check (list string)) "base rels" [ "R" ] (base_rels q);
+  Alcotest.(check (list string)) "delta rels" [ "S" ] (delta_rels q);
+  Alcotest.(check (list string)) "maps" [ "M" ] (map_refs q);
+  Alcotest.(check int) "degree of monomial" 3 (degree q);
+  Alcotest.(check int) "degree of union is max" 2
+    (degree (add [ prod [ r_ab; s_bc ]; map_ "M" [ vb; vc ] ]))
+
+let test_rename_and_alpha () =
+  let q = sum [ vb ] (prod [ r_ab; s_bc ]) in
+  let q' = rename_by_assoc [ ("A", Schema.var "A2"); ("C", Schema.var "C2") ] q in
+  Alcotest.(check string)
+    "renamed" "Sum_[B]((R(A2, B) * S(B, C2)))" (to_string q');
+  (* Alpha-canonical forms of the same shape with different internal names
+     are equal when the kept (output) vars match. *)
+  let c1 = alpha_canon ~keep:[ vb ] q in
+  let c2 = alpha_canon ~keep:[ vb ] q' in
+  Alcotest.(check bool) "alpha equivalent" true (equal c1 c2);
+  (* ... but differ if an output var differs. *)
+  let q'' = rename_by_assoc [ ("B", Schema.var "B2") ] q in
+  let c3 = alpha_canon ~keep:[ vb; Schema.var "B2" ] q'' in
+  Alcotest.(check bool) "not alpha equivalent" false (equal c1 c3)
+
+let test_exists_const () =
+  Alcotest.(check bool) "exists const" true (equal (exists (const 5.)) one);
+  match exists r_ab with
+  | Exists _ -> ()
+  | e -> Alcotest.failf "exists kept: %s" (to_string e)
+
+let test_pp_roundtrip_shape () =
+  let q = sum [ vb ] (prod [ r_ab; cmp_vars Lt va vb ]) in
+  Alcotest.(check string) "pp" "Sum_[B]((R(A, B) * {A < B}))" (to_string q)
+
+let suites =
+  [
+    ( "calc",
+      [
+        Alcotest.test_case "prod smart constructor" `Quick test_smart_prod;
+        Alcotest.test_case "add smart constructor" `Quick test_smart_add;
+        Alcotest.test_case "neg is (-1)*e" `Quick test_neg_is_product;
+        Alcotest.test_case "schema inference" `Quick test_schema_inference;
+        Alcotest.test_case "schema errors" `Quick test_schema_errors;
+        Alcotest.test_case "analyses" `Quick test_analyses;
+        Alcotest.test_case "rename / alpha-canon" `Quick test_rename_and_alpha;
+        Alcotest.test_case "exists of constant" `Quick test_exists_const;
+        Alcotest.test_case "pretty printing" `Quick test_pp_roundtrip_shape;
+      ] );
+  ]

@@ -1,0 +1,388 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+open Divm_compiler
+open Divm_runtime
+
+let i x = Value.Int x
+let va = Schema.var "A"
+let vb = Schema.var "B"
+let vc = Schema.var "C"
+let vd = Schema.var "D"
+let vx = Schema.var "X"
+
+let streams_rst = [ ("R", [ va; vb ]); ("S", [ vb; vc ]); ("T", [ vc; vd ]) ]
+
+let q_running =
+  sum [ vb ]
+    (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ]; rel "T" [ vc; vd ] ])
+
+(* ------------------------------------------------------------------ *)
+(* Structure of the compiled program (Example 2.2)                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_running_structure () =
+  let prog =
+    Compile.compile
+      ~options:{ Compile.default_options with preaggregate = false }
+      ~streams:streams_rst
+      [ ("Q", q_running) ]
+  in
+  (* Materializes the query, ST and RS auxiliaries, and projected base
+     views — at least 5 maps beyond nothing, with reuse keeping it small. *)
+  let n = List.length prog.maps in
+  Alcotest.(check bool)
+    (Printf.sprintf "map count %d in [4, 12]" n)
+    true (n >= 4 && n <= 12);
+  (* No statement may reference a raw base relation. *)
+  List.iter
+    (fun tr ->
+      List.iter
+        (fun (s : Prog.stmt) ->
+          Alcotest.(check (list string))
+            ("no base rels in " ^ Calc.to_string s.rhs)
+            [] (Calc.base_rels s.rhs))
+        tr.Prog.stmts)
+    prog.triggers;
+  (* The R-trigger must update Q using a map over S ⋈ T (degree-2 aux). *)
+  let tr = Prog.find_trigger prog "R" in
+  let q_stmt =
+    List.find (fun (s : Prog.stmt) -> s.target = "Q") tr.stmts
+  in
+  let aux = Calc.map_refs q_stmt.rhs in
+  Alcotest.(check int) "Q stmt reads one aux map" 1 (List.length aux);
+  let aux_decl = Prog.find_map prog (List.hd aux) in
+  Alcotest.(check (list string))
+    "aux is over S and T" [ "S"; "T" ]
+    (List.sort compare (Calc.base_rels aux_decl.definition));
+  (* Statements maintain views in decreasing order of complexity: the Q
+     update reads pre-state of the aux map, so it must come first. *)
+  let idx_of target =
+    let rec go k = function
+      | [] -> -1
+      | (s : Prog.stmt) :: tl -> if s.target = target then k else go (k + 1) tl
+    in
+    go 0 tr.stmts
+  in
+  Alcotest.(check bool)
+    "Q updated before its aux inputs" true
+    (idx_of "Q" < idx_of (List.hd aux)
+    || idx_of (List.hd aux) = -1 (* aux not updated by R *))
+
+let test_map_reuse () =
+  (* Q and Q' share the subquery S ⋈ T; auxiliary maps must be shared. *)
+  let q2 =
+    sum [ vc ]
+      (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ]; rel "T" [ vc; vd ] ])
+  in
+  let p1 =
+    Compile.compile ~streams:streams_rst [ ("Q", q_running) ]
+  in
+  let p2 =
+    Compile.compile ~streams:streams_rst [ ("Q", q_running); ("Q2", q2) ]
+  in
+  let aux_count p =
+    List.length
+      (List.filter
+         (fun (m : Prog.map_decl) -> m.mkind <> Prog.Transient)
+         p.Prog.maps)
+  in
+  (* Adding the second query must cost fewer maps than compiling it alone
+     (sharing of base views at minimum). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sharing: %d vs %d" (aux_count p2) (aux_count p1))
+    true
+    (aux_count p2 < 2 * aux_count p1)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end equivalence on random streams                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Oracle: raw relation contents, query evaluated from scratch. *)
+let oracle_eval rels q =
+  let src = Divm_eval.Interp.source_of_rels rels in
+  snd (Divm_eval.Interp.eval_closed src q)
+
+let run_equivalence ?(msg = "equiv") ~streams ~queries stream_batches =
+  let progs =
+    [
+      ("rivm", Compile.compile ~streams queries);
+      ( "rivm-nopreagg",
+        Compile.compile
+          ~options:{ Compile.default_options with preaggregate = false }
+          ~streams queries );
+      ( "rivm-nofactor",
+        Compile.compile
+          ~options:{ Compile.default_options with factorize = false }
+          ~streams queries );
+      ("classical", Compile.compile_classical ~streams queries);
+      ("reeval", Compile.compile_reeval ~streams queries);
+    ]
+  in
+  let execs = List.map (fun (n, p) -> (n, Exec.create p)) progs in
+  let rels =
+    List.map (fun (r, _) -> (r, Gmr.create ())) streams
+  in
+  List.iteri
+    (fun bi (rel_name, batch) ->
+      (* keep the oracle database in sync *)
+      Gmr.union_into (List.assoc rel_name rels) batch;
+      List.iter (fun (_, ex) -> Exec.apply_batch ex ~rel:rel_name batch) execs;
+      List.iter
+        (fun (qname, qdef) ->
+          let expect = oracle_eval rels qdef in
+          List.iter
+            (fun (en, ex) ->
+              let got = Exec.result ex qname in
+              if not (Gmr.equal expect got) then
+                Alcotest.failf
+                  "%s: engine %s diverged on query %s after batch %d (%s):@.got %a@.want %a"
+                  msg en qname bi rel_name Gmr.pp got Gmr.pp expect)
+            execs)
+        queries)
+    stream_batches
+
+let mk2 l = Gmr.of_list (List.map (fun (a, b, m) -> ([| i a; i b |], m)) l)
+
+let test_equiv_running () =
+  run_equivalence ~msg:"running" ~streams:streams_rst
+    ~queries:[ ("Q", q_running) ]
+    [
+      ("R", mk2 [ (1, 10, 1.); (2, 10, 1.) ]);
+      ("S", mk2 [ (10, 100, 1.); (20, 200, 2.) ]);
+      ("T", mk2 [ (100, 7, 1.); (200, 8, 1.) ]);
+      ("R", mk2 [ (3, 20, 2.); (1, 10, -1.) ]);
+      ("S", mk2 [ (20, 100, 1.); (10, 100, -1.) ]);
+      ("T", mk2 [ (100, 9, 3.); (200, 8, -1.) ]);
+    ]
+
+let test_equiv_filters_values () =
+  (* SELECT B, SUM(A) FROM R WHERE A < 3 GROUP BY B joined with S count. *)
+  let q =
+    sum [ vb ]
+      (prod
+         [
+           rel "R" [ va; vb ];
+           cmp Lt (Vexpr.var va) (Vexpr.const_i 3);
+           rel "S" [ vb; vc ];
+           value (Vexpr.var va);
+         ])
+  in
+  run_equivalence ~msg:"filters" ~streams:streams_rst
+    ~queries:[ ("QF", q) ]
+    [
+      ("R", mk2 [ (1, 10, 1.); (5, 10, 1.); (2, 20, 3.) ]);
+      ("S", mk2 [ (10, 1, 1.); (20, 2, 1.) ]);
+      ("R", mk2 [ (1, 10, -1.); (2, 20, 1.) ]);
+      ("S", mk2 [ (10, 1, -1.); (10, 3, 2.) ]);
+    ]
+
+let test_equiv_distinct () =
+  let q =
+    exists
+      (sum [ va ]
+         (prod [ rel "R" [ va; vb ]; cmp Gt (Vexpr.var vb) (Vexpr.const_i 5) ]))
+  in
+  run_equivalence ~msg:"distinct" ~streams:[ ("R", [ va; vb ]) ]
+    ~queries:[ ("QD", q) ]
+    [
+      ("R", mk2 [ (1, 10, 1.); (2, 3, 1.) ]);
+      ("R", mk2 [ (1, 20, 2.); (3, 8, 1.) ]);
+      ("R", mk2 [ (1, 10, -1.); (1, 20, -2.) ]);
+      (* A=1 loses all support here; tuple must vanish from the result *)
+      ("R", mk2 [ (3, 8, -1.); (2, 9, 1.) ]);
+    ]
+
+let test_equiv_nested_correlated () =
+  (* Q17 shape: COUNT of R rows with A < per-B count of S. *)
+  let q =
+    sum []
+      (prod
+         [
+           rel "R" [ va; vb ];
+           lift vx (sum [ vb ] (rel "S" [ vb; vc ]));
+           cmp_vars Lt va vx;
+         ])
+  in
+  run_equivalence ~msg:"nested-corr" ~streams:streams_rst
+    ~queries:[ ("QN", q) ]
+    [
+      ("R", mk2 [ (0, 10, 1.); (1, 20, 1.) ]);
+      ("S", mk2 [ (10, 1, 1.); (20, 2, 2.) ]);
+      ("S", mk2 [ (10, 1, -1.); (20, 9, 1.) ]);
+      ("R", mk2 [ (0, 10, -1.); (2, 20, 5.) ]);
+    ]
+
+let test_equiv_nested_uncorrelated () =
+  (* Example 3.3 shape: uncorrelated nested aggregate -> re-eval path. *)
+  let vb2 = Schema.var "B2" in
+  let q =
+    sum []
+      (prod
+         [
+           rel "R" [ va; vb ];
+           lift vx (sum [] (rel "S" [ vb2; vc ]));
+           cmp_vars Lt va vx;
+         ])
+  in
+  run_equivalence ~msg:"nested-uncorr" ~streams:streams_rst
+    ~queries:[ ("QU", q) ]
+    [
+      ("R", mk2 [ (0, 10, 1.); (3, 20, 1.) ]);
+      ("S", mk2 [ (1, 1, 1.); (2, 2, 1.) ]);
+      ("S", mk2 [ (3, 3, 1.); (1, 1, -1.) ]);
+      ("R", mk2 [ (2, 10, 2.) ]);
+    ]
+
+let test_equiv_self_join () =
+  let q = sum [ vb ] (prod [ rel "R" [ va; vb ]; rel "R" [ vc; vb ] ]) in
+  run_equivalence ~msg:"self-join" ~streams:[ ("R", [ va; vb ]) ]
+    ~queries:[ ("QS", q) ]
+    [
+      ("R", mk2 [ (1, 10, 1.); (2, 10, 1.) ]);
+      ("R", mk2 [ (3, 10, 1.); (1, 10, -1.) ]);
+      ("R", mk2 [ (4, 20, 2.) ]);
+    ]
+
+let test_equiv_multi_query () =
+  let q2 = sum [] (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ] ]) in
+  run_equivalence ~msg:"multi-query" ~streams:streams_rst
+    ~queries:[ ("Q", q_running); ("QC", q2) ]
+    [
+      ("R", mk2 [ (1, 10, 1.) ]);
+      ("S", mk2 [ (10, 100, 2.) ]);
+      ("T", mk2 [ (100, 5, 1.) ]);
+      ("R", mk2 [ (2, 10, 3.); (1, 10, -1.) ]);
+    ]
+
+(* Random-stream property: all engines agree with the oracle. *)
+let qcheck_engines_agree =
+  let open QCheck in
+  let gen_batch =
+    Gen.(
+      list_size (int_range 1 6)
+        (triple (int_range 0 3) (int_range 0 3) (int_range (-2) 2)))
+  in
+  let gen_stream =
+    Gen.(list_size (int_range 1 8) (pair (int_range 0 2) gen_batch))
+  in
+  let arb = QCheck.make ~print:(fun _ -> "<stream>") gen_stream in
+  QCheck.Test.make ~name:"engines agree on random streams" ~count:60 arb
+    (fun stream ->
+      let rels = [| "R"; "S"; "T" |] in
+      let batches =
+        List.map
+          (fun (ri, tuples) ->
+            ( rels.(ri),
+              mk2 (List.map (fun (a, b, m) -> (a, b, float_of_int m)) tuples)
+            ))
+          stream
+      in
+      run_equivalence ~msg:"qcheck" ~streams:streams_rst
+        ~queries:[ ("Q", q_running) ]
+        batches;
+      true)
+
+(* Random flat queries over the R/S/T chain: a random join prefix, random
+   filters over bound columns, an optional value weight, a random group-by,
+   optionally wrapped in DISTINCT. All engines must agree with the oracle
+   on random streams. *)
+let gen_query =
+  let open QCheck.Gen in
+  let atoms =
+    [|
+      [ rel "R" [ va; vb ] ];
+      [ rel "R" [ va; vb ]; rel "S" [ vb; vc ] ];
+      [ rel "R" [ va; vb ]; rel "S" [ vb; vc ]; rel "T" [ vc; vd ] ];
+    |]
+  in
+  let* n_atoms = int_range 0 2 in
+  let chain = atoms.(n_atoms) in
+  let visible = List.filteri (fun i _ -> i <= n_atoms + 1) [ va; vb; vc; vd ] in
+  let gen_filter =
+    let* v = oneofl visible in
+    let* op = oneofl [ Lt; Lte; Gt; Gte; Eq; Neq ] in
+    let* k = int_range 0 4 in
+    return (cmp op (Vexpr.var v) (Vexpr.const_i k))
+  in
+  let* n_filters = int_range 0 2 in
+  let* filters = list_repeat n_filters gen_filter in
+  let* weighted = bool in
+  let* wvar = oneofl visible in
+  let weight = if weighted then [ value (Vexpr.var wvar) ] else [] in
+  let* gb_mask = int_range 0 ((1 lsl List.length visible) - 1) in
+  let gb = List.filteri (fun i _ -> gb_mask land (1 lsl i) <> 0) visible in
+  let body = prod (chain @ filters @ weight) in
+  let* distinct = bool in
+  return (if distinct then exists (sum gb body) else sum gb body)
+
+let qcheck_random_queries =
+  let gen_batch =
+    QCheck.Gen.(
+      list_size (int_range 1 5)
+        (triple (int_range 0 3) (int_range 0 3) (int_range (-2) 2)))
+  in
+  let gen_case =
+    QCheck.Gen.(
+      pair gen_query (list_size (int_range 1 5) (pair (int_range 0 2) gen_batch)))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (q, _) -> Calc.to_string q)
+      gen_case
+  in
+  QCheck.Test.make ~name:"engines agree on random queries" ~count:80 arb
+    (fun (q, stream) ->
+      let rels = [| "R"; "S"; "T" |] in
+      let batches =
+        List.map
+          (fun (ri, tuples) ->
+            ( rels.(ri),
+              mk2 (List.map (fun (a, b, m) -> (a, b, float_of_int m)) tuples)
+            ))
+          stream
+      in
+      run_equivalence ~msg:"random-query" ~streams:streams_rst
+        ~queries:[ ("RQ", q) ]
+        batches;
+      true)
+
+let test_preagg_structure () =
+  let prog = Compile.compile ~streams:streams_rst [ ("Q", q_running) ] in
+  (* Each trigger must start with a transient delta pre-aggregation. *)
+  List.iter
+    (fun (tr : Prog.trigger) ->
+      match tr.stmts with
+      | [] -> ()
+      | s0 :: _ ->
+          let m = Prog.find_map prog s0.target in
+          Alcotest.(check bool)
+            (Printf.sprintf "trigger %s starts with transient (got %s)"
+               tr.relation s0.target)
+            true
+            (m.mkind = Prog.Transient))
+    prog.triggers
+
+let suites =
+  [
+    ( "compiler",
+      [
+        Alcotest.test_case "Ex 2.2 structure" `Quick test_running_structure;
+        Alcotest.test_case "map reuse across queries" `Quick test_map_reuse;
+        Alcotest.test_case "equivalence: running example" `Quick
+          test_equiv_running;
+        Alcotest.test_case "equivalence: filters+values" `Quick
+          test_equiv_filters_values;
+        Alcotest.test_case "equivalence: distinct" `Quick test_equiv_distinct;
+        Alcotest.test_case "equivalence: correlated nested" `Quick
+          test_equiv_nested_correlated;
+        Alcotest.test_case "equivalence: uncorrelated nested" `Quick
+          test_equiv_nested_uncorrelated;
+        Alcotest.test_case "equivalence: self join" `Quick test_equiv_self_join;
+        Alcotest.test_case "equivalence: multiple queries" `Quick
+          test_equiv_multi_query;
+        Alcotest.test_case "preagg structure" `Quick test_preagg_structure;
+        QCheck_alcotest.to_alcotest qcheck_engines_agree;
+        QCheck_alcotest.to_alcotest qcheck_random_queries;
+      ] );
+  ]

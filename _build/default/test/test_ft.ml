@@ -1,0 +1,170 @@
+(* Fault tolerance (checkpoint / worker failure / recovery) and the dbgen
+   .tbl loader. *)
+
+open Divm_ring
+open Divm_compiler
+open Divm_dist
+open Divm_cluster
+
+let i x = Value.Int x
+let va = Schema.var "A"
+let vb = Schema.var "B"
+let vc = Schema.var "C"
+
+let streams = [ ("R", [ va; vb ]); ("S", [ vb; vc ]) ]
+
+let q =
+  Divm_calc.Calc.(sum [ vb ] (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ] ]))
+
+let mk2 l = Gmr.of_list (List.map (fun (a, b, m) -> ([| i a; i b |], m)) l)
+
+let batches =
+  [
+    ("R", mk2 [ (1, 10, 1.); (2, 20, 1.) ]);
+    ("S", mk2 [ (10, 5, 2.); (20, 7, 1.) ]);
+    ("R", mk2 [ (3, 10, 2.); (1, 10, -1.) ]);
+    ("S", mk2 [ (10, 6, 1.); (30, 9, 1.) ]);
+  ]
+
+let mk_cluster () =
+  let prog = Compile.compile ~streams [ ("Q", q) ] in
+  let catalog = Loc.heuristic ~keys:[ "B" ] prog in
+  let dp = Distribute.compile ~catalog prog in
+  Cluster.create ~config:(Cluster.config ~workers:3 ()) dp
+
+let test_checkpoint_restore () =
+  let c = mk_cluster () in
+  List.iteri
+    (fun k (r, b) -> if k < 2 then ignore (Cluster.apply_batch c ~rel:r b))
+    batches;
+  let snap, lat = Cluster.checkpoint c in
+  Alcotest.(check bool) "checkpoint has latency cost" true (lat > 0.);
+  Alcotest.(check bool) "snapshot non-empty" true
+    (Cluster.Checkpoint.byte_size snap > 0);
+  let at_ckpt = Cluster.result c "Q" in
+  (* keep processing, then roll back *)
+  List.iteri
+    (fun k (r, b) -> if k >= 2 then ignore (Cluster.apply_batch c ~rel:r b))
+    batches;
+  Alcotest.(check bool) "state moved on" false
+    (Gmr.equal at_ckpt (Cluster.result c "Q"));
+  Cluster.restore c snap;
+  Alcotest.(check bool) "restored to checkpoint" true
+    (Gmr.equal at_ckpt (Cluster.result c "Q"))
+
+let test_failure_recovery_replay () =
+  (* Reference run without failure. *)
+  let ref_c = mk_cluster () in
+  List.iter (fun (r, b) -> ignore (Cluster.apply_batch ref_c ~rel:r b)) batches;
+  let expected = Cluster.result ref_c "Q" in
+  (* Run with a checkpoint after batch 2, a crash during batch 3, recovery
+     and replay of the missed suffix. *)
+  let c = mk_cluster () in
+  List.iteri
+    (fun k (r, b) -> if k < 2 then ignore (Cluster.apply_batch c ~rel:r b))
+    batches;
+  let snap, _ = Cluster.checkpoint c in
+  ignore (Cluster.apply_batch c ~rel:"R" (mk2 [ (3, 10, 2.); (1, 10, -1.) ]));
+  Cluster.fail_worker c 1;
+  (* after the crash the state is damaged *)
+  Cluster.restore c snap;
+  List.iteri
+    (fun k (r, b) -> if k >= 2 then ignore (Cluster.apply_batch c ~rel:r b))
+    batches;
+  Alcotest.(check bool) "recovered run matches failure-free run" true
+    (Gmr.equal expected (Cluster.result c "Q"))
+
+let test_checkpoint_file_roundtrip () =
+  let c = mk_cluster () in
+  List.iter (fun (r, b) -> ignore (Cluster.apply_batch c ~rel:r b)) batches;
+  let snap, _ = Cluster.checkpoint c in
+  let path = Filename.temp_file "divm_ckpt" ".bin" in
+  Cluster.Checkpoint.save_file snap path;
+  let snap' = Cluster.Checkpoint.load_file path in
+  Sys.remove path;
+  Alcotest.(check int) "same serialized size"
+    (Cluster.Checkpoint.byte_size snap)
+    (Cluster.Checkpoint.byte_size snap');
+  let before = Cluster.result c "Q" in
+  Cluster.fail_worker c 0;
+  Cluster.fail_worker c 2;
+  Cluster.restore c snap';
+  Alcotest.(check bool) "restore from file" true
+    (Gmr.equal before (Cluster.result c "Q"))
+
+(* ------------------------------------------------------------------ *)
+(* dbgen .tbl loader                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_tbl_parse () =
+  let t =
+    Divm_tpch.Load.parse_line "orders"
+      "17|55|O|128786.57|1995-10-11|3-MEDIUM|Clerk#000000333|0|quickly final \
+       requests|"
+  in
+  Alcotest.(check bool) "okey" true (Value.equal t.(0) (i 17));
+  Alcotest.(check bool) "ckey" true (Value.equal t.(1) (i 55));
+  Alcotest.(check bool) "status" true (Value.equal t.(2) (Value.String "O"));
+  Alcotest.(check bool) "date" true
+    (Value.equal t.(4) (Value.date 1995 10 11));
+  Alcotest.(check bool) "spriority" true (Value.equal t.(6) (i 0));
+  let li =
+    Divm_tpch.Load.parse_line "lineitem"
+      "1|156|4|1|17|17954.55|0.04|0.02|N|O|1996-03-13|1996-02-12|1996-03-22|DELIVER \
+       IN PERSON|TRUCK|egular courts|"
+  in
+  Alcotest.(check int) "lineitem width" 14 (Array.length li);
+  Alcotest.(check bool) "qty" true (Value.equal li.(4) (Value.Float 17.))
+
+let test_tbl_errors () =
+  (try
+     ignore (Divm_tpch.Load.parse_line "orders" "not|enough");
+     Alcotest.fail "expected Error"
+   with Divm_tpch.Load.Error _ -> ());
+  try
+    ignore (Divm_tpch.Load.parse_line "widgets" "1|2|");
+    Alcotest.fail "expected Error"
+  with Divm_tpch.Load.Error _ -> ()
+
+let test_tbl_file_and_query () =
+  (* Write a small .tbl fixture, load it, and run a query over it. *)
+  let dir = Filename.temp_file "divm_tbl" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let write name lines =
+    let oc = open_out (Filename.concat dir name) in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  write "region.tbl"
+    [ "0|AFRICA|comment|"; "1|AMERICA|c|"; "2|ASIA|c|" ];
+  write "nation.tbl" [ "0|ALGERIA|0|c|"; "1|ARGENTINA|1|c|" ];
+  let tables = Divm_tpch.Load.load_dir dir in
+  Sys.remove (Filename.concat dir "region.tbl");
+  Sys.remove (Filename.concat dir "nation.tbl");
+  Unix.rmdir dir;
+  Alcotest.(check int) "two tables found" 2 (List.length tables);
+  Alcotest.(check int) "regions" 3 (Gmr.cardinal (List.assoc "region" tables));
+  let src = Divm_eval.Interp.source_of_rels tables in
+  let count =
+    Divm_eval.Interp.eval_scalar src
+      Divm_calc.Calc.(sum [] (rel "nation" Divm_tpch.Schema.nation))
+  in
+  Alcotest.(check (float 1e-9)) "query over loaded data" 2. count
+
+let suites =
+  [
+    ( "fault-tolerance",
+      [
+        Alcotest.test_case "checkpoint / restore" `Quick
+          test_checkpoint_restore;
+        Alcotest.test_case "crash + recovery + replay" `Quick
+          test_failure_recovery_replay;
+        Alcotest.test_case "checkpoint file roundtrip" `Quick
+          test_checkpoint_file_roundtrip;
+        Alcotest.test_case "tbl line parsing" `Quick test_tbl_parse;
+        Alcotest.test_case "tbl error reporting" `Quick test_tbl_errors;
+        Alcotest.test_case "tbl dir load + query" `Quick
+          test_tbl_file_and_query;
+      ] );
+  ]

@@ -1,0 +1,162 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+open Divm_eval
+
+let i x = Value.Int x
+let va = Schema.var "A"
+let vb = Schema.var "B"
+let vc = Schema.var "C"
+let vd = Schema.var "D"
+let vx = Schema.var "X"
+
+(* R(A,B), S(B,C), T(C,D) — the paper's running example (Ex. 2.1). *)
+let db () =
+  let r =
+    Gmr.of_list
+      [
+        ([| i 1; i 10 |], 1.);
+        ([| i 2; i 10 |], 1.);
+        ([| i 3; i 20 |], 2.);
+      ]
+  in
+  let s =
+    Gmr.of_list
+      [ ([| i 10; i 100 |], 1.); ([| i 20; i 100 |], 1.); ([| i 20; i 200 |], 3.) ]
+  in
+  let t = Gmr.of_list [ ([| i 100; i 7 |], 1.); ([| i 200; i 8 |], 2.) ] in
+  Interp.source_of_rels [ ("R", r); ("S", s); ("T", t) ]
+
+let q_running =
+  sum [ vb ]
+    (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ]; rel "T" [ vc; vd ] ])
+
+let test_running_example () =
+  let sch, g = Interp.eval_closed (db ()) q_running in
+  Alcotest.(check string) "schema" "[B]" (Schema.to_string sch);
+  (* B=10: R has 2 tuples (mult 1 each), S(10,100) mult 1, T(100,7) mult 1,
+     so 2. B=20: R mult 2; S(20,100) x T(100,.) = 1, S(20,200) x T(200,.) = 6;
+     total 2 x 7 = 14. *)
+  Alcotest.(check (float 1e-9)) "B=10" 2. (Gmr.mult g [| i 10 |]);
+  Alcotest.(check (float 1e-9)) "B=20" 14. (Gmr.mult g [| i 20 |])
+
+let test_filters_and_values () =
+  (* SELECT SUM(A) FROM R WHERE B = 10 *)
+  let q =
+    sum []
+      (prod
+         [
+           rel "R" [ va; vb ];
+           cmp Eq (Vexpr.var vb) (Vexpr.const_i 10);
+           value (Vexpr.var va);
+         ])
+  in
+  Alcotest.(check (float 1e-9)) "sum A" 3. (Interp.eval_scalar (db ()) q)
+
+let test_union_and_negation () =
+  let q =
+    sum []
+      (add [ rel "R" [ va; vb ]; neg (rel "R" [ va; vb ]) ])
+  in
+  Alcotest.(check (float 1e-9)) "R - R = 0" 0. (Interp.eval_scalar (db ()) q)
+
+let test_nested_aggregate () =
+  (* Example 3.1: SELECT COUNT( * ) FROM R WHERE R.A <
+       (SELECT COUNT( * ) FROM S WHERE R.B = S.B) *)
+  let vb2 = Schema.var "B2" in
+  let qn =
+    sum [] (prod [ rel "S" [ vb2; vc ]; cmp_vars Eq vb vb2 ])
+  in
+  let q =
+    sum []
+      (prod [ rel "R" [ va; vb ]; lift vx qn; cmp_vars Lt va vx ])
+  in
+  (* For B=10 the inner count is 1: rows with A<1: none.
+     For B=20 the inner count is 4: row (3,20) has A=3<4, mult 2. *)
+  Alcotest.(check (float 1e-9)) "correlated nested" 2.
+    (Interp.eval_scalar (db ()) q)
+
+let test_scalar_lift_empty () =
+  (* A scalar lift over an empty selection binds 0, as SQL COUNT does. *)
+  let qn =
+    sum []
+      (prod [ rel "S" [ vb; vc ]; cmp Eq (Vexpr.var vb) (Vexpr.const_i 999) ])
+  in
+  let q =
+    sum []
+      (prod [ lift vx qn; value (Vexpr.Add (Vexpr.var vx, Vexpr.const_i 5)) ])
+  in
+  Alcotest.(check (float 1e-9)) "lift of empty = 0" 5.
+    (Interp.eval_scalar (db ()) q)
+
+let test_exists () =
+  (* SELECT DISTINCT B FROM R: Exists(Sum_[B] R). *)
+  let q = exists (sum [ vb ] (rel "R" [ va; vb ])) in
+  let _, g = Interp.eval_closed (db ()) q in
+  Alcotest.(check int) "two distinct" 2 (Gmr.cardinal g);
+  Alcotest.(check (float 1e-9)) "mult 1" 1. (Gmr.mult g [| i 20 |])
+
+let test_exists_negative_cancel () =
+  (* Exists sees multiplicity 0 tuples as absent. *)
+  let q =
+    exists
+      (sum [ vb ]
+         (add [ rel "R" [ va; vb ]; neg (rel "R" [ va; vb ]) ]))
+  in
+  let _, g = Interp.eval_closed (db ()) q in
+  Alcotest.(check int) "empty" 0 (Gmr.cardinal g)
+
+let test_repeated_column_var () =
+  (* R(A,A) selects tuples with equal columns: none here; add one. *)
+  let r = Gmr.of_list [ ([| i 5; i 5 |], 3.); ([| i 5; i 6 |], 1.) ] in
+  let src = Interp.source_of_rels [ ("R", r) ] in
+  let q = sum [] (rel "R" [ va; va ]) in
+  Alcotest.(check (float 1e-9)) "self-equal columns" 3.
+    (Interp.eval_scalar src q)
+
+let test_eval_with_env () =
+  let src = db () in
+  let env = Env.bind Env.empty vb (i 20) in
+  let sch, g = Interp.eval src env (rel "R" [ va; vb ]) in
+  Alcotest.(check string) "bound var excluded" "[A]" (Schema.to_string sch);
+  Alcotest.(check (float 1e-9)) "slice" 2. (Gmr.mult g [| i 3 |]);
+  Alcotest.(check int) "slice cardinality" 1 (Gmr.cardinal g)
+
+let test_delta_atom_and_maps () =
+  let d = Gmr.of_list [ ([| i 9; i 10 |], 1.) ] in
+  let m = Gmr.of_list [ ([| i 10 |], 4.) ] in
+  let src =
+    {
+      Interp.rel = (fun _ -> raise Not_found);
+      delta = (fun n -> if n = "R" then d else raise Not_found);
+      map = (fun n -> if n = "MST" then m else raise Not_found);
+    }
+  in
+  (* dQ(B) = Sum_[B](dR(A,B) * MST[B]) — trigger body of Ex. 2.2. *)
+  let q = sum [ vb ] (prod [ delta_rel "R" [ va; vb ]; map_ "MST" [ vb ] ]) in
+  let _, g = Interp.eval_closed src q in
+  Alcotest.(check (float 1e-9)) "delta join map" 4. (Gmr.mult g [| i 10 |])
+
+let suites =
+  [
+    ( "interp",
+      [
+        Alcotest.test_case "running example Ex2.1" `Quick test_running_example;
+        Alcotest.test_case "filters and value aggregates" `Quick
+          test_filters_and_values;
+        Alcotest.test_case "union and negation" `Quick test_union_and_negation;
+        Alcotest.test_case "correlated nested aggregate" `Quick
+          test_nested_aggregate;
+        Alcotest.test_case "scalar lift of empty result" `Quick
+          test_scalar_lift_empty;
+        Alcotest.test_case "exists / distinct" `Quick test_exists;
+        Alcotest.test_case "exists cancellation" `Quick
+          test_exists_negative_cancel;
+        Alcotest.test_case "repeated column variable" `Quick
+          test_repeated_column_var;
+        Alcotest.test_case "evaluation under bindings" `Quick
+          test_eval_with_env;
+        Alcotest.test_case "delta and map atoms" `Quick
+          test_delta_atom_and_maps;
+      ] );
+  ]

@@ -1,0 +1,107 @@
+open Divm_ring
+open Divm_cachesim
+
+let test_cache_lru () =
+  (* 2 sets, 2 ways, 64B lines: addresses 0, 128, 256 map to set 0. *)
+  let c = Cachesim.cache ~sets:2 ~ways:2 () in
+  Alcotest.(check bool) "cold miss" false (Cachesim.access c 0);
+  Alcotest.(check bool) "hit" true (Cachesim.access c 8);
+  Alcotest.(check bool) "second line miss" false (Cachesim.access c 128);
+  Alcotest.(check bool) "both resident" true (Cachesim.access c 0);
+  (* third line evicts LRU (128) *)
+  Alcotest.(check bool) "conflict miss" false (Cachesim.access c 256);
+  Alcotest.(check bool) "victim evicted" false (Cachesim.access c 128);
+  Alcotest.(check int) "refs counted" 6 (Cachesim.refs c);
+  Alcotest.(check int) "misses counted" 4 (Cachesim.misses c);
+  Cachesim.reset c;
+  Alcotest.(check int) "reset" 0 (Cachesim.refs c)
+
+let test_cache_hierarchy () =
+  let h = Cachesim.default_hierarchy () in
+  let detach = Cachesim.attach h in
+  let p = Divm_storage.Pool.create ~key_width:1 ~slices:[] () in
+  for x = 0 to 999 do
+    Divm_storage.Pool.add p [| Value.Int x |] 1.
+  done;
+  (* hot loop over a small working set: mostly L1 hits *)
+  for _ = 1 to 10 do
+    for x = 0 to 9 do
+      ignore (Divm_storage.Pool.get p [| Value.Int x |])
+    done
+  done;
+  detach ();
+  let c = Cachesim.counters h in
+  Alcotest.(check bool) "l1 refs recorded" true (c.l1d_refs > 1000);
+  Alcotest.(check bool) "llc refs are l1 misses" true
+    (c.llc_refs = c.l1d_misses);
+  Alcotest.(check bool) "some locality" true (c.l1d_misses < c.l1d_refs)
+
+let test_baseline_engines_agree () =
+  let open Divm_calc.Calc in
+  let va = Schema.var "A" and vb = Schema.var "B" and vc = Schema.var "C" in
+  let streams = [ ("R", [ va; vb ]); ("S", [ vb; vc ]) ] in
+  let q = sum [ vb ] (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ] ]) in
+  let engines =
+    List.map
+      (fun e -> Divm_baseline.Baseline.create e ~streams [ ("Q", q) ])
+      [ Divm_baseline.Baseline.Reeval; Classical; Rivm_interp; Rivm ]
+  in
+  let i x = Value.Int x in
+  let batches =
+    [
+      ("R", Gmr.of_list [ ([| i 1; i 10 |], 1.); ([| i 2; i 20 |], 1.) ]);
+      ("S", Gmr.of_list [ ([| i 10; i 5 |], 2.) ]);
+      ("R", Gmr.of_list [ ([| i 1; i 10 |], -1.); ([| i 7; i 10 |], 3.) ]);
+    ]
+  in
+  List.iter
+    (fun (r, b) ->
+      List.iter
+        (fun e -> ignore (Divm_baseline.Baseline.apply_batch e ~rel:r b))
+        engines)
+    batches;
+  let results =
+    List.map (fun e -> Divm_baseline.Baseline.result e "Q") engines
+  in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "engines agree" true
+        (Gmr.equal (List.hd results) g))
+    (List.tl results)
+
+let test_baseline_load () =
+  let open Divm_calc.Calc in
+  let va = Schema.var "A" and vb = Schema.var "B" in
+  let streams = [ ("R", [ va; vb ]) ] in
+  let q = sum [ vb ] (prod [ rel "R" [ va; vb ]; value (Divm_calc.Vexpr.var va) ]) in
+  let i x = Value.Int x in
+  let warm =
+    Gmr.of_list [ ([| i 1; i 10 |], 1.); ([| i 4; i 10 |], 2.); ([| i 2; i 20 |], 1.) ]
+  in
+  List.iter
+    (fun engine ->
+      let e = Divm_baseline.Baseline.create engine ~streams [ ("Q", q) ] in
+      Divm_baseline.Baseline.load e [ ("R", warm) ];
+      (* loaded state must continue incrementally *)
+      ignore
+        (Divm_baseline.Baseline.apply_batch e ~rel:"R"
+           (Gmr.of_list [ ([| i 5; i 20 |], 1.) ]));
+      let g = Divm_baseline.Baseline.result e "Q" in
+      Alcotest.(check (float 1e-6)) "b=10 after load" 9. (Gmr.mult g [| i 10 |]);
+      Alcotest.(check (float 1e-6)) "b=20 after load+batch" 7.
+        (Gmr.mult g [| i 20 |]))
+    [ Divm_baseline.Baseline.Reeval; Classical; Rivm_interp; Rivm ]
+
+let suites =
+  [
+    ( "misc",
+      [
+        Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru;
+        Alcotest.test_case "cache hierarchy via trace" `Quick
+          test_cache_hierarchy;
+        Alcotest.test_case "baseline engines agree" `Quick
+          test_baseline_engines_agree;
+        Alcotest.test_case "bulk load then incremental" `Quick
+          test_baseline_load;
+      ] );
+  ]

@@ -1,0 +1,205 @@
+open Divm_ring
+open Divm_calc
+open Divm_calc.Calc
+open Divm_compiler
+open Divm_runtime
+
+let i x = Value.Int x
+let va = Schema.var "A"
+let vb = Schema.var "B"
+let vc = Schema.var "C"
+let vd = Schema.var "D"
+let vx = Schema.var "X"
+
+let streams_rst = [ ("R", [ va; vb ]); ("S", [ vb; vc ]); ("T", [ vc; vd ]) ]
+
+let q_running =
+  sum [ vb ]
+    (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ]; rel "T" [ vc; vd ] ])
+
+let mk2 l = Gmr.of_list (List.map (fun (a, b, m) -> ([| i a; i b |], m)) l)
+
+(* Run the same stream through the interpreted executor and the compiled
+   runtime (batch and single-tuple paths) and demand identical query maps
+   after every batch. *)
+let check_runtime_equiv ?(msg = "rt") ~streams ~queries batches =
+  let prog = Compile.compile ~streams queries in
+  let prog_nopre =
+    Compile.compile
+      ~options:{ Compile.default_options with preaggregate = false }
+      ~streams queries
+  in
+  let ex = Exec.create prog in
+  let rt = Runtime.create prog in
+  let rt_single = Runtime.create prog_nopre in
+  List.iteri
+    (fun bi (rel_name, batch) ->
+      Exec.apply_batch ex ~rel:rel_name batch;
+      Runtime.apply_batch rt ~rel:rel_name batch;
+      Gmr.iter (fun tup m -> Runtime.apply_single rt_single ~rel:rel_name tup m) batch;
+      List.iter
+        (fun (qname, _) ->
+          let expect = Exec.result ex qname in
+          let got = Runtime.result rt qname in
+          if not (Gmr.equal expect got) then
+            Alcotest.failf "%s: compiled runtime diverged at batch %d:@.%a@.vs %a"
+              msg bi Gmr.pp got Gmr.pp expect;
+          let got1 = Runtime.result rt_single qname in
+          if not (Gmr.equal expect got1) then
+            Alcotest.failf
+              "%s: single-tuple runtime diverged at batch %d:@.%a@.vs %a" msg
+              bi Gmr.pp got1 Gmr.pp expect)
+        queries)
+    batches
+
+let test_rt_running () =
+  check_runtime_equiv ~msg:"running" ~streams:streams_rst
+    ~queries:[ ("Q", q_running) ]
+    [
+      ("R", mk2 [ (1, 10, 1.); (2, 10, 1.) ]);
+      ("S", mk2 [ (10, 100, 1.); (20, 200, 2.) ]);
+      ("T", mk2 [ (100, 7, 1.); (200, 8, 1.) ]);
+      ("R", mk2 [ (3, 20, 2.); (1, 10, -1.) ]);
+      ("S", mk2 [ (20, 100, 1.); (10, 100, -1.) ]);
+      ("T", mk2 [ (100, 9, 3.); (200, 8, -1.) ]);
+    ]
+
+let test_rt_nested () =
+  let q =
+    sum []
+      (prod
+         [
+           rel "R" [ va; vb ];
+           lift vx (sum [ vb ] (rel "S" [ vb; vc ]));
+           cmp_vars Lt va vx;
+         ])
+  in
+  check_runtime_equiv ~msg:"nested" ~streams:streams_rst
+    ~queries:[ ("QN", q) ]
+    [
+      ("R", mk2 [ (0, 10, 1.); (1, 20, 1.) ]);
+      ("S", mk2 [ (10, 1, 1.); (20, 2, 2.) ]);
+      ("S", mk2 [ (10, 1, -1.); (20, 9, 1.) ]);
+      ("R", mk2 [ (0, 10, -1.); (2, 20, 5.) ]);
+    ]
+
+let test_rt_distinct () =
+  let q =
+    exists
+      (sum [ va ]
+         (prod [ rel "R" [ va; vb ]; cmp Gt (Vexpr.var vb) (Vexpr.const_i 5) ]))
+  in
+  check_runtime_equiv ~msg:"distinct" ~streams:[ ("R", [ va; vb ]) ]
+    ~queries:[ ("QD", q) ]
+    [
+      ("R", mk2 [ (1, 10, 1.); (2, 3, 1.) ]);
+      ("R", mk2 [ (1, 20, 2.); (3, 8, 1.) ]);
+      ("R", mk2 [ (1, 10, -1.); (1, 20, -2.) ]);
+    ]
+
+let test_rt_filters_values () =
+  let q =
+    sum [ vb ]
+      (prod
+         [
+           rel "R" [ va; vb ];
+           cmp Lt (Vexpr.var va) (Vexpr.const_i 3);
+           rel "S" [ vb; vc ];
+           value (Vexpr.var va);
+         ])
+  in
+  check_runtime_equiv ~msg:"filters" ~streams:streams_rst
+    ~queries:[ ("QF", q) ]
+    [
+      ("R", mk2 [ (1, 10, 1.); (5, 10, 1.); (2, 20, 3.) ]);
+      ("S", mk2 [ (10, 1, 1.); (20, 2, 1.) ]);
+      ("R", mk2 [ (1, 10, -1.); (2, 20, 1.) ]);
+      ("S", mk2 [ (10, 1, -1.); (10, 3, 2.) ]);
+    ]
+
+let qcheck_rt_agree =
+  let open QCheck in
+  let gen_batch =
+    Gen.(
+      list_size (int_range 1 5)
+        (triple (int_range 0 3) (int_range 0 3) (int_range (-2) 2)))
+  in
+  let gen_stream =
+    Gen.(list_size (int_range 1 6) (pair (int_range 0 2) gen_batch))
+  in
+  let arb = QCheck.make ~print:(fun _ -> "<stream>") gen_stream in
+  QCheck.Test.make ~name:"compiled runtime agrees on random streams" ~count:40
+    arb (fun stream ->
+      let rels = [| "R"; "S"; "T" |] in
+      let batches =
+        List.map
+          (fun (ri, tuples) ->
+            ( rels.(ri),
+              mk2 (List.map (fun (a, b, m) -> (a, b, float_of_int m)) tuples)
+            ))
+          stream
+      in
+      check_runtime_equiv ~msg:"qcheck" ~streams:streams_rst
+        ~queries:[ ("Q", q_running) ]
+        batches;
+      true)
+
+let test_rt_ops_counter () =
+  let prog = Compile.compile ~streams:streams_rst [ ("Q", q_running) ] in
+  let rt = Runtime.create prog in
+  Runtime.reset_ops rt;
+  Runtime.apply_batch rt ~rel:"R" (mk2 [ (1, 10, 1.) ]);
+  Alcotest.(check bool) "ops counted" true (Runtime.ops rt > 0);
+  Runtime.reset_ops rt;
+  Alcotest.(check int) "ops reset" 0 (Runtime.ops rt)
+
+let test_columnar_path () =
+  (* The §5.2.2 columnar pre-aggregation path must agree with the generic
+     closure path, including filters, value weights, and deletions. *)
+  let q =
+    sum [ vb ]
+      (prod
+         [
+           rel "R" [ va; vb ];
+           cmp Lt (Vexpr.var va) (Vexpr.const_i 3);
+           value (Vexpr.var va);
+         ])
+  in
+  let streams = [ ("R", [ va; vb ]) ] in
+  let prog = Compile.compile ~streams [ ("QC", q) ] in
+  let on = Runtime.create ~columnar:true prog in
+  let off = Runtime.create ~columnar:false prog in
+  let batches =
+    [
+      mk2 [ (1, 10, 1.); (5, 10, 1.); (2, 20, 3.) ];
+      mk2 [ (1, 10, -1.); (0, 20, 2.) ];
+    ]
+  in
+  List.iter
+    (fun b ->
+      Runtime.apply_batch on ~rel:"R" b;
+      Runtime.apply_batch off ~rel:"R" b)
+    batches;
+  Alcotest.(check bool) "columnar = generic" true
+    (Gmr.equal (Runtime.result on "QC") (Runtime.result off "QC"));
+  (* b=20: row (2,20) mult 3 weighted by a=2 -> 6; (0,20) weighs 0 *)
+  Alcotest.(check (float 1e-6)) "value correct" 6.
+    (Gmr.mult (Runtime.result on "QC") [| i 20 |])
+
+let suites =
+  [
+    ( "runtime",
+      [
+        Alcotest.test_case "compiled = interpreted (running)" `Quick
+          test_rt_running;
+        Alcotest.test_case "compiled = interpreted (nested)" `Quick
+          test_rt_nested;
+        Alcotest.test_case "compiled = interpreted (distinct)" `Quick
+          test_rt_distinct;
+        Alcotest.test_case "compiled = interpreted (filters)" `Quick
+          test_rt_filters_values;
+        Alcotest.test_case "ops counter" `Quick test_rt_ops_counter;
+        Alcotest.test_case "columnar preagg path" `Quick test_columnar_path;
+        QCheck_alcotest.to_alcotest qcheck_rt_agree;
+      ] );
+  ]

@@ -1,0 +1,181 @@
+open Divm_ring
+open Divm_sql
+
+let i x = Value.Int x
+let va = Schema.var ~ty:Value.TInt "a"
+let vb = Schema.var ~ty:Value.TInt "b"
+let vb2 = Schema.var ~ty:Value.TInt "b"
+let vc = Schema.var ~ty:Value.TInt "c"
+
+let catalog = [ ("R", [ va; vb ]); ("S", [ vb2; vc ]) ]
+
+let db () =
+  let r =
+    Gmr.of_list
+      [
+        ([| i 1; i 10 |], 1.); ([| i 2; i 10 |], 1.); ([| i 3; i 20 |], 2.);
+      ]
+  in
+  let s =
+    Gmr.of_list [ ([| i 10; i 5 |], 1.); ([| i 20; i 7 |], 4.) ]
+  in
+  Divm_eval.Interp.source_of_rels [ ("R", r); ("S", s) ]
+
+let eval_sql sql =
+  let maps = Sql.compile ~catalog sql in
+  List.map
+    (fun (n, e) -> (n, snd (Divm_eval.Interp.eval_closed (db ()) e)))
+    maps
+
+let test_parse_shapes () =
+  let q = Sql.parse "SELECT COUNT(*) FROM R WHERE R.a < 3" in
+  Alcotest.(check int) "one table" 1 (List.length q.Ast.from);
+  Alcotest.(check int) "one pred" 1 (List.length q.Ast.where);
+  let q2 =
+    Sql.parse
+      "SELECT R.b, SUM(R.a) FROM R, S WHERE R.b = S.b AND S.c > 2 GROUP BY \
+       R.b"
+  in
+  Alcotest.(check int) "two tables" 2 (List.length q2.Ast.from);
+  Alcotest.(check int) "group by" 1 (List.length q2.Ast.group_by)
+
+let test_count_filter () =
+  match eval_sql "SELECT COUNT(*) FROM R WHERE R.a < 3" with
+  | [ (_, g) ] ->
+      Alcotest.(check (float 1e-9)) "count" 2. (Gmr.mult g Vtuple.empty)
+  | _ -> Alcotest.fail "expected one map"
+
+let test_join_group () =
+  match
+    eval_sql
+      "SELECT R.b, SUM(S.c) FROM R, S WHERE R.b = S.b GROUP BY R.b"
+  with
+  | [ (_, g) ] ->
+      (* b=10: two R rows x c=5 -> 10; b=20: mult 2 x c=7 mult 4 -> 56 *)
+      Alcotest.(check (float 1e-9)) "b=10" 10. (Gmr.mult g [| i 10 |]);
+      Alcotest.(check (float 1e-9)) "b=20" 56. (Gmr.mult g [| i 20 |])
+  | _ -> Alcotest.fail "expected one map"
+
+let test_avg_two_maps () =
+  let maps =
+    Sql.compile ~catalog "SELECT R.b, AVG(R.a) AS aa FROM R GROUP BY R.b"
+  in
+  Alcotest.(check int) "avg = sum+count" 2 (List.length maps)
+
+let test_distinct () =
+  match eval_sql "SELECT DISTINCT R.b FROM R" with
+  | [ (_, g) ] ->
+      Alcotest.(check int) "two distinct" 2 (Gmr.cardinal g);
+      Alcotest.(check (float 1e-9)) "mult 1" 1. (Gmr.mult g [| i 20 |])
+  | _ -> Alcotest.fail "expected one map"
+
+let test_nested_scalar () =
+  (* Example 3.1 as SQL. *)
+  match
+    eval_sql
+      "SELECT COUNT(*) FROM R WHERE R.a < (SELECT COUNT(*) FROM S WHERE R.b \
+       = S.b)"
+  with
+  | [ (_, g) ] ->
+      (* b=10: inner=1: rows a<1: none. b=20: inner=4: (3,20) mult 2. *)
+      Alcotest.(check (float 1e-9)) "correlated" 2. (Gmr.mult g Vtuple.empty)
+  | _ -> Alcotest.fail "expected one map"
+
+let test_exists () =
+  match
+    eval_sql
+      "SELECT COUNT(*) FROM R WHERE EXISTS (SELECT COUNT(*) FROM S WHERE \
+       S.b = R.b AND S.c > 5)"
+  with
+  | [ (_, g) ] ->
+      (* only b=20 has S.c=7>5: row (3,20) mult 2 *)
+      Alcotest.(check (float 1e-9)) "exists" 2. (Gmr.mult g Vtuple.empty)
+  | _ -> Alcotest.fail "expected one map"
+
+let test_in () =
+  match
+    eval_sql "SELECT COUNT(*) FROM R WHERE R.b IN (SELECT S.b FROM S WHERE \
+              S.c < 6)"
+  with
+  | [ (_, g) ] ->
+      (* S.c<6 -> b=10; R rows with b=10: 2 *)
+      Alcotest.(check (float 1e-9)) "in" 2. (Gmr.mult g Vtuple.empty)
+  | _ -> Alcotest.fail "expected one map"
+
+let test_between_or () =
+  match
+    eval_sql
+      "SELECT COUNT(*) FROM R WHERE R.a BETWEEN 2 AND 3 AND (R.b = 10 OR \
+       R.b = 20)"
+  with
+  | [ (_, g) ] ->
+      Alcotest.(check (float 1e-9)) "between+or" 3. (Gmr.mult g Vtuple.empty)
+  | _ -> Alcotest.fail "expected one map"
+
+(* The SQL-compiled correlated query is incrementalizable and maintained
+   correctly end to end. *)
+let test_sql_end_to_end () =
+  let maps =
+    Sql.compile ~catalog ~name:"QS"
+      "SELECT COUNT(*) FROM R WHERE R.a < (SELECT COUNT(*) FROM S WHERE R.b \
+       = S.b)"
+  in
+  let streams = [ ("R", [ va; vb ]); ("S", [ vb2; vc ]) ] in
+  let prog = Divm_compiler.Compile.compile ~streams maps in
+  let ex = Divm_runtime.Exec.create prog in
+  let rels = [ ("R", Gmr.create ()); ("S", Gmr.create ()) ] in
+  let batches =
+    [
+      ("R", Gmr.of_list [ ([| i 1; i 10 |], 1.); ([| i 2; i 10 |], 1.) ]);
+      ("S", Gmr.of_list [ ([| i 10; i 5 |], 1.); ([| i 20; i 7 |], 3.) ]);
+      ("S", Gmr.of_list [ ([| i 10; i 9 |], 2.); ([| i 20; i 7 |], -1.) ]);
+      ("R", Gmr.of_list [ ([| i 3; i 20 |], 2.); ([| i 1; i 10 |], -1.) ]);
+    ]
+  in
+  List.iter
+    (fun (rel, b) ->
+      Gmr.union_into (List.assoc rel rels) b;
+      Divm_runtime.Exec.apply_batch ex ~rel b)
+    batches;
+  let qname = fst (List.hd maps) in
+  let expect =
+    snd
+      (Divm_eval.Interp.eval_closed
+         (Divm_eval.Interp.source_of_rels rels)
+         (snd (List.hd maps)))
+  in
+  Alcotest.(check bool)
+    "incremental matches oracle" true
+    (Gmr.equal expect (Divm_runtime.Exec.result ex qname))
+
+let test_errors () =
+  Alcotest.check_raises "unknown table" (Sql.Compile_error "unknown table T")
+    (fun () -> ignore (Sql.compile ~catalog "SELECT COUNT(*) FROM T"));
+  (try
+     ignore (Sql.compile ~catalog "SELECT FROM R");
+     Alcotest.fail "expected parse error"
+   with Sql.Parse_error _ -> ());
+  try
+    ignore (Sql.compile ~catalog "SELECT COUNT(*) FROM R WHERE");
+    Alcotest.fail "expected parse error"
+  with Sql.Parse_error _ -> ()
+
+let suites =
+  [
+    ( "sql",
+      [
+        Alcotest.test_case "parser shapes" `Quick test_parse_shapes;
+        Alcotest.test_case "count + filter" `Quick test_count_filter;
+        Alcotest.test_case "join + group by" `Quick test_join_group;
+        Alcotest.test_case "avg splits into two maps" `Quick test_avg_two_maps;
+        Alcotest.test_case "select distinct" `Quick test_distinct;
+        Alcotest.test_case "correlated scalar subquery" `Quick
+          test_nested_scalar;
+        Alcotest.test_case "exists" `Quick test_exists;
+        Alcotest.test_case "in subquery" `Quick test_in;
+        Alcotest.test_case "between / or" `Quick test_between_or;
+        Alcotest.test_case "sql end-to-end maintenance" `Quick
+          test_sql_end_to_end;
+        Alcotest.test_case "error reporting" `Quick test_errors;
+      ] );
+  ]

@@ -1,0 +1,180 @@
+open Divm_ring
+open Divm_storage
+
+let i x = Value.Int x
+let t2 a b = [| i a; i b |]
+
+let test_pool_basic () =
+  let p = Pool.create ~key_width:2 ~slices:[] () in
+  Pool.add p (t2 1 10) 2.;
+  Pool.add p (t2 1 10) 3.;
+  Pool.add p (t2 2 20) 1.;
+  Alcotest.(check int) "cardinal" 2 (Pool.cardinal p);
+  Alcotest.(check (float 1e-9)) "get" 5. (Pool.get p (t2 1 10));
+  Pool.add p (t2 1 10) (-5.);
+  Alcotest.(check int) "cancel removes" 1 (Pool.cardinal p);
+  Alcotest.(check (float 1e-9)) "absent" 0. (Pool.get p (t2 1 10));
+  Pool.set p (t2 2 20) 9.;
+  Alcotest.(check (float 1e-9)) "set overwrites" 9. (Pool.get p (t2 2 20))
+
+let test_pool_free_list () =
+  let p = Pool.create ~key_width:1 ~slices:[] () in
+  for x = 0 to 9 do
+    Pool.add p [| i x |] 1.
+  done;
+  for x = 0 to 4 do
+    Pool.add p [| i x |] (-1.)
+  done;
+  Alcotest.(check int) "five free slots" 5 (Pool.free_slots p);
+  (* New inserts must reuse freed slots. *)
+  for x = 100 to 104 do
+    Pool.add p [| i x |] 1.
+  done;
+  Alcotest.(check int) "slots reused" 0 (Pool.free_slots p);
+  Alcotest.(check int) "cardinal" 10 (Pool.cardinal p)
+
+let test_pool_slice () =
+  let p = Pool.create ~key_width:2 ~slices:[ [| 1 |] ] () in
+  Pool.add p (t2 1 10) 1.;
+  Pool.add p (t2 2 10) 2.;
+  Pool.add p (t2 3 20) 3.;
+  let seen = ref [] in
+  Pool.slice p ~index:0 [| i 10 |] (fun key m -> seen := (key.(0), m) :: !seen);
+  Alcotest.(check int) "slice size" 2 (List.length !seen);
+  Alcotest.(check bool) "slice members" true
+    (List.mem (i 1, 1.) !seen && List.mem (i 2, 2.) !seen);
+  (* Deletion must update the secondary index. *)
+  Pool.add p (t2 1 10) (-1.);
+  let n = ref 0 in
+  Pool.slice p ~index:0 [| i 10 |] (fun _ _ -> incr n);
+  Alcotest.(check int) "slice after delete" 1 !n;
+  Alcotest.(check (option int)) "find_slice hit" (Some 0)
+    (Pool.find_slice p [| 1 |]);
+  Alcotest.(check (option int)) "find_slice miss" None
+    (Pool.find_slice p [| 0 |])
+
+let test_pool_growth_and_gmr () =
+  let p = Pool.create ~key_width:1 ~slices:[] () in
+  for x = 0 to 999 do
+    Pool.add p [| i x |] (float_of_int (x + 1))
+  done;
+  Alcotest.(check int) "grown pool" 1000 (Pool.cardinal p);
+  Alcotest.(check (float 1e-9)) "value after growth" 500. (Pool.get p [| i 499 |]);
+  let g = Pool.to_gmr p in
+  Alcotest.(check int) "roundtrip cardinal" 1000 (Gmr.cardinal g);
+  let p2 = Pool.of_gmr ~key_width:1 ~slices:[] g in
+  Alcotest.(check (float 1e-9)) "roundtrip value" 500. (Pool.get p2 [| i 499 |])
+
+let test_pool_clear () =
+  let p = Pool.create ~key_width:1 ~slices:[ [| 0 |] ] () in
+  Pool.add p [| i 1 |] 1.;
+  Pool.clear p;
+  Alcotest.(check int) "cleared" 0 (Pool.cardinal p);
+  Alcotest.(check (float 1e-9)) "get after clear" 0. (Pool.get p [| i 1 |]);
+  Pool.add p [| i 1 |] 2.;
+  Alcotest.(check (float 1e-9)) "reusable" 2. (Pool.get p [| i 1 |])
+
+let test_colbatch_roundtrip () =
+  let g =
+    Gmr.of_list [ (t2 1 10, 1.); (t2 2 20, -2.); (t2 3 30, 3.) ]
+  in
+  let b = Colbatch.of_gmr ~width:2 g in
+  Alcotest.(check int) "length" 3 (Colbatch.length b);
+  Alcotest.(check int) "width" 2 (Colbatch.width b);
+  Alcotest.(check bool) "roundtrip" true (Gmr.equal g (Colbatch.to_gmr b))
+
+let test_colbatch_filter_project () =
+  let g =
+    Gmr.of_list [ (t2 1 10, 1.); (t2 2 20, 1.); (t2 3 10, 1.) ]
+  in
+  let b = Colbatch.of_gmr ~width:2 g in
+  let col1 = Colbatch.column b 1 in
+  let fb = Colbatch.filter b (fun j -> Value.equal col1.(j) (i 10)) in
+  Alcotest.(check int) "filtered" 2 (Colbatch.length fb);
+  let pb = Colbatch.project fb [| 1 |] in
+  Alcotest.(check int) "projected width" 1 (Colbatch.width pb);
+  (* aggregation merges the two B=10 rows *)
+  let agg = Colbatch.aggregate pb in
+  Alcotest.(check (float 1e-9)) "aggregated" 2. (Gmr.mult agg [| i 10 |])
+
+let test_trace_hooks () =
+  let events = ref 0 in
+  Trace.set_sink (Some (fun _ _ -> incr events));
+  let p = Pool.create ~key_width:1 ~slices:[] () in
+  Pool.add p [| i 1 |] 1.;
+  ignore (Pool.get p [| i 1 |]);
+  Pool.foreach p (fun _ _ -> ());
+  Trace.set_sink None;
+  let frozen = !events in
+  ignore (Pool.get p [| i 1 |]);
+  Alcotest.(check bool) "events recorded" true (frozen >= 3);
+  Alcotest.(check int) "sink disabled" frozen !events
+
+(* Model-based property: a pool with a secondary index behaves exactly like
+   a GMR under random add/set/clear programs, including slice results. *)
+let qcheck_pool_model =
+  let open QCheck in
+  let gen_op =
+    Gen.(
+      frequency
+        [
+          (6, map2 (fun a m -> `Add (a, float_of_int m)) (int_range 0 8) (int_range (-2) 3));
+          (2, map2 (fun a m -> `Set (a, float_of_int m)) (int_range 0 8) (int_range 0 3));
+          (1, return `Clear);
+        ])
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun ops -> Printf.sprintf "<%d ops>" (List.length ops))
+      Gen.(list_size (int_range 1 60) gen_op)
+  in
+  QCheck.Test.make ~name:"pool = gmr model under random programs" ~count:200
+    arb (fun ops ->
+      let p = Pool.create ~key_width:2 ~slices:[ [| 1 |] ] () in
+      let model = Gmr.create () in
+      List.iter
+        (fun op ->
+          match op with
+          | `Add (a, m) ->
+              let key = t2 a (a mod 3) in
+              Pool.add p key m;
+              Gmr.add model key m
+          | `Set (a, m) ->
+              let key = t2 a (a mod 3) in
+              Pool.set p key m;
+              Gmr.set model key m
+          | `Clear ->
+              Pool.clear p;
+              Gmr.clear model)
+        ops;
+      (* cardinality, contents, and slices agree with the model *)
+      Pool.cardinal p = Gmr.cardinal model
+      && Gmr.equal (Pool.to_gmr p) model
+      && List.for_all
+           (fun b ->
+             let via_slice = ref 0. and via_model = ref 0. in
+             Pool.slice p ~index:0 [| i b |] (fun _ m -> via_slice := !via_slice +. m);
+             Gmr.iter
+               (fun key m ->
+                 if Value.equal key.(1) (i b) then via_model := !via_model +. m)
+               model;
+             Float.abs (!via_slice -. !via_model) < 1e-9)
+           [ 0; 1; 2 ])
+
+let suites =
+  [
+    ( "storage",
+      [
+        Alcotest.test_case "pool add/get/cancel" `Quick test_pool_basic;
+        Alcotest.test_case "pool free list" `Quick test_pool_free_list;
+        Alcotest.test_case "pool slice index" `Quick test_pool_slice;
+        Alcotest.test_case "pool growth + gmr roundtrip" `Quick
+          test_pool_growth_and_gmr;
+        Alcotest.test_case "pool clear" `Quick test_pool_clear;
+        Alcotest.test_case "colbatch roundtrip" `Quick test_colbatch_roundtrip;
+        Alcotest.test_case "colbatch filter/project" `Quick
+          test_colbatch_filter_project;
+        Alcotest.test_case "trace hooks" `Quick test_trace_hooks;
+        QCheck_alcotest.to_alcotest qcheck_pool_model;
+      ] );
+  ]
