@@ -86,7 +86,7 @@ let measured_rate ~load ~measure stream =
 let batched_rate stream_of prog bs =
   let rt = Runtime.create prog in
   measured_rate ~load:(Runtime.load rt)
-    ~measure:(fun ~rel b -> Runtime.apply_batch rt ~rel b)
+    ~measure:(fun ~rel b -> ignore (Runtime.apply_batch rt ~rel b))
     (stream_of bs)
 
 (* Single-tuple specialized throughput. *)
@@ -94,7 +94,7 @@ let single_rate stream_of prog =
   let rt = Runtime.create prog in
   measured_rate ~load:(Runtime.load rt)
     ~measure:(fun ~rel b ->
-      Gmr.iter (fun tup m -> Runtime.apply_single rt ~rel tup m) b)
+      Gmr.iter (fun tup m -> ignore (Runtime.apply_single rt ~rel tup m)) b)
     (stream_of 1000)
 
 (* ------------------------------------------------------------------ *)
@@ -289,7 +289,9 @@ let table2 () =
         Runtime.reset_ops rt;
         List.iter
           (fun (rel, b) ->
-            Gmr.iter (fun tup m -> Runtime.apply_single rt ~rel tup m) b)
+            Gmr.iter
+              (fun tup m -> ignore (Runtime.apply_single rt ~rel tup m))
+              b)
           (Tpch.Gen.stream tpch_cfg ~batch_size:1000);
         Runtime.ops rt)
     :: List.map
@@ -301,7 +303,7 @@ let table2 () =
                let rt = Runtime.create prog in
                Runtime.reset_ops rt;
                List.iter
-                 (fun (rel, b) -> Runtime.apply_batch rt ~rel b)
+                 (fun (rel, b) -> ignore (Runtime.apply_batch rt ~rel b))
                  (Tpch.Gen.stream tpch_cfg ~batch_size:bs);
                Runtime.ops rt))
          sizes
@@ -633,7 +635,7 @@ let ablation_index () =
         let rate auto_index =
           let rt = Runtime.create ~auto_index prog in
           feed_budget ~budget
-            (fun ~rel b -> Runtime.apply_batch rt ~rel b)
+            (fun ~rel b -> ignore (Runtime.apply_batch rt ~rel b))
             (stream_of 1000)
         in
         let on = rate true and off = rate false in
@@ -691,7 +693,7 @@ let ablation_columnar () =
         let rate columnar =
           let rt = Runtime.create ~columnar prog in
           measured_rate ~load:(Runtime.load rt)
-            ~measure:(fun ~rel b -> Runtime.apply_batch rt ~rel b)
+            ~measure:(fun ~rel b -> ignore (Runtime.apply_batch rt ~rel b))
             (stream_of 1000)
         in
         let on = rate true and off = rate false in
@@ -749,7 +751,7 @@ let micro () =
   let prog = compile_tpch q3 in
   let rt = Runtime.create prog in
   let warm = Tpch.Gen.stream tpch_cfg ~batch_size:1000 in
-  List.iter (fun (rel, b) -> Runtime.apply_batch rt ~rel b) warm;
+  List.iter (fun (rel, b) -> ignore (Runtime.apply_batch rt ~rel b)) warm;
   let batch =
     match List.find_opt (fun (r, _) -> r = "lineitem") warm with
     | Some (_, b) -> b
@@ -782,7 +784,7 @@ let micro () =
                  (Delta.expr ~rel:"lineitem" (snd (List.hd q3.maps)))));
         Test.make ~name:"q3-batch-1000"
           (Staged.stage (fun () ->
-               Runtime.apply_batch rt ~rel:"lineitem" batch));
+               ignore (Runtime.apply_batch rt ~rel:"lineitem" batch)));
       ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -835,7 +837,7 @@ let experiments =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = Divm_obs_cli.Obs_cli.scan_argv () in
   let selected =
     match args with
     | [] -> List.map (fun (n, _, _) -> n) experiments

@@ -1,23 +1,22 @@
 (* divm_cluster — run the simulated cluster on a TPC-H query and report
-   per-batch metrics (modeled latency, shuffled bytes, stages). *)
+   per-batch metrics (modeled latency, shuffled bytes, stages).
+
+   With --trace FILE every batch becomes a cluster:REL span whose stage:N
+   and transfer:NAME children carry modeled_ms attributes that sum to the
+   reported latency; --metrics prints the registry totals at exit. *)
 
 open Divm
 open Cmdliner
 
-let run query workers batch_size scale level =
-  let q = Tpch.Queries.find (String.uppercase_ascii query) in
-  let prog = Compile.compile ~streams:Tpch.Schema.streams q.maps in
-  let catalog = Loc.heuristic ~keys:Tpch.Schema.partition_keys prog in
-  let dp =
-    Distribute.compile
-      ~options:{ Distribute.default_options with level }
-      ~catalog prog
-  in
+let run query workers batch_size scale level () =
+  let w = Workload.find query in
+  let prog = Workload.compile w in
+  let dp = Workload.distribute ~level w prog in
   let c = Cluster.create ~config:(Cluster.config ~workers ()) dp in
   let stream = Tpch.Gen.stream { Tpch.Gen.scale; seed = 42 } ~batch_size in
   Printf.printf
     "%s on %d workers (opt level %d), batches of %d tuples\n%-10s %8s %9s %8s %7s\n"
-    q.qname workers level batch_size "relation" "tuples" "latency" "shuffle"
+    w.wname workers level batch_size "relation" "tuples" "latency" "shuffle"
     "stages";
   List.iter
     (fun (rel, b) ->
@@ -31,7 +30,7 @@ let run query workers batch_size scale level =
     (fun (mname, _) ->
       Printf.printf "%s: %d result tuples\n" mname
         (Gmr.cardinal (Cluster.result c mname)))
-    q.maps
+    w.maps
 
 let query_t = Arg.(value & pos 0 string "Q3" & info [] ~docv:"QUERY")
 let workers_t = Arg.(value & opt int 8 & info [ "workers"; "w" ] ~doc:"Workers")
@@ -45,6 +44,8 @@ let cmd =
   Cmd.v
     (Cmd.info "divm_cluster"
        ~doc:"Distributed incremental view maintenance on the simulated cluster")
-    Term.(const run $ query_t $ workers_t $ batch_t $ scale_t $ level_t)
+    Term.(
+      const run $ query_t $ workers_t $ batch_t $ scale_t $ level_t
+      $ Divm_obs_cli.Obs_cli.setup)
 
 let () = exit (Cmd.eval cmd)

@@ -1,17 +1,16 @@
 (* divm_stream — run a query over a synthesized update stream with the
-   specialized local runtime and report throughput and the result. *)
+   specialized local runtime and report throughput and the result.
+
+   With --trace FILE each trigger firing shows up as a trigger:REL span
+   with per-statement children; --metrics prints the registry (record
+   ops, index probes, batch latency histogram, …) at exit. *)
 
 open Divm
 open Cmdliner
 
-let run query scale batch_size single show_result tbl_dir =
-  let q = Tpch.Queries.find (String.uppercase_ascii query) in
-  let prog =
-    Compile.compile
-      ~options:
-        { Compile.default_options with preaggregate = not single }
-      ~streams:Tpch.Schema.streams q.maps
-  in
+let run query scale batch_size single show_result tbl_dir () =
+  let w = Workload.find query in
+  let prog = Workload.compile ~preaggregate:(not single) w in
   let rt = Runtime.create prog in
   let stream =
     match tbl_dir with
@@ -21,26 +20,34 @@ let run query scale batch_size single show_result tbl_dir =
     | None -> Tpch.Gen.stream { Tpch.Gen.scale; seed = 42 } ~batch_size
   in
   let tuples = ref 0 in
+  let ops = ref 0 in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (rel, b) ->
       tuples := !tuples + Gmr.cardinal b;
       if single then
-        Gmr.iter (fun tup m -> Runtime.apply_single rt ~rel tup m) b
-      else Runtime.apply_batch rt ~rel b)
+        Gmr.iter
+          (fun tup m ->
+            let r = Runtime.apply_single rt ~rel tup m in
+            ops := !ops + r.Runtime.ops)
+          b
+      else begin
+        let r = Runtime.apply_batch rt ~rel b in
+        ops := !ops + r.Runtime.ops
+      end)
     stream;
   let dt = Unix.gettimeofday () -. t0 in
-  Printf.printf "%s: %d tuples in %.3fs (%.0f tuples/s, %s mode)\n" q.qname
+  Printf.printf "%s: %d tuples in %.3fs (%.0f tuples/s, %s mode)\n" w.wname
     !tuples dt
     (float_of_int !tuples /. dt)
     (if single then "single-tuple" else Printf.sprintf "batch=%d" batch_size);
-  Printf.printf "materialized maps: %d, stored tuples: %d\n"
-    (List.length prog.maps) (Runtime.total_tuples rt);
+  Printf.printf "materialized maps: %d, stored tuples: %d, record ops: %d\n"
+    (List.length prog.maps) (Runtime.total_tuples rt) !ops;
   if show_result then
     List.iter
       (fun (mname, _) ->
         Format.printf "%s = %a@." mname Gmr.pp (Runtime.result rt mname))
-      q.maps
+      w.maps
 
 let query_t = Arg.(value & pos 0 string "Q3" & info [] ~docv:"QUERY")
 let scale_t = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Stream scale")
@@ -65,6 +72,7 @@ let cmd =
   Cmd.v
     (Cmd.info "divm_stream" ~doc:"Maintain a TPC-H query over an update stream")
     Term.(
-      const run $ query_t $ scale_t $ batch_t $ single_t $ result_t $ tbl_t)
+      const run $ query_t $ scale_t $ batch_t $ single_t $ result_t $ tbl_t
+      $ Divm_obs_cli.Obs_cli.setup)
 
 let () = exit (Cmd.eval cmd)

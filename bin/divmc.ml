@@ -7,42 +7,20 @@
 open Divm
 open Cmdliner
 
-let find_query name =
-  match String.uppercase_ascii name with
-  | n when String.length n >= 2 && String.sub n 0 2 = "DS" ->
-      let q = Tpcds.Queries.find n in
-      (q.maps, Tpcds.Schema.streams, Tpcds.Schema.partition_keys)
-  | n -> (
-      let q = Tpch.Queries.find n in
-      ((q : Tpch.Queries.t).maps, Tpch.Schema.streams, Tpch.Schema.partition_keys))
-
-let run query sql mode preagg level =
-  let maps, streams, keys =
+let run query sql mode preagg level () =
+  let w =
     match sql with
-    | Some text ->
-        ( Sql.compile ~catalog:Tpch.Schema.streams ~name:"Q" text,
-          Tpch.Schema.streams,
-          Tpch.Schema.partition_keys )
-    | None -> find_query query
+    | Some text -> Workload.of_sql text
+    | None -> Workload.find query
   in
-  let prog =
-    Compile.compile
-      ~options:{ Compile.default_options with preaggregate = preagg }
-      ~streams maps
-  in
+  let prog = Workload.compile ~preaggregate:preagg w in
   match mode with
   | `Local -> Format.printf "%a@." Prog.pp prog
   | `Dist ->
-      let catalog = Loc.heuristic ~keys prog in
-      let dp =
-        Distribute.compile
-          ~options:{ Distribute.default_options with level }
-          ~catalog prog
-      in
+      let dp = Workload.distribute ~level w prog in
       Format.printf "%a@." Dprog.pp dp
   | `Stats ->
-      let catalog = Loc.heuristic ~keys prog in
-      let dp = Distribute.compile ~catalog prog in
+      let dp = Workload.distribute w prog in
       Format.printf "maps: %d  statements: %d@." (List.length prog.maps)
         (Prog.stmt_count prog);
       List.iter
@@ -86,6 +64,8 @@ let level_t =
 let cmd =
   Cmd.v
     (Cmd.info "divmc" ~doc:"Compile queries to incremental maintenance programs")
-    Term.(const run $ query_t $ sql_t $ mode_t $ preagg_t $ level_t)
+    Term.(
+      const run $ query_t $ sql_t $ mode_t $ preagg_t $ level_t
+      $ Divm_obs_cli.Obs_cli.setup)
 
 let () = exit (Cmd.eval cmd)

@@ -53,7 +53,7 @@ let () =
         [| i (Random.State.int st 2000); i (Random.State.int st 50); i round |]
         1.
     done;
-    Runtime.apply_batch rt ~rel:"views" views;
+    let _ = Runtime.apply_batch rt ~rel:"views" views in
     events := !events + 500;
     if round mod 2 = 0 then begin
       let buys = Gmr.create () in
@@ -66,7 +66,7 @@ let () =
           |]
           1.
       done;
-      Runtime.apply_batch rt ~rel:"purchases" buys;
+      let _ = Runtime.apply_batch rt ~rel:"purchases" buys in
       events := !events + 40
     end
   done;
@@ -89,6 +89,6 @@ let () =
       [| i (Random.State.int st2 2000); i (Random.State.int st2 50); i 1 |]
       (-1.)
   done;
-  Runtime.apply_batch rt ~rel:"views" deletions;
+  let _ = Runtime.apply_batch rt ~rel:"views" deletions in
   Printf.printf "after retention deletes: %d -> %d visitor pairs\n" before
     (card "visitors")

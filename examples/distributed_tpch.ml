@@ -40,7 +40,7 @@ let () =
 
   (* The distributed result equals local execution. *)
   let local = Runtime.create prog in
-  List.iter (fun (rel, b) -> Runtime.apply_batch local ~rel b) stream;
+  List.iter (fun (rel, b) -> ignore (Runtime.apply_batch local ~rel b)) stream;
   let c = Cluster.create ~config:(Cluster.config ~workers:4 ()) dp in
   List.iter (fun (rel, b) -> ignore (Cluster.apply_batch c ~rel b)) stream;
   assert (Gmr.equal (Runtime.result local "Q3") (Cluster.result c "Q3"));

@@ -33,19 +33,28 @@ let () =
   let i x = Value.Int x in
   let batch rows = Gmr.of_list (List.map (fun (t, m) -> (t, m)) rows) in
 
-  Runtime.apply_batch rt ~rel:"R"
-    (batch [ ([| i 1; i 10 |], 1.); ([| i 2; i 10 |], 1.); ([| i 5; i 20 |], 1.) ]);
-  Runtime.apply_batch rt ~rel:"S"
-    (batch [ ([| i 10; i 3 |], 1.); ([| i 20; i 7 |], 1.) ]);
+  let r1 =
+    Runtime.apply_batch rt ~rel:"R"
+      (batch
+         [ ([| i 1; i 10 |], 1.); ([| i 2; i 10 |], 1.); ([| i 5; i 20 |], 1.) ])
+  in
+  let _ =
+    Runtime.apply_batch rt ~rel:"S"
+      (batch [ ([| i 10; i 3 |], 1.); ([| i 20; i 7 |], 1.) ])
+  in
   Format.printf "after two batches: %a@." Gmr.pp (Runtime.result rt "revenue_by_b");
+  Format.printf "first batch cost: %d record ops over %d tuples@." r1.ops
+    r1.tuples;
 
   (* A mixed batch: one insertion and one deletion. *)
-  Runtime.apply_batch rt ~rel:"R"
-    (batch [ ([| i 9; i 20 |], 1.); ([| i 1; i 10 |], -1.) ]);
+  let _ =
+    Runtime.apply_batch rt ~rel:"R"
+      (batch [ ([| i 9; i 20 |], 1.); ([| i 1; i 10 |], -1.) ])
+  in
   Format.printf "after an update batch: %a@." Gmr.pp
     (Runtime.result rt "revenue_by_b");
 
   (* 5. The single-tuple fast path serves latency-critical feeds. *)
-  Runtime.apply_single rt ~rel:"S" [| i 10; i 100 |] 1.;
+  let _ = Runtime.apply_single rt ~rel:"S" [| i 10; i 100 |] 1. in
   Format.printf "after one more tuple: %a@." Gmr.pp
     (Runtime.result rt "revenue_by_b")

@@ -87,11 +87,11 @@ let () =
   for round = 1 to 40 do
     let b = mk_batch round in
     Queue.push b window;
-    Runtime.apply_batch rt ~rel:"readings" b;
+    let _ = Runtime.apply_batch rt ~rel:"readings" b in
     (* expire readings older than 10 rounds *)
     if Queue.length window > 10 then begin
       let old = Queue.pop window in
-      Runtime.apply_batch rt ~rel:"readings" (Gmr.scale old (-1.))
+      ignore (Runtime.apply_batch rt ~rel:"readings" (Gmr.scale old (-1.)))
     end;
     let hot = Gmr.cardinal (Runtime.result rt "hot_sensors") in
     hot_history := (round, hot) :: !hot_history

@@ -67,11 +67,12 @@ let () =
     let sym = Random.State.int st 100 in
     let qty = float_of_int (1 + Random.State.int st 1000) in
     let price = 10. +. Random.State.float st 500. in
-    let t0 = Unix.gettimeofday () in
-    Runtime.apply_single rt ~rel:"trades"
-      [| Value.Int sym; Value.Float qty; Value.Float price |]
-      1.;
-    lat.(k) <- Unix.gettimeofday () -. t0
+    let r =
+      Runtime.apply_single rt ~rel:"trades"
+        [| Value.Int sym; Value.Float qty; Value.Float price |]
+        1.
+    in
+    lat.(k) <- r.Runtime.wall
   done;
   Array.sort compare lat;
   let pct p = lat.(int_of_float (float_of_int n *. p)) *. 1e6 in

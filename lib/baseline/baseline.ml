@@ -42,11 +42,11 @@ let timed f =
 let apply_batch t ~rel batch =
   match t.impl with
   | Interp ex -> timed (fun () -> Exec.apply_batch ex ~rel batch)
-  | Compiled rt -> timed (fun () -> Runtime.apply_batch rt ~rel batch)
+  | Compiled rt -> (Runtime.apply_batch rt ~rel batch).Runtime.wall
 
 let apply_single t ~rel tup m =
   match t.impl with
-  | Compiled rt -> timed (fun () -> Runtime.apply_single rt ~rel tup m)
+  | Compiled rt -> (Runtime.apply_single rt ~rel tup m).Runtime.wall
   | Interp ex ->
       timed (fun () ->
           Exec.apply_batch ex ~rel (Gmr.of_list [ (tup, m) ]))

@@ -2,6 +2,24 @@ open Divm_ring
 open Divm_compiler
 open Divm_dist
 open Divm_runtime
+module Obs = Divm_obs.Obs
+
+(* Registry instruments. [apply_batch]'s metrics record is a view over
+   these: each batch is accounted into the counters first and the record
+   is read back as the deltas, so `--metrics` totals and per-batch records
+   can never disagree. *)
+let m_bytes_shuffled = Obs.Counter.make "divm_cluster_bytes_shuffled_total"
+let m_stages = Obs.Counter.make "divm_cluster_stages_total"
+let m_batches = Obs.Counter.make "divm_cluster_batches_total"
+let m_worker_ops = Obs.Counter.make "divm_cluster_max_worker_ops_total"
+let m_driver_ops = Obs.Counter.make "divm_cluster_driver_ops_total"
+
+let h_latency =
+  Obs.Histogram.make "divm_cluster_batch_latency_seconds" (* modeled *)
+
+let g_workers = Obs.Gauge.make "divm_cluster_workers"
+let g_last_latency = Obs.Gauge.make "divm_cluster_last_latency_seconds"
+let g_max_bytes_per_worker = Obs.Gauge.make "divm_cluster_max_bytes_per_worker"
 
 type config = {
   workers : int;
@@ -46,8 +64,8 @@ type transfer = {
 }
 
 type pstmt =
-  | PDriver of (unit -> unit)
-  | PWorkers of (unit -> unit) array
+  | PDriver of string * (unit -> unit)  (* span label, compiled stmt *)
+  | PWorkers of string * (unit -> unit) array
   | PTransfer of transfer
 
 type pblock = { pmode : Dprog.mode; pstmts : pstmt list }
@@ -59,6 +77,8 @@ type t = {
   nodes : Runtime.t array;
   plans : (string * pblock list) list;
   delta_at_workers : bool;
+  worker_ops_gauges : Obs.Gauge.t array;
+      (* per-worker ops of the last batch, labeled Prometheus-style *)
 }
 
 let workers t = t.cfg.workers
@@ -102,12 +122,15 @@ let create ?(config = default_config) (dp : Dprog.t) =
             | Dprog.Compute s -> (
                 match Dprog.mode_of dp.locs (Dprog.Compute s) with
                 | Dprog.MLocal ->
-                    PDriver (List.hd (Runtime.compile_stmts driver [ s ]))
+                    PDriver
+                      ( "driver:" ^ s.target,
+                        List.hd (Runtime.compile_stmts driver [ s ]) )
                 | Dprog.MDist ->
                     PWorkers
-                      (Array.map
-                         (fun rt -> List.hd (Runtime.compile_stmts rt [ s ]))
-                         nodes)))
+                      ( "stmt:" ^ s.target,
+                        Array.map
+                          (fun rt -> List.hd (Runtime.compile_stmts rt [ s ]))
+                          nodes )))
           b.bstmts;
     }
   in
@@ -126,7 +149,19 @@ let create ?(config = default_config) (dp : Dprog.t) =
         && Loc.find dp.locs m.mname <> Loc.Local)
       dp.base.maps
   in
-  { cfg = config; dprog = dp; driver; nodes; plans; delta_at_workers }
+  let worker_ops_gauges =
+    Array.init config.workers (fun i ->
+        Obs.Gauge.make (Printf.sprintf "divm_worker_ops{worker=\"%d\"}" i))
+  in
+  {
+    cfg = config;
+    dprog = dp;
+    driver;
+    nodes;
+    plans;
+    delta_at_workers;
+    worker_ops_gauges;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Transfers                                                           *)
@@ -201,6 +236,12 @@ let run_transfer t net tr =
 
 let apply_batch t ~rel batch =
   let w = t.cfg.workers in
+  (* registry state before this batch: the returned record is the delta *)
+  let bytes0 = Obs.Counter.value m_bytes_shuffled in
+  let stages0 = Obs.Counter.value m_stages in
+  let wops0 = Obs.Counter.value m_worker_ops in
+  let dops0 = Obs.Counter.value m_driver_ops in
+  Obs.span ("cluster:" ^ rel) @@ fun () ->
   (* distribute the incoming batch *)
   if t.delta_at_workers then begin
     let shares = Array.init w (fun _ -> Gmr.create ()) in
@@ -210,7 +251,7 @@ let apply_batch t ~rel batch =
         Gmr.add shares.(!i mod w) tup m;
         incr i)
       batch;
-    Array.iteri (fun wi rt -> Runtime.load_batch rt ~rel (shares.(wi))) t.nodes;
+    Array.iteri (fun wi rt -> Runtime.load_batch rt ~rel shares.(wi)) t.nodes;
     Runtime.load_batch t.driver ~rel (Gmr.create ())
   end
   else begin
@@ -225,7 +266,7 @@ let apply_batch t ~rel batch =
   let net = { total_bytes = 0; into_node = Array.make w 0; into_driver = 0 } in
   let latency = ref 0. in
   let stages = ref 0 in
-  let total_max_ops = ref 0 in
+  let worker_ops = Array.make w 0 in
   let driver_ops0 = Runtime.ops t.driver in
   let pending_bytes = ref 0 in
   (* bytes into the busiest node since the last distributed stage, for the
@@ -238,52 +279,109 @@ let apply_batch t ~rel batch =
           List.iter
             (fun ps ->
               match ps with
-              | PDriver f -> f ()
+              | PDriver (lbl, f) -> Obs.span lbl f
               | PTransfer tr ->
-                  let before_max = Array.fold_left max net.into_driver net.into_node in
-                  let ser = run_transfer t net tr in
-                  let after_max = Array.fold_left max net.into_driver net.into_node in
-                  pending_bytes := !pending_bytes + ser;
-                  pending_max_into := max !pending_max_into (after_max - before_max);
-                  latency :=
-                    !latency
-                    +. (t.cfg.ser_per_byte *. float_of_int ser)
-                    +. (float_of_int (after_max - before_max) /. t.cfg.bandwidth)
+                  Obs.span ("transfer:" ^ tr.tname) (fun () ->
+                      let before_max =
+                        Array.fold_left max net.into_driver net.into_node
+                      in
+                      let bytes_before = net.total_bytes in
+                      let ser = run_transfer t net tr in
+                      let after_max =
+                        Array.fold_left max net.into_driver net.into_node
+                      in
+                      pending_bytes := !pending_bytes + ser;
+                      pending_max_into :=
+                        max !pending_max_into (after_max - before_max);
+                      let dt =
+                        (t.cfg.ser_per_byte *. float_of_int ser)
+                        +. float_of_int (after_max - before_max)
+                           /. t.cfg.bandwidth
+                      in
+                      latency := !latency +. dt;
+                      if Obs.tracing () then begin
+                        Obs.set_attr "modeled_ms"
+                          (Printf.sprintf "%.6f" (dt *. 1e3));
+                        Obs.set_attr "kind"
+                          (match tr.tkind with
+                          | Dprog.Gather -> "gather"
+                          | Dprog.Scatter -> "scatter"
+                          | Dprog.Repart -> "repart");
+                        Obs.set_attr "bytes"
+                          (string_of_int (net.total_bytes - bytes_before))
+                      end)
               | PWorkers _ -> assert false)
             b.pstmts
       | Dprog.MDist ->
           incr stages;
-          let max_ops = ref 0 in
-          Array.iteri
-            (fun wi rt ->
-              let o0 = Runtime.ops rt in
-              List.iter
-                (fun ps ->
-                  match ps with
-                  | PWorkers fs -> fs.(wi) ()
-                  | PDriver _ | PTransfer _ -> assert false)
-                b.pstmts;
-              max_ops := max !max_ops (Runtime.ops rt - o0))
-            t.nodes;
-          total_max_ops := !total_max_ops + !max_ops;
-          let straggle =
-            1. +. (t.cfg.straggler *. float_of_int !pending_max_into /. 1e6)
+          let stage_lbl =
+            if Obs.tracing () then Printf.sprintf "stage:%d" !stages
+            else ""
           in
-          pending_bytes := 0;
-          pending_max_into := 0;
-          latency :=
-            !latency
-            +. t.cfg.sync_base
-            +. (t.cfg.sync_per_worker *. float_of_int w)
-            +. (float_of_int !max_ops *. t.cfg.per_op *. straggle))
+          Obs.span stage_lbl (fun () ->
+              let max_ops = ref 0 in
+              Array.iteri
+                (fun wi rt ->
+                  let run () =
+                    let o0 = Runtime.ops rt in
+                    List.iter
+                      (fun ps ->
+                        match ps with
+                        | PWorkers (lbl, fs) -> Obs.span lbl fs.(wi)
+                        | PDriver _ | PTransfer _ -> assert false)
+                      b.pstmts;
+                    let d = Runtime.ops rt - o0 in
+                    worker_ops.(wi) <- worker_ops.(wi) + d;
+                    max_ops := max !max_ops d
+                  in
+                  if Obs.tracing () then
+                    Obs.span (Printf.sprintf "worker:%d" wi) run
+                  else run ())
+                t.nodes;
+              Obs.Counter.add m_worker_ops !max_ops;
+              let straggle =
+                1. +. (t.cfg.straggler *. float_of_int !pending_max_into /. 1e6)
+              in
+              pending_bytes := 0;
+              pending_max_into := 0;
+              let dt =
+                t.cfg.sync_base
+                +. (t.cfg.sync_per_worker *. float_of_int w)
+                +. (float_of_int !max_ops *. t.cfg.per_op *. straggle)
+              in
+              latency := !latency +. dt;
+              if Obs.tracing () then begin
+                Obs.set_attr "modeled_ms" (Printf.sprintf "%.6f" (dt *. 1e3));
+                Obs.set_attr "max_worker_ops" (string_of_int !max_ops);
+                Obs.set_attr "workers" (string_of_int w)
+              end))
     blocks;
+  (* account the batch into the registry, then read the record back *)
+  Obs.Counter.add m_bytes_shuffled net.total_bytes;
+  Obs.Counter.add m_stages !stages;
+  Obs.Counter.incr m_batches;
+  Obs.Counter.add m_driver_ops (Runtime.ops t.driver - driver_ops0);
+  Obs.Histogram.observe h_latency !latency;
+  Obs.Gauge.set g_workers (float_of_int w);
+  Obs.Gauge.set g_last_latency !latency;
+  Obs.Gauge.set g_max_bytes_per_worker
+    (float_of_int (Array.fold_left max 0 net.into_node));
+  Array.iteri
+    (fun wi g -> Obs.Gauge.set g (float_of_int worker_ops.(wi)))
+    t.worker_ops_gauges;
+  if Obs.tracing () then begin
+    Obs.set_attr "modeled_latency_ms" (Printf.sprintf "%.6f" (!latency *. 1e3));
+    Obs.set_attr "stages" (string_of_int !stages);
+    Obs.set_attr "bytes_shuffled" (string_of_int net.total_bytes);
+    Obs.set_attr "tuples" (string_of_int (Gmr.cardinal batch))
+  end;
   {
     latency = !latency;
-    stages = !stages;
-    bytes_shuffled = net.total_bytes;
+    stages = Obs.Counter.value m_stages - stages0;
+    bytes_shuffled = Obs.Counter.value m_bytes_shuffled - bytes0;
     max_bytes_per_worker = Array.fold_left max 0 net.into_node;
-    max_worker_ops = !total_max_ops;
-    driver_ops = Runtime.ops t.driver - driver_ops0;
+    max_worker_ops = Obs.Counter.value m_worker_ops - wops0;
+    driver_ops = Obs.Counter.value m_driver_ops - dops0;
   }
 
 (* ------------------------------------------------------------------ *)

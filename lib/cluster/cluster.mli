@@ -38,6 +38,12 @@ val default_config : config
 
 val config : ?workers:int -> unit -> config
 
+(** Per-batch cost record. Since the observability layer this is a view
+    over the {!Divm_obs.Obs} registry: every batch is first accounted into
+    the global counters ([divm_cluster_bytes_shuffled_total],
+    [divm_cluster_stages_total], …) and the record reports the deltas, so
+    summing per-batch records always matches the registry totals printed
+    by [--metrics]. *)
 type metrics = {
   latency : float;  (** modeled end-to-end seconds for the batch *)
   stages : int;
@@ -55,7 +61,14 @@ val workers : t -> int
 (** Process one batch through the trigger of [rel]; batches are partitioned
     across the workers like the paper's experiments (each worker receives a
     random share) unless the program was compiled with deltas at the
-    driver. *)
+    driver.
+
+    Under [Obs.set_tracing true] the batch produces a [cluster:rel] span
+    whose [stage:N] and [transfer:NAME] children each carry a [modeled_ms]
+    attribute; those attributes sum exactly to [latency] (driver
+    statements execute for real but contribute no modeled latency, as in
+    the cost model above). Wall time is the span duration itself, so both
+    clocks travel in one trace. *)
 val apply_batch : t -> rel:string -> Gmr.t -> metrics
 
 (** Assembled global contents of a map (driver + all worker partitions). *)

@@ -551,7 +551,16 @@ let compile_classical ?(options = default_options) ~streams queries =
 let compile_reeval ~streams queries =
   let st = init ~mode:Classical ~streams () in
   let qs = declare_queries st queries in
-  (* Only materialize base relations; recompute every query per batch. *)
+  (* Only materialize base relations; recompute every query per batch.
+     Drop the queries' canonical keys first: a query that is literally a
+     bare base relation (Q := R(A,B)) would otherwise be found by the
+     canonical-key dedup when [subst_base] asks for R's base map, turning
+     the re-evaluation into the self-assignment Q := Q with no maintained
+     base map at all. *)
+  List.iter
+    (fun (_, def) ->
+      Hashtbl.remove st.canon (canon_key ~schema:(Calc.schema def) def))
+    queries;
   st.worklist <- [];
   List.iter (fun (_, def) -> ignore (subst_base st def)) queries;
   let triggers =

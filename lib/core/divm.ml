@@ -16,7 +16,9 @@
     - {!Cluster} — the simulated Spark-like cluster (§6.2);
     - {!Sql} — SQL frontend;
     - {!Tpch}, {!Tpcds} — workloads; {!Baseline} — comparison engines;
-      {!Cachesim} — the Table 2 cache model.
+      {!Cachesim} — the Table 2 cache model;
+    - {!Obs} — observability: metrics registry and span tracer shared by
+      every layer; {!Workload} — named-query boilerplate for front ends.
 
     {1 Quickstart}
 
@@ -28,7 +30,8 @@
           "SELECT R.b, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.b"
       let prog = Compile.compile ~streams maps
       let rt = Runtime.create prog
-      let () = Runtime.apply_batch rt ~rel:"R" batch
+      let report = Runtime.apply_batch rt ~rel:"R" batch
+      let () = Printf.printf "%d ops in %.1fms\n" report.ops (report.wall *. 1e3)
       let result = Runtime.result rt "Q"
     ]} *)
 
@@ -59,6 +62,8 @@ module Cluster = Divm_cluster.Cluster
 module Sql = Divm_sql.Sql
 module Baseline = Divm_baseline.Baseline
 module Cachesim = Divm_cachesim.Cachesim
+module Obs = Divm_obs.Obs
+module Workload = Divm_workload.Workload
 
 module Tpch = struct
   module Schema = Divm_tpch.Schema

@@ -1,0 +1,410 @@
+(* Global metrics registry + span tracer. Single-threaded, like the rest
+   of the system: no locks, plain mutable fields on the hot paths. *)
+
+(* ------------------------------------------------------------------ *)
+(* Instruments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; mutable c : int }
+type gauge = { g_name : string; mutable g : float }
+
+type hist = {
+  h_name : string;
+  h_buckets : float array; (* ascending upper bounds *)
+  h_counts : int array; (* length = buckets + 1 (+inf) *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type instrument = ICounter of counter | IGauge of gauge | IHist of hist
+
+(* Registration order matters for human-readable dumps. *)
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let order : string list ref = ref []
+
+let register_instrument name i =
+  match Hashtbl.find_opt registry name with
+  | Some existing -> existing
+  | None ->
+      Hashtbl.replace registry name i;
+      order := name :: !order;
+      i
+
+module Counter = struct
+  type t = counter
+
+  let make ?(register = true) name =
+    if not register then { c_name = name; c = 0 }
+    else
+      match register_instrument name (ICounter { c_name = name; c = 0 }) with
+      | ICounter c -> c
+      | _ -> invalid_arg ("Obs.Counter.make: " ^ name ^ " is not a counter")
+
+  let[@inline] incr t = t.c <- t.c + 1
+  let[@inline] add t n = t.c <- t.c + n
+  let value t = t.c
+  let reset t = t.c <- 0
+  let name t = t.c_name
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?(register = true) name =
+    if not register then { g_name = name; g = 0. }
+    else
+      match register_instrument name (IGauge { g_name = name; g = 0. }) with
+      | IGauge g -> g
+      | _ -> invalid_arg ("Obs.Gauge.make: " ^ name ^ " is not a gauge")
+
+  let[@inline] set t v = t.g <- v
+  let value t = t.g
+end
+
+module Histogram = struct
+  type t = hist
+
+  (* 100µs .. 100s, one bucket per decade third. *)
+  let default_buckets =
+    Array.init 19 (fun i -> 1e-4 *. (10. ** (float_of_int i /. 3.)))
+
+  let make ?(register = true) ?(buckets = default_buckets) name =
+    let fresh () =
+      {
+        h_name = name;
+        h_buckets = buckets;
+        h_counts = Array.make (Array.length buckets + 1) 0;
+        h_sum = 0.;
+        h_count = 0;
+      }
+    in
+    if not register then fresh ()
+    else
+      match register_instrument name (IHist (fresh ())) with
+      | IHist h -> h
+      | _ -> invalid_arg ("Obs.Histogram.make: " ^ name ^ " is not a histogram")
+
+  let observe t v =
+    let n = Array.length t.h_buckets in
+    let rec slot i = if i >= n || v <= t.h_buckets.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    t.h_counts.(i) <- t.h_counts.(i) + 1;
+    t.h_sum <- t.h_sum +. v;
+    t.h_count <- t.h_count + 1
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | VCounter of int
+  | VGauge of float
+  | VHistogram of {
+      buckets : float array;
+      counts : int array;
+      sum : float;
+      count : int;
+    }
+
+type snapshot = (string * value) list
+
+let snapshot () =
+  List.rev_map
+    (fun name ->
+      let v =
+        match Hashtbl.find registry name with
+        | ICounter c -> VCounter c.c
+        | IGauge g -> VGauge g.g
+        | IHist h ->
+            VHistogram
+              {
+                buckets = h.h_buckets;
+                counts = Array.copy h.h_counts;
+                sum = h.h_sum;
+                count = h.h_count;
+              }
+      in
+      (name, v))
+    !order
+
+let diff ~later ~earlier =
+  List.map
+    (fun (name, v) ->
+      match (v, List.assoc_opt name earlier) with
+      | VCounter a, Some (VCounter b) -> (name, VCounter (a - b))
+      | VHistogram a, Some (VHistogram b)
+        when Array.length a.counts = Array.length b.counts ->
+          ( name,
+            VHistogram
+              {
+                a with
+                counts = Array.mapi (fun i c -> c - b.counts.(i)) a.counts;
+                sum = a.sum -. b.sum;
+                count = a.count - b.count;
+              } )
+      | _ -> (name, v))
+    later
+
+let find snap name = List.assoc_opt name snap
+
+let counter_value snap name =
+  match find snap name with Some (VCounter c) -> c | _ -> 0
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | ICounter c -> c.c <- 0
+      | IGauge _ -> ()
+      | IHist h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.;
+          h.h_count <- 0)
+    registry
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+(* Split "name{labels}" so bucket suffixes land before the label set. *)
+let base_and_labels name =
+  match String.index_opt name '{' with
+  | Some i ->
+      ( String.sub name 0 i,
+        Some (String.sub name i (String.length name - i)) )
+  | None -> (name, None)
+
+let to_text snap =
+  let buf = Buffer.create 1024 in
+  (* one TYPE line per metric family: labeled instruments of the same base
+     name share it *)
+  let typed = Hashtbl.create 16 in
+  let type_line base kind =
+    if not (Hashtbl.mem typed base) then begin
+      Hashtbl.add typed base ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
+  List.iter
+    (fun (name, v) ->
+      let base, labels = base_and_labels name in
+      let lbl = match labels with Some l -> l | None -> "" in
+      match v with
+      | VCounter c ->
+          type_line base "counter";
+          Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base lbl c)
+      | VGauge g ->
+          type_line base "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" base lbl (fmt_float g))
+      | VHistogram h ->
+          type_line base "histogram";
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              let le =
+                if i < Array.length h.buckets then fmt_float h.buckets.(i)
+                else "+Inf"
+              in
+              if c > 0 || i = Array.length h.buckets then
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" base le !cum))
+            h.counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n%s_count %d\n" base (fmt_float h.sum)
+               base h.count))
+    snap;
+  Buffer.contents buf
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_json snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (json_string name);
+      Buffer.add_string buf ":";
+      match v with
+      | VCounter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"type\":\"counter\",\"value\":%d}" c)
+      | VGauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"type\":\"gauge\",\"value\":%s}" (json_float g))
+      | VHistogram h ->
+          Buffer.add_string buf "{\"type\":\"histogram\",\"buckets\":[";
+          Array.iteri
+            (fun j b ->
+              if j > 0 then Buffer.add_string buf ",";
+              Buffer.add_string buf (json_float b))
+            h.buckets;
+          Buffer.add_string buf "],\"counts\":[";
+          Array.iteri
+            (fun j c ->
+              if j > 0 then Buffer.add_string buf ",";
+              Buffer.add_string buf (string_of_int c))
+            h.counts;
+          Buffer.add_string buf
+            (Printf.sprintf "],\"sum\":%s,\"count\":%d}" (json_float h.sum)
+               h.count))
+    snap;
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Span tracing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_name : string;
+  ev_start : float;
+  ev_dur : float;
+  ev_depth : int;
+  ev_attrs : (string * string) list;
+}
+
+type open_span = {
+  os_name : string;
+  os_start : float;
+  os_depth : int;
+  mutable os_attrs : (string * string) list; (* reversed *)
+}
+
+let tracing_on = ref false
+let stack : open_span list ref = ref []
+let completed : event list ref = ref []
+
+let tracing () = !tracing_on
+
+let set_tracing b =
+  tracing_on := b;
+  if not b then stack := []
+
+let events () = List.rev !completed
+let open_spans () = List.length !stack
+
+let clear_events () =
+  completed := [];
+  stack := []
+
+let set_attr key v =
+  match !stack with
+  | s :: _ -> s.os_attrs <- (key, v) :: s.os_attrs
+  | [] -> ()
+
+let span ?(attrs = []) name f =
+  if not !tracing_on then f ()
+  else begin
+    let s =
+      {
+        os_name = name;
+        os_start = Unix.gettimeofday ();
+        os_depth = List.length !stack;
+        os_attrs = List.rev attrs;
+      }
+    in
+    stack := s :: !stack;
+    let close () =
+      let t1 = Unix.gettimeofday () in
+      (match !stack with
+      | x :: tl when x == s -> stack := tl
+      | _ ->
+          (* a nested span leaked (e.g. exception swallowed between
+             pushes); drop down to this frame *)
+          let rec pop = function
+            | x :: tl -> if x == s then tl else pop tl
+            | [] -> []
+          in
+          stack := pop !stack);
+      completed :=
+        {
+          ev_name = s.os_name;
+          ev_start = s.os_start;
+          ev_dur = t1 -. s.os_start;
+          ev_depth = s.os_depth;
+          ev_attrs = List.rev s.os_attrs;
+        }
+        :: !completed
+    in
+    match f () with
+    | v ->
+        close ();
+        v
+    | exception e ->
+        close ();
+        raise e
+  end
+
+let chrome_trace_json () =
+  let evs = events () in
+  let t0 =
+    List.fold_left
+      (fun acc e -> Float.min acc e.ev_start)
+      (match evs with [] -> 0. | e :: _ -> e.ev_start)
+      evs
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%s,\"cat\":\"divm\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1"
+           (json_string e.ev_name)
+           ((e.ev_start -. t0) *. 1e6)
+           (e.ev_dur *. 1e6));
+      (match e.ev_attrs with
+      | [] -> ()
+      | attrs ->
+          Buffer.add_string buf ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_string buf ",";
+              Buffer.add_string buf (json_string k);
+              Buffer.add_string buf ":";
+              Buffer.add_string buf (json_string v))
+            attrs;
+          Buffer.add_string buf "}");
+      Buffer.add_string buf "}")
+    evs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  output_string oc (chrome_trace_json ());
+  close_out oc

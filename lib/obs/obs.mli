@@ -1,0 +1,144 @@
+(** Unified observability: one metrics registry and one span tracer that
+    every layer feeds (storage, runtime, cluster) and every front end
+    consumes (CLIs, bench harness, tests).
+
+    The paper's entire evaluation is an exercise in counting — elementary
+    ops per stage, bytes shuffled, stages per trigger — so the counts live
+    here, behind one API, instead of ad-hoc records and [Printf]s.
+
+    {1 Metrics}
+
+    Named monotonic {!Counter}s, {!Gauge}s, and latency {!Histogram}s
+    register themselves in a global registry at creation ([make] is
+    idempotent per name: re-creating returns the existing instrument).
+    Hot paths pay one field increment per event — there is no sampling
+    toggle for counters because an increment is already as cheap as the
+    check would be. {!snapshot} captures the registry, {!diff} subtracts
+    two snapshots (counters and histograms subtract; gauges keep the later
+    value), and {!to_text} / {!to_json} export Prometheus-style text and a
+    machine-readable JSON report.
+
+    {1 Spans}
+
+    [span "trigger:R" (fun () -> ...)] produces a nested timed span when
+    tracing is enabled ({!set_tracing}); when disabled it is one mutable
+    load and a branch — the closure runs untouched. Completed spans carry
+    string attributes ({!set_attr} tags the innermost open span, e.g. with
+    the cluster's modeled milliseconds next to measured wall time) and
+    export as Chrome [trace_event] JSON ({!write_chrome_trace}) so a
+    batch's trigger → statement → stage → shuffle breakdown opens directly
+    in [chrome://tracing] / [ui.perfetto.dev]. *)
+
+module Counter : sig
+  type t
+
+  (** [make name] registers (or retrieves) the counter [name] in the global
+      registry. [~register:false] creates a private, unregistered counter
+      (per-instance accounting, e.g. one runtime's op count). *)
+  val make : ?register:bool -> string -> t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?register:bool -> string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  (** Bucket upper bounds in seconds; the default spans 100µs–100s
+      geometrically. An implicit +inf bucket is always present. *)
+  val make : ?register:bool -> ?buckets:float array -> string -> t
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+end
+
+(** {1 Registry snapshots} *)
+
+type value =
+  | VCounter of int
+  | VGauge of float
+  | VHistogram of {
+      buckets : float array;  (** upper bounds, ascending *)
+      counts : int array;  (** same length as [buckets] plus +inf last *)
+      sum : float;
+      count : int;
+    }
+
+type snapshot = (string * value) list  (** registration order *)
+
+val snapshot : unit -> snapshot
+
+(** [diff ~later ~earlier]: counters and histogram counts/sums subtract,
+    gauges keep [later]'s value; instruments absent from [earlier] pass
+    through. *)
+val diff : later:snapshot -> earlier:snapshot -> snapshot
+
+val find : snapshot -> string -> value option
+
+(** Counter value by name; 0 when absent or not a counter. *)
+val counter_value : snapshot -> string -> int
+
+(** Prometheus text exposition format ([# TYPE] comments included). *)
+val to_text : snapshot -> string
+
+(** One JSON object per instrument, keyed by metric name. *)
+val to_json : snapshot -> string
+
+(** Reset every registered counter and histogram to zero (gauges keep
+    their value). Tests and per-run CLIs use this; long-lived processes
+    should prefer {!snapshot} + {!diff}. *)
+val reset_all : unit -> unit
+
+(** {1 Span tracing} *)
+
+val tracing : unit -> bool
+val set_tracing : bool -> unit
+
+(** [span name f] runs [f] inside a named span. Nesting follows the call
+    stack; exceptions still close the span. Disabled tracing means [f] is
+    invoked directly. *)
+val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span (no-op when tracing is
+    off or no span is open). *)
+val set_attr : string -> string -> unit
+
+type event = {
+  ev_name : string;
+  ev_start : float;  (** seconds, [Unix.gettimeofday] epoch *)
+  ev_dur : float;  (** seconds *)
+  ev_depth : int;  (** 0 = top-level *)
+  ev_attrs : (string * string) list;
+}
+
+(** Completed spans in completion order. *)
+val events : unit -> event list
+
+(** Number of currently open spans (0 when balanced). *)
+val open_spans : unit -> int
+
+val clear_events : unit -> unit
+
+(** Chrome [trace_event] JSON (an object with a ["traceEvents"] array of
+    complete-["X"] events; attributes appear under ["args"]). *)
+val chrome_trace_json : unit -> string
+
+val write_chrome_trace : string -> unit
+
+(** {1 JSON helper} *)
+
+(** Escape and quote a string as a JSON literal (shared by the exporters;
+    exposed for the CLIs' reports). *)
+val json_string : string -> string

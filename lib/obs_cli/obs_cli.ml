@@ -1,0 +1,56 @@
+module Obs = Divm_obs.Obs
+
+let install ~metrics ~trace =
+  (* at_exit runs hooks in reverse registration order: register metrics
+     first so the trace file is written before the snapshot is printed. *)
+  if metrics then
+    at_exit (fun () -> prerr_string (Obs.to_text (Obs.snapshot ())));
+  match trace with
+  | None -> ()
+  | Some file ->
+      Obs.set_tracing true;
+      at_exit (fun () ->
+          Obs.write_chrome_trace file;
+          Printf.eprintf "wrote %d spans to %s\n%!"
+            (List.length (Obs.events ()))
+            file)
+
+open Cmdliner
+
+let metrics_t =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print a final metrics registry snapshot (Prometheus text format) \
+           on stderr at exit.")
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record trace spans and write them to $(docv) as Chrome \
+           trace_event JSON at exit (open in chrome://tracing or Perfetto).")
+
+let setup =
+  Term.(
+    const (fun metrics trace -> install ~metrics ~trace) $ metrics_t $ trace_t)
+
+let scan_argv () =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--metrics" :: tl ->
+        install ~metrics:true ~trace:None;
+        go acc tl
+    | "--trace" :: file :: tl ->
+        install ~metrics:false ~trace:(Some file);
+        go acc tl
+    | arg :: tl when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
+        install ~metrics:false
+          ~trace:(Some (String.sub arg 8 (String.length arg - 8)));
+        go acc tl
+    | arg :: tl -> go (arg :: acc) tl
+  in
+  go [] (List.tl (Array.to_list Sys.argv))

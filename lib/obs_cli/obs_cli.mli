@@ -1,0 +1,26 @@
+(** Shared [--metrics] / [--trace FILE] flags for the CLIs.
+
+    Include {!setup} in a cmdliner term to give a binary the standard
+    observability switches:
+
+    - [--metrics] prints a final {!Divm_obs.Obs} registry snapshot in
+      Prometheus text format on stderr when the process exits;
+    - [--trace FILE] enables span recording and writes the collected spans
+      as Chrome [trace_event] JSON to [FILE] at exit (open it in
+      [chrome://tracing] or Perfetto).
+
+    Both act at exit so they compose with any command without threading
+    state through it. *)
+
+(** Cmdliner term parsing both flags and installing the [at_exit] hooks. *)
+val setup : unit Cmdliner.Term.t
+
+(** For binaries that do their own argv handling (the bench harness):
+    [scan_argv ()] consumes [--metrics], [--trace FILE] and [--trace=FILE]
+    from [Sys.argv], installs the same hooks, and returns the remaining
+    arguments (excluding [Sys.argv.(0)]). *)
+val scan_argv : unit -> string list
+
+(** What the flags install: enable tracing / register the exit hooks
+    directly. Exposed for tests and custom front ends. *)
+val install : metrics:bool -> trace:string option -> unit

@@ -1,5 +1,8 @@
 open Divm_ring
 open Divm_compiler
+module Obs = Divm_obs.Obs
+
+let m_batches = Obs.Counter.make "divm_exec_batches_total"
 
 type t = {
   prog : Prog.t;
@@ -80,15 +83,18 @@ let apply_batch t ~rel batch =
           | None -> raise Not_found);
     }
   in
-  List.iter
-    (fun (s : Prog.stmt) ->
-      let v = eval_rhs source s in
-      match s.op with
-      | Prog.Assign -> Hashtbl.replace t.store s.target v
-      | Prog.Add_to ->
-          let g = map_contents t s.target in
-          Gmr.union_into g v)
-    tr.stmts
+  Obs.Counter.incr m_batches;
+  Obs.span ("exec:trigger:" ^ rel) (fun () ->
+      List.iter
+        (fun (s : Prog.stmt) ->
+          Obs.span ("exec:stmt:" ^ s.target) (fun () ->
+              let v = eval_rhs source s in
+              match s.op with
+              | Prog.Assign -> Hashtbl.replace t.store s.target v
+              | Prog.Add_to ->
+                  let g = map_contents t s.target in
+                  Gmr.union_into g v))
+        tr.stmts)
 
 let total_size t =
   List.fold_left

@@ -2,6 +2,11 @@ open Divm_ring
 open Divm_calc
 open Divm_calc.Calc
 open Divm_compiler
+module Obs = Divm_obs.Obs
+
+(* Distinct slice patterns discovered by the §5.2.1 access-pattern
+   analysis (maps and batch pools separately, summed here). *)
+let m_patterns = Obs.Counter.make "divm_index_patterns_total"
 
 (* Bound positions (indices into the atom's variable list) given the bound
    variable set; duplicates of earlier positions count as bound. *)
@@ -57,7 +62,10 @@ let collect prog select =
               if select kind then record name vars pos))
         tr.stmts)
     prog.Prog.triggers;
-  Hashtbl.fold (fun name l acc -> (name, List.rev l) :: acc) tbl []
+  let out = Hashtbl.fold (fun name l acc -> (name, List.rev l) :: acc) tbl [] in
+  Obs.Counter.add m_patterns
+    (List.fold_left (fun acc (_, l) -> acc + List.length l) 0 out);
+  out
 
 let slices prog = collect prog (fun k -> k = `Map)
 let batch_slices prog = collect prog (fun k -> k = `Delta)

@@ -3,6 +3,17 @@ open Divm_calc
 open Divm_calc.Calc
 open Divm_storage
 open Divm_compiler
+module Obs = Divm_obs.Obs
+
+(* Registry instruments fed once per batch (never per record op): the
+   hot-path counter is the runtime's private [ops] counter, folded into
+   the global totals when the trigger completes. *)
+let m_record_ops = Obs.Counter.make "divm_record_ops_total"
+let m_batches = Obs.Counter.make "divm_batches_total"
+let m_singles = Obs.Counter.make "divm_single_updates_total"
+let m_tuples = Obs.Counter.make "divm_tuples_total"
+let h_batch_seconds = Obs.Histogram.make "divm_batch_seconds"
+let g_stored_tuples = Obs.Gauge.make "divm_stored_tuples"
 
 type env = Value.t array
 type code = env -> (float -> unit) -> unit
@@ -13,12 +24,15 @@ type t = {
   batch_pools : (string, Pool.t) Hashtbl.t; (* per-stream, refilled per batch *)
   mutable cur_tuple : Vtuple.t;
   mutable cur_mult : float;
-  mutable ops : int;
-  mutable triggers_batch : (string * (unit -> unit) list) list;
+  ops : Obs.Counter.t; (* per-instance elementary record operations *)
+  mutable triggers_batch : (string * (string * (unit -> unit)) list) list;
+      (* each statement carries its span label *)
   mutable triggers_single : (string * (unit -> unit) list) list;
-  mutable col_runners : (string * (Colbatch.t -> unit) list) list;
+  mutable col_runners : (string * (string * (Colbatch.t -> unit)) list) list;
       (* per-relation columnar pre-aggregation executors (§5.2.2) *)
 }
+
+type batch_report = { ops : int; tuples : int; wall : float }
 
 (* ------------------------------------------------------------------ *)
 (* Variable layouts                                                    *)
@@ -97,7 +111,8 @@ let classify ~bound l vars =
       (i, slot l v, b))
     vars
 
-let compile_pool_atom rt ~pool_of ~bound l vars : code =
+let compile_pool_atom (rt : t) ~pool_of ~bound l vars : code =
+  let ops = rt.ops in
   let cls = classify ~bound l vars in
   let n = List.length vars in
   let bound_cls = List.filter (fun (_, _, b) -> b) cls in
@@ -107,7 +122,7 @@ let compile_pool_atom rt ~pool_of ~bound l vars : code =
     let key_slots = Array.of_list (List.map (fun (_, s, _) -> s) cls) in
     fun env k ->
       let pool = pool_of () in
-      rt.ops <- rt.ops + 1;
+      Obs.Counter.incr ops;
       let key = Array.map (fun s -> env.(s)) key_slots in
       let m = Pool.get pool key in
       if m <> 0. then k m
@@ -116,7 +131,7 @@ let compile_pool_atom rt ~pool_of ~bound l vars : code =
     let writes = Array.of_list (List.map (fun (i, s, _) -> (i, s)) free_cls) in
     let checks = Array.of_list (List.map (fun (i, s, _) -> (i, s)) bound_cls) in
     let visit env k (key : Vtuple.t) m =
-      rt.ops <- rt.ops + 1;
+      Obs.Counter.incr ops;
       let ok = ref true in
       Array.iter
         (fun (i, s) -> if not (Value.equal key.(i) env.(s)) then ok := false)
@@ -149,7 +164,8 @@ let compile_pool_atom rt ~pool_of ~bound l vars : code =
   end
 
 (* Single-tuple delta atom: binds the current tuple's fields directly. *)
-let compile_single_delta rt ~bound l vars : code =
+let compile_single_delta (rt : t) ~bound l vars : code =
+  let ops = rt.ops in
   let cls = classify ~bound l vars in
   let writes =
     Array.of_list
@@ -160,7 +176,7 @@ let compile_single_delta rt ~bound l vars : code =
       (List.filter_map (fun (i, s, b) -> if b then Some (i, s) else None) cls)
   in
   fun env k ->
-    rt.ops <- rt.ops + 1;
+    Obs.Counter.incr ops;
     let key = rt.cur_tuple in
     let ok = ref true in
     Array.iter
@@ -186,19 +202,20 @@ let pool rt name =
 
 type mode = Batch | Single
 
-let rec compile_expr rt ~mode ~bound l (e : expr) : code =
+let rec compile_expr (rt : t) ~mode ~bound l (e : expr) : code =
+  let ops = rt.ops in
   match e with
   | Const c -> fun _ k -> k c
   | Value v ->
       let cv = compile_vexpr l v in
       fun env k ->
-        rt.ops <- rt.ops + 1;
+        Obs.Counter.incr ops;
         let x = Value.to_float (cv env) in
         if x <> 0. then k x
   | Cmp (op, a, b) ->
       let ca = compile_vexpr l a and cb = compile_vexpr l b in
       fun env k ->
-        rt.ops <- rt.ops + 1;
+        Obs.Counter.incr ops;
         if Calc.eval_cmp op (ca env) (cb env) then k 1.
   | Rel r ->
       invalid_arg ("Runtime: raw base relation in statement: " ^ r.rname)
@@ -248,7 +265,7 @@ let rec compile_expr rt ~mode ~bound l (e : expr) : code =
               Gmr.add temp (Array.map (fun s -> env.(s)) out_slots) m);
           Gmr.iter
             (fun key m ->
-              rt.ops <- rt.ops + 1;
+              Obs.Counter.incr ops;
               Array.iteri (fun j s -> env.(s) <- key.(j)) out_slots;
               k m)
             temp
@@ -267,7 +284,7 @@ let rec compile_expr rt ~mode ~bound l (e : expr) : code =
               Gmr.add temp (Array.map (fun s -> env.(s)) q_slots) m);
           Gmr.iter
             (fun key _m ->
-              rt.ops <- rt.ops + 1;
+              Obs.Counter.incr ops;
               Array.iteri (fun j s -> env.(s) <- key.(j)) q_slots;
               k 1.)
             temp
@@ -280,7 +297,7 @@ let rec compile_expr rt ~mode ~bound l (e : expr) : code =
         fun env k ->
           let total = ref 0. in
           cq env (fun m -> total := !total +. m);
-          rt.ops <- rt.ops + 1;
+          Obs.Counter.incr ops;
           if v_bound then begin
             if Value.compare_approx env.(v_slot) (Value.Float !total) = 0 then k 1.
           end
@@ -296,7 +313,7 @@ let rec compile_expr rt ~mode ~bound l (e : expr) : code =
               Gmr.add temp (Array.map (fun s -> env.(s)) q_slots) m);
           Gmr.iter
             (fun key m ->
-              rt.ops <- rt.ops + 1;
+              Obs.Counter.incr ops;
               Array.iteri (fun j s -> env.(s) <- key.(j)) q_slots;
               if v_bound then begin
                 if Value.compare_approx env.(v_slot) (Value.Float m) = 0 then k 1.
@@ -458,7 +475,8 @@ let columnar_plan (s : Prog.stmt) : col_plan option =
       with Exit -> None)
   | _ -> None
 
-let run_col_plan rt (cb : Colbatch.t) plan =
+let run_col_plan (rt : t) (cb : Colbatch.t) plan =
+  let ops = rt.ops in
   let target = pool rt plan.cp_target in
   Pool.clear target;
   let mults = Colbatch.mults cb in
@@ -475,7 +493,7 @@ let run_col_plan rt (cb : Colbatch.t) plan =
       let w =
         match plan.cp_weight with None -> 1. | Some f -> f row cb
       in
-      rt.ops <- rt.ops + 1;
+      Obs.Counter.incr ops;
       Pool.add target
         (Array.map (fun col -> col.(row)) keep_cols)
         (mults.(row) *. w)
@@ -518,7 +536,7 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
       batch_pools;
       cur_tuple = Vtuple.empty;
       cur_mult = 0.;
-      ops = 0;
+      ops = Obs.Counter.make ~register:false "runtime_record_ops";
       triggers_batch = [];
       triggers_single = [];
       col_runners = [];
@@ -540,7 +558,9 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
                   match columnar_plan st with
                   | Some plan ->
                       Hashtbl.replace planned (tr.relation, st.target) ();
-                      Some (fun cb -> run_col_plan rt cb plan)
+                      Some
+                        ( "columnar:" ^ st.target,
+                          fun cb -> run_col_plan rt cb plan )
                   | None -> None)
               tr.stmts ))
         prog.triggers;
@@ -550,8 +570,10 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
         ( tr.relation,
           List.map
             (fun (st : Prog.stmt) ->
-              if Hashtbl.mem planned (tr.relation, st.target) then fun () -> ()
-              else compile_stmt rt ~mode:Batch st)
+              ( "stmt:" ^ st.target,
+                if Hashtbl.mem planned (tr.relation, st.target) then
+                  fun () -> ()
+                else compile_stmt rt ~mode:Batch st ))
             tr.stmts ))
       prog.triggers;
   rt.triggers_single <-
@@ -578,28 +600,65 @@ let add_to_map rt name tup m = Pool.add (pool rt name) tup m
 let clear_map rt name = Pool.clear (pool rt name)
 let map_cardinal rt name = Pool.cardinal (pool rt name)
 
+let total_tuples rt =
+  List.fold_left
+    (fun acc (m : Prog.map_decl) ->
+      match m.mkind with
+      | Prog.Transient -> acc
+      | _ -> acc + Pool.cardinal (pool rt m.mname))
+    0 rt.prog.maps
+
+(* Fold one finished trigger into the global registry. Runs once per batch
+   (or single update), so it may afford the [total_tuples] walk. *)
+let report (rt : t) ~ops0 ~tuples ~t0 ~single =
+  let wall = Unix.gettimeofday () -. t0 in
+  let dops = Obs.Counter.value rt.ops - ops0 in
+  Obs.Counter.add m_record_ops dops;
+  Obs.Counter.add m_tuples tuples;
+  if single then Obs.Counter.incr m_singles
+  else begin
+    (* the single-tuple fast path skips everything but plain counters *)
+    Obs.Counter.incr m_batches;
+    Obs.Histogram.observe h_batch_seconds wall;
+    Obs.Gauge.set g_stored_tuples (float_of_int (total_tuples rt))
+  end;
+  { ops = dops; tuples; wall }
+
 let apply_batch rt ~rel batch =
-  load_batch rt ~rel batch;
-  (match List.assoc_opt rel rt.col_runners with
-  | Some (_ :: _ as runners) ->
-      let width =
-        match List.assoc_opt rel rt.prog.streams with
-        | Some vars -> List.length vars
-        | None -> 0
-      in
-      let cb = Colbatch.of_gmr ~width batch in
-      List.iter (fun run -> run cb) runners
-  | _ -> ());
-  match List.assoc_opt rel rt.triggers_batch with
-  | Some stmts -> List.iter (fun f -> f ()) stmts
-  | None -> invalid_arg ("Runtime.apply_batch: no trigger for " ^ rel)
+  let stmts =
+    match List.assoc_opt rel rt.triggers_batch with
+    | Some stmts -> stmts
+    | None -> invalid_arg ("Runtime.apply_batch: no trigger for " ^ rel)
+  in
+  let t0 = Unix.gettimeofday () in
+  let ops0 = Obs.Counter.value rt.ops in
+  Obs.span ("trigger:" ^ rel) (fun () ->
+      load_batch rt ~rel batch;
+      (match List.assoc_opt rel rt.col_runners with
+      | Some (_ :: _ as runners) ->
+          let width =
+            match List.assoc_opt rel rt.prog.streams with
+            | Some vars -> List.length vars
+            | None -> 0
+          in
+          let cb = Colbatch.of_gmr ~width batch in
+          List.iter (fun (lbl, run) -> Obs.span lbl (fun () -> run cb)) runners
+      | _ -> ());
+      List.iter (fun (lbl, f) -> Obs.span lbl f) stmts);
+  report rt ~ops0 ~tuples:(Gmr.cardinal batch) ~t0 ~single:false
 
 let apply_single rt ~rel tup m =
+  let stmts =
+    match List.assoc_opt rel rt.triggers_single with
+    | Some stmts -> stmts
+    | None -> invalid_arg ("Runtime.apply_single: no trigger for " ^ rel)
+  in
+  let t0 = Unix.gettimeofday () in
+  let ops0 = Obs.Counter.value rt.ops in
   rt.cur_tuple <- tup;
   rt.cur_mult <- m;
-  match List.assoc_opt rel rt.triggers_single with
-  | Some stmts -> List.iter (fun f -> f ()) stmts
-  | None -> invalid_arg ("Runtime.apply_single: no trigger for " ^ rel)
+  List.iter (fun f -> f ()) stmts;
+  report rt ~ops0 ~tuples:1 ~t0 ~single:true
 
 let load rt tables =
   (* streams absent from the load are empty relations *)
@@ -635,13 +694,5 @@ let result rt qname =
   | Some m -> map_contents rt m
   | None -> invalid_arg ("Runtime.result: unknown query " ^ qname)
 
-let ops rt = rt.ops
-let reset_ops rt = rt.ops <- 0
-
-let total_tuples rt =
-  List.fold_left
-    (fun acc (m : Prog.map_decl) ->
-      match m.mkind with
-      | Prog.Transient -> acc
-      | _ -> acc + Pool.cardinal (pool rt m.mname))
-    0 rt.prog.maps
+let ops (rt : t) = Obs.Counter.value rt.ops
+let reset_ops (rt : t) = Obs.Counter.reset rt.ops

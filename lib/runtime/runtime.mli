@@ -18,6 +18,17 @@ open Divm_compiler
 
 type t
 
+(** Work accounting for one trigger firing, mirroring
+    [Cluster.apply_batch]'s metrics so callers can swap local and cluster
+    backends behind one reporting path. Ops and tuples also accumulate
+    into the {!Divm_obs.Obs} registry ([divm_record_ops_total],
+    [divm_batches_total], [divm_batch_seconds], …). *)
+type batch_report = {
+  ops : int;  (** elementary record operations this trigger executed *)
+  tuples : int;  (** update tuples touched (batch cardinality, or 1) *)
+  wall : float;  (** wall-clock seconds *)
+}
+
 (** [create prog] loads a program. [auto_index] (default true) controls the
     §5.2.1 automatic secondary-index creation — disabling it falls back to
     scans with checks (the index ablation). [columnar] (default true)
@@ -28,11 +39,13 @@ type t
 val create : ?auto_index:bool -> ?columnar:bool -> Prog.t -> t
 val prog : t -> Prog.t
 
-(** Fire the batch trigger for [rel]. *)
-val apply_batch : t -> rel:string -> Gmr.t -> unit
+(** Fire the batch trigger for [rel]. Under [Obs.set_tracing true] the
+    firing produces a [trigger:rel] span with one nested span per
+    compiled statement (and per columnar runner). *)
+val apply_batch : t -> rel:string -> Gmr.t -> batch_report
 
 (** Fire the single-tuple fast path for [rel] with one (tuple, mult). *)
-val apply_single : t -> rel:string -> Vtuple.t -> float -> unit
+val apply_single : t -> rel:string -> Vtuple.t -> float -> batch_report
 
 (** Bulk initial load: set every non-transient map to its definition
     evaluated over the given base-table contents. *)
@@ -43,9 +56,15 @@ val map_contents : t -> string -> Gmr.t
 
 val result : t -> string -> Gmr.t
 
-(** Elementary record operations executed since last reset. *)
+(** Elementary record operations executed since last reset.
+
+    Deprecated: prefer the [ops] field of {!batch_report} (per firing) or
+    the registry's [divm_record_ops_total] (process totals). Kept as a
+    thin wrapper over the runtime's private counter for the cluster
+    simulator's per-stage deltas and old callers. *)
 val ops : t -> int
 
+(** Deprecated: see {!ops}. *)
 val reset_ops : t -> unit
 
 (** Total stored tuples over non-transient maps. *)

@@ -1,4 +1,12 @@
 open Divm_ring
+module Obs = Divm_obs.Obs
+
+(* Registry instruments (§5.2 storage layer): pools and secondary indexes
+   created, unique/slice index probes and the probes that found nothing. *)
+let m_pools = Obs.Counter.make "divm_pools_created_total"
+let m_indexes = Obs.Counter.make "divm_indexes_created_total"
+let m_probes = Obs.Counter.make "divm_index_probes_total"
+let m_probe_misses = Obs.Counter.make "divm_index_probe_misses_total"
 
 type sec = {
   positions : int array;
@@ -23,6 +31,8 @@ type t = {
 
 let create ?name ~key_width ~slices () =
   ignore name;
+  Obs.Counter.incr m_pools;
+  Obs.Counter.add m_indexes (List.length slices);
   let cap = 16 in
   let rec_bytes = (key_width * 8) + 8 + 16 in
   {
@@ -106,8 +116,11 @@ let sec_remove t slot key =
 
 let get t key =
   probe t key;
+  Obs.Counter.incr m_probes;
   match Vtuple.Tbl.find_opt t.unique key with
-  | None -> 0.
+  | None ->
+      Obs.Counter.incr m_probe_misses;
+      0.
   | Some slot ->
       if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
       t.values.(slot)
@@ -165,8 +178,9 @@ let slice t ~index sub f =
   let sec = t.secs.(index) in
   if Trace.enabled () then
     Trace.emit (sec.sec_base + (Vtuple.hash sub land 0xffff) * 8) Trace.Read;
+  Obs.Counter.incr m_probes;
   match Vtuple.Tbl.find_opt sec.tbl sub with
-  | None -> ()
+  | None -> Obs.Counter.incr m_probe_misses
   | Some slots ->
       List.iter
         (fun slot ->

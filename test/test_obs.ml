@@ -1,0 +1,306 @@
+(* Observability layer: metrics registry, span tracer, exporters, and
+   their integration with the runtime and the cluster simulator. *)
+
+open Divm_ring
+open Divm_calc.Calc
+open Divm_compiler
+open Divm_runtime
+module Obs = Divm_obs.Obs
+module Workload = Divm_workload.Workload
+
+let i x = Value.Int x
+let va = Schema.var "A"
+let vb = Schema.var "B"
+let vc = Schema.var "C"
+let streams_rs = [ ("R", [ va; vb ]); ("S", [ vb; vc ]) ]
+let q_join = sum [ vb ] (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ] ])
+let mk2 l = Gmr.of_list (List.map (fun (a, b, m) -> ([| i a; i b |], m)) l)
+
+let reset_tracer () =
+  Obs.set_tracing false;
+  Obs.clear_events ()
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go k = k + n <= m && (String.sub s k n = affix || go (k + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Instruments and snapshots                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_gauge_histogram () =
+  let c = Obs.Counter.make "test_obs_counter_total" in
+  Obs.Counter.reset c;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "counter" 42 (Obs.Counter.value c);
+  let c' = Obs.Counter.make "test_obs_counter_total" in
+  Alcotest.(check int) "re-make returns same instrument" 42
+    (Obs.Counter.value c');
+  let g = Obs.Gauge.make "test_obs_gauge" in
+  Obs.Gauge.set g 2.5;
+  Alcotest.(check (float 0.)) "gauge" 2.5 (Obs.Gauge.value g);
+  let h = Obs.Histogram.make "test_obs_hist" in
+  Obs.Histogram.observe h 0.001;
+  Obs.Histogram.observe h 0.01;
+  Alcotest.(check int) "hist count" 2 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "hist sum" 0.011 (Obs.Histogram.sum h)
+
+let test_snapshot_diff () =
+  let c = Obs.Counter.make "test_obs_diff_total" in
+  Obs.Counter.reset c;
+  Obs.Counter.add c 5;
+  let earlier = Obs.snapshot () in
+  Obs.Counter.add c 7;
+  let later = Obs.snapshot () in
+  Alcotest.(check int) "snapshot sees counter" 12
+    (Obs.counter_value later "test_obs_diff_total");
+  let d = Obs.diff ~later ~earlier in
+  Alcotest.(check int) "diff is the delta" 7
+    (Obs.counter_value d "test_obs_diff_total")
+
+let test_exporters_parse () =
+  let c = Obs.Counter.make "test_obs_export_total" in
+  Obs.Counter.reset c;
+  Obs.Counter.add c 3;
+  let snap = Obs.snapshot () in
+  let text = Obs.to_text snap in
+  Alcotest.(check bool) "text has TYPE line" true
+    (contains ~affix:"# TYPE test_obs_export_total counter" text);
+  Alcotest.(check bool) "text has sample line" true
+    (contains ~affix:"test_obs_export_total 3" text);
+  (* the JSON exporters emit only controlled characters: brace balance is a
+     sufficient well-formedness check without a JSON dependency *)
+  let balanced s =
+    let depth = ref 0 and ok = ref true and in_str = ref false in
+    String.iteri
+      (fun k ch ->
+        if !in_str then begin
+          if ch = '"' && s.[k - 1] <> '\\' then in_str := false
+        end
+        else
+          match ch with
+          | '"' -> in_str := true
+          | '{' | '[' -> incr depth
+          | '}' | ']' ->
+              decr depth;
+              if !depth < 0 then ok := false
+          | _ -> ())
+      s;
+    !ok && !depth = 0 && not !in_str
+  in
+  let json = Obs.to_json snap in
+  Alcotest.(check bool) "metrics JSON balanced" true (balanced json);
+  Alcotest.(check bool) "metrics JSON is an object" true
+    (String.length json >= 2 && json.[0] = '{' && json.[String.length json - 1] = '}');
+  reset_tracer ();
+  Obs.set_tracing true;
+  Obs.span "outer" (fun () -> Obs.span "inner" (fun () -> ()));
+  let trace = Obs.chrome_trace_json () in
+  reset_tracer ();
+  Alcotest.(check bool) "chrome trace balanced" true (balanced trace);
+  Alcotest.(check bool) "chrome trace has events key" true
+    (contains ~affix:"\"traceEvents\"" trace);
+  Alcotest.(check bool) "chrome trace has complete events" true
+    (contains ~affix:"\"ph\":\"X\"" trace)
+
+(* ------------------------------------------------------------------ *)
+(* Span tracer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_spans_nest_and_balance () =
+  reset_tracer ();
+  Obs.set_tracing true;
+  Obs.span "a" (fun () ->
+      Obs.span "b" (fun () -> Obs.set_attr "k" "v");
+      Obs.span "c" (fun () -> ()));
+  (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Obs.set_tracing false;
+  let evs = Obs.events () in
+  Alcotest.(check int) "all spans closed" 0 (Obs.open_spans ());
+  Alcotest.(check int) "four events" 4 (List.length evs);
+  let find n = List.find (fun (e : Obs.event) -> e.ev_name = n) evs in
+  Alcotest.(check int) "root depth" 0 (find "a").ev_depth;
+  Alcotest.(check int) "child depth" 1 (find "b").ev_depth;
+  Alcotest.(check (list (pair string string))) "attrs recorded"
+    [ ("k", "v") ]
+    (find "b").ev_attrs;
+  Alcotest.(check bool) "parent spans child" true
+    ((find "a").ev_dur >= (find "b").ev_dur);
+  Alcotest.(check int) "exception span still closed" 0
+    (find "boom").ev_depth;
+  reset_tracer ()
+
+(* ------------------------------------------------------------------ *)
+(* Runtime integration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_runtime_reports_match_registry () =
+  let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
+  let rt = Runtime.create prog in
+  let before = Obs.snapshot () in
+  let r1 = Runtime.apply_batch rt ~rel:"R" (mk2 [ (1, 10, 1.); (2, 10, 1.) ]) in
+  let r2 = Runtime.apply_batch rt ~rel:"S" (mk2 [ (10, 5, 1.) ]) in
+  let r3 = Runtime.apply_single rt ~rel:"R" [| i 7; i 10 |] 1. in
+  let d = Obs.diff ~later:(Obs.snapshot ()) ~earlier:before in
+  (* the per-firing reports are exactly the registry deltas, and both equal
+     the runtime's own (deprecated) cumulative counter *)
+  Alcotest.(check int) "ops fold into registry"
+    (r1.Runtime.ops + r2.Runtime.ops + r3.Runtime.ops)
+    (Obs.counter_value d "divm_record_ops_total");
+  Alcotest.(check int) "reports equal cumulative Runtime.ops"
+    (Runtime.ops rt)
+    (r1.Runtime.ops + r2.Runtime.ops + r3.Runtime.ops);
+  Alcotest.(check int) "tuples counted" 4
+    (Obs.counter_value d "divm_tuples_total");
+  Alcotest.(check int) "batches counted" 2
+    (Obs.counter_value d "divm_batches_total");
+  Alcotest.(check int) "singles counted" 1
+    (Obs.counter_value d "divm_single_updates_total");
+  Alcotest.(check int) "report tuple counts" 2 r1.Runtime.tuples;
+  Alcotest.(check int) "single reports one tuple" 1 r3.Runtime.tuples
+
+let test_runtime_spans () =
+  let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
+  let rt = Runtime.create prog in
+  reset_tracer ();
+  Obs.set_tracing true;
+  let _ = Runtime.apply_batch rt ~rel:"R" (mk2 [ (1, 10, 1.) ]) in
+  Obs.set_tracing false;
+  let evs = Obs.events () in
+  reset_tracer ();
+  Alcotest.(check bool) "trigger span present" true
+    (List.exists (fun (e : Obs.event) -> e.ev_name = "trigger:R") evs);
+  Alcotest.(check bool) "statement spans nested under trigger" true
+    (List.exists
+       (fun (e : Obs.event) ->
+         e.ev_depth = 1
+         && String.length e.ev_name > 5
+         && (String.sub e.ev_name 0 5 = "stmt:"
+            || String.sub e.ev_name 0 9 = "columnar:"))
+       evs)
+
+let test_disabled_tracing_identical_results () =
+  let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
+  let batches =
+    [
+      ("R", mk2 [ (1, 10, 1.); (2, 20, 3.) ]);
+      ("S", mk2 [ (10, 5, 1.); (20, 6, -1.) ]);
+      ("R", mk2 [ (1, 10, -1.) ]);
+    ]
+  in
+  let run () =
+    let rt = Runtime.create prog in
+    List.iter (fun (rel, b) -> ignore (Runtime.apply_batch rt ~rel b)) batches;
+    Runtime.result rt "Q"
+  in
+  reset_tracer ();
+  let plain = run () in
+  Obs.set_tracing true;
+  let traced = run () in
+  reset_tracer ();
+  Alcotest.(check bool) "tracing does not change results" true
+    (Gmr.equal plain traced)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster integration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_q3 () =
+  let w = Workload.find "Q3" in
+  let prog = Workload.compile w in
+  let dp = Workload.distribute w prog in
+  let c =
+    Divm_cluster.Cluster.create
+      ~config:(Divm_cluster.Cluster.config ~workers:4 ())
+      dp
+  in
+  let stream =
+    Divm_tpch.Gen.stream { Divm_tpch.Gen.scale = 0.05; seed = 7 }
+      ~batch_size:300
+  in
+  (c, stream)
+
+let test_cluster_metrics_view_of_registry () =
+  let c, stream = cluster_q3 () in
+  let before = Obs.snapshot () in
+  let records =
+    List.map (fun (rel, b) -> Divm_cluster.Cluster.apply_batch c ~rel b) stream
+  in
+  let d = Obs.diff ~later:(Obs.snapshot ()) ~earlier:before in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 records in
+  Alcotest.(check int) "bytes_shuffled totals match"
+    (sum (fun r -> r.Divm_cluster.Cluster.bytes_shuffled))
+    (Obs.counter_value d "divm_cluster_bytes_shuffled_total");
+  Alcotest.(check int) "stage totals match"
+    (sum (fun r -> r.Divm_cluster.Cluster.stages))
+    (Obs.counter_value d "divm_cluster_stages_total");
+  Alcotest.(check int) "driver op totals match"
+    (sum (fun r -> r.Divm_cluster.Cluster.driver_ops))
+    (Obs.counter_value d "divm_cluster_driver_ops_total");
+  Alcotest.(check int) "max-worker-op totals match"
+    (sum (fun r -> r.Divm_cluster.Cluster.max_worker_ops))
+    (Obs.counter_value d "divm_cluster_max_worker_ops_total");
+  Alcotest.(check int) "batch count matches" (List.length records)
+    (Obs.counter_value d "divm_cluster_batches_total");
+  Alcotest.(check bool) "something was shuffled" true
+    (sum (fun r -> r.Divm_cluster.Cluster.bytes_shuffled) > 0)
+
+let test_cluster_spans_sum_to_latency () =
+  let c, stream = cluster_q3 () in
+  reset_tracer ();
+  Obs.set_tracing true;
+  let modeled =
+    List.fold_left
+      (fun acc (rel, b) ->
+        acc +. (Divm_cluster.Cluster.apply_batch c ~rel b).Divm_cluster.Cluster.latency)
+      0. stream
+  in
+  Obs.set_tracing false;
+  let evs = Obs.events () in
+  reset_tracer ();
+  let prefixed p (e : Obs.event) =
+    String.length e.ev_name >= String.length p
+    && String.sub e.ev_name 0 (String.length p) = p
+  in
+  let span_sum =
+    List.fold_left
+      (fun acc (e : Obs.event) ->
+        if prefixed "stage:" e || prefixed "transfer:" e then
+          match List.assoc_opt "modeled_ms" e.ev_attrs with
+          | Some ms -> acc +. (float_of_string ms /. 1e3)
+          | None -> acc
+        else acc)
+      0. evs
+  in
+  Alcotest.(check bool) "trace produced cluster spans" true
+    (List.exists (prefixed "cluster:") evs);
+  (* modeled_ms attributes are printed with 1e-6 ms precision; allow that
+     rounding times the number of spans *)
+  Alcotest.(check bool)
+    (Printf.sprintf "stage+transfer spans (%g s) sum to modeled latency (%g s)"
+       span_sum modeled)
+    true
+    (Float.abs (span_sum -. modeled) < 1e-6 *. float_of_int (List.length evs))
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "instruments" `Quick test_counter_gauge_histogram;
+        Alcotest.test_case "snapshot / diff" `Quick test_snapshot_diff;
+        Alcotest.test_case "exporters parse" `Quick test_exporters_parse;
+        Alcotest.test_case "spans nest and balance" `Quick
+          test_spans_nest_and_balance;
+        Alcotest.test_case "runtime reports = registry deltas" `Quick
+          test_runtime_reports_match_registry;
+        Alcotest.test_case "runtime trigger spans" `Quick test_runtime_spans;
+        Alcotest.test_case "disabled tracing, identical results" `Quick
+          test_disabled_tracing_identical_results;
+        Alcotest.test_case "cluster metrics are registry views" `Quick
+          test_cluster_metrics_view_of_registry;
+        Alcotest.test_case "cluster spans sum to modeled latency" `Quick
+          test_cluster_spans_sum_to_latency;
+      ] );
+  ]

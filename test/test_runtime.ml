@@ -35,8 +35,11 @@ let check_runtime_equiv ?(msg = "rt") ~streams ~queries batches =
   List.iteri
     (fun bi (rel_name, batch) ->
       Exec.apply_batch ex ~rel:rel_name batch;
-      Runtime.apply_batch rt ~rel:rel_name batch;
-      Gmr.iter (fun tup m -> Runtime.apply_single rt_single ~rel:rel_name tup m) batch;
+      let _ = Runtime.apply_batch rt ~rel:rel_name batch in
+      Gmr.iter
+        (fun tup m ->
+          ignore (Runtime.apply_single rt_single ~rel:rel_name tup m))
+        batch;
       List.iter
         (fun (qname, _) ->
           let expect = Exec.result ex qname in
@@ -148,8 +151,10 @@ let test_rt_ops_counter () =
   let prog = Compile.compile ~streams:streams_rst [ ("Q", q_running) ] in
   let rt = Runtime.create prog in
   Runtime.reset_ops rt;
-  Runtime.apply_batch rt ~rel:"R" (mk2 [ (1, 10, 1.) ]);
+  let rep = Runtime.apply_batch rt ~rel:"R" (mk2 [ (1, 10, 1.) ]) in
   Alcotest.(check bool) "ops counted" true (Runtime.ops rt > 0);
+  Alcotest.(check int) "report matches counter" (Runtime.ops rt) rep.Runtime.ops;
+  Alcotest.(check int) "tuples counted" 1 rep.Runtime.tuples;
   Runtime.reset_ops rt;
   Alcotest.(check int) "ops reset" 0 (Runtime.ops rt)
 
@@ -177,8 +182,8 @@ let test_columnar_path () =
   in
   List.iter
     (fun b ->
-      Runtime.apply_batch on ~rel:"R" b;
-      Runtime.apply_batch off ~rel:"R" b)
+      let _ = Runtime.apply_batch on ~rel:"R" b in
+      ignore (Runtime.apply_batch off ~rel:"R" b))
     batches;
   Alcotest.(check bool) "columnar = generic" true
     (Gmr.equal (Runtime.result on "QC") (Runtime.result off "QC"));

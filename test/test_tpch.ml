@@ -21,7 +21,7 @@ let check_query (q : Queries.t) () =
   List.iter
     (fun (rel, b) ->
       Exec.apply_batch ex ~rel b;
-      Runtime.apply_batch rt ~rel b)
+      ignore (Runtime.apply_batch rt ~rel b))
     (Lazy.force batches);
   List.iter
     (fun (mname, qdef) ->
