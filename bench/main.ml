@@ -811,11 +811,84 @@ let micro () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Quick micro-bench: the perf-trajectory smoke test                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A small, fast, reproducible measurement of the hot trigger path:
+   batched TPC-H triggers at B=1000 over the compiled runtime. Reports
+   tuples/s and record-ops/s per query plus geomeans, and emits one
+   machine-readable line (prefix [QUICK_JSON]) whose payload is recorded
+   in the BENCH_PR<n>.json perf trajectory at the repo root. CI runs
+   this as a smoke step; see README. *)
+
+let quick_queries = [ "Q1"; "Q3"; "Q6"; "Q13"; "Q17"; "Q19"; "Q22" ]
+
+let quick () =
+  let results =
+    List.map
+      (fun qn ->
+        let q = Tpch.Queries.find qn in
+        let prog = compile_tpch q in
+        let rt = Runtime.create prog in
+        let stream = Tpch.Gen.stream tpch_cfg ~batch_size:1000 in
+        let prefix, suffix = split_warm stream in
+        Runtime.load rt prefix;
+        (* Repeat the measured suffix until the budget elapses; account
+           only in-trigger wall time so stream bookkeeping is excluded. *)
+        let tuples = ref 0 and ops = ref 0 and wall = ref 0. in
+        let deadline = Unix.gettimeofday () +. budget in
+        (try
+           while true do
+             List.iter
+               (fun (rel, b) ->
+                 let r = Runtime.apply_batch rt ~rel b in
+                 tuples := !tuples + r.Runtime.tuples;
+                 ops := !ops + r.Runtime.ops;
+                 wall := !wall +. r.Runtime.wall;
+                 if Unix.gettimeofday () > deadline then raise Exit)
+               suffix
+           done
+         with Exit -> ());
+        let tps = float_of_int !tuples /. !wall in
+        let ops_s = float_of_int !ops /. !wall in
+        (qn, tps, ops_s, float_of_int !ops /. float_of_int !tuples))
+      quick_queries
+  in
+  let geomean f =
+    exp
+      (List.fold_left (fun a r -> a +. log (f r)) 0. results
+      /. float_of_int (List.length results))
+  in
+  let g_tps = geomean (fun (_, t, _, _) -> t) in
+  let g_ops = geomean (fun (_, _, o, _) -> o) in
+  B.print_table
+    ~title:"Quick micro-bench — batched TPC-H triggers (B=1000)"
+    ~header:[ "query"; "tuples/s"; "record-ops/s"; "ops/tuple" ]
+    (List.map
+       (fun (qn, tps, ops_s, opt) ->
+         [ qn; B.fmt_rate tps; B.fmt_rate ops_s; Printf.sprintf "%.1f" opt ])
+       results
+    @ [ [ "geomean"; B.fmt_rate g_tps; B.fmt_rate g_ops; "-" ] ]);
+  let fields =
+    String.concat ","
+      (List.map
+         (fun (qn, tps, ops_s, opt) ->
+           Printf.sprintf
+             "\"%s\":{\"tuples_per_s\":%.0f,\"ops_per_s\":%.0f,\"ops_per_tuple\":%.2f}"
+             qn tps ops_s opt)
+         results)
+  in
+  Printf.printf
+    "QUICK_JSON {\"bench\":\"quick\",\"batch_size\":1000,\"queries\":{%s},\"geomean_tuples_per_s\":%.0f,\"geomean_ops_per_s\":%.0f}\n"
+    fields g_tps g_ops
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [
+    ("quick", "fast trigger-path micro-bench (perf trajectory smoke)", quick);
     ("fig5", "block fusion before/after on Q3", fig5);
     ("fig7", "TPC-H normalized throughput vs batch size", fig7);
     ("fig8", "Q17 across engines and batch sizes", fig8);
@@ -838,8 +911,14 @@ let experiments =
 
 let () =
   let args = Divm_obs_cli.Obs_cli.scan_argv () in
+  (* accept both [quick] and [--quick] forms *)
+  let strip a =
+    if String.length a > 2 && String.sub a 0 2 = "--" then
+      String.sub a 2 (String.length a - 2)
+    else a
+  in
   let selected =
-    match args with
+    match List.map strip args with
     | [] -> List.map (fun (n, _, _) -> n) experiments
     | args -> args
   in

@@ -1,4 +1,4 @@
-open Divm_ring
+open Divm_storage
 open Divm_compiler
 open Divm_runtime
 

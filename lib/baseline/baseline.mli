@@ -15,6 +15,7 @@
     join processing (see DESIGN.md). *)
 
 open Divm_ring
+open Divm_storage
 open Divm_calc
 
 type engine = Reeval | Classical | Rivm_interp | Rivm

@@ -22,7 +22,7 @@ exception Type_error of string
 let one = Const 1.
 let zero = Const 0.
 let const c = Const c
-let is_zero = function Const c -> Float.abs c < Gmr.zero_eps | _ -> false
+let is_zero = function Const c -> Float.abs c < Mult.zero_eps | _ -> false
 let is_one = function Const 1. -> true | _ -> false
 let rel rname rvars = Rel { rname; rvars }
 let delta_rel rname rvars = DeltaRel { rname; rvars }

@@ -1,4 +1,5 @@
 open Divm_ring
+open Divm_storage
 open Divm_compiler
 open Divm_dist
 open Divm_runtime

@@ -19,7 +19,7 @@
     factor on the slowest worker, growing with the data shuffled per stage
     (§6.2.1 observes 1.5–3x stage prolongation on shuffle-heavy queries). *)
 
-open Divm_ring
+open Divm_storage
 open Divm_dist
 
 type config = {

@@ -2,15 +2,17 @@
 
     {1 Layers}
 
-    - {!Value}, {!Vtuple}, {!Schema}, {!Gmr} — generalized multiset
-      relations (the data model of §3.1);
+    - {!Value}, {!Vtuple}, {!Schema}, {!Mult} — values, tuples and the
+      multiplicity zero-threshold (the data model of §3.1);
     - {!Vexpr}, {!Calc} — the query calculus;
     - {!Interp} — reference interpreter (semantic oracle);
     - {!Delta}, {!Domain}, {!Poly} — delta derivation and domain extraction
       (§3.1–3.2);
     - {!Prog}, {!Compile}, {!Preagg} — the recursive IVM compiler (§2.2) and
       batch pre-aggregation (§3.3);
-    - {!Pool}, {!Colbatch}, {!Trace} — storage (§5.2);
+    - {!Gmr}, {!Pool}, {!Colbatch}, {!Trace} — the specialized storage
+      engine (§5.2): GMRs and record pools on a shared open-addressing
+      core;
     - {!Exec}, {!Runtime} — interpreted and specialized local runtimes (§5);
     - {!Loc}, {!Dprog}, {!Distribute} — the distributed compiler (§4);
     - {!Cluster} — the simulated Spark-like cluster (§6.2);
@@ -38,7 +40,8 @@
 module Value = Divm_ring.Value
 module Vtuple = Divm_ring.Vtuple
 module Schema = Divm_ring.Schema
-module Gmr = Divm_ring.Gmr
+module Mult = Divm_ring.Mult
+module Gmr = Divm_storage.Gmr
 module Vexpr = Divm_calc.Vexpr
 module Calc = Divm_calc.Calc
 module Env = Divm_eval.Env

@@ -8,6 +8,7 @@
     the in-memory hash-join reference model. *)
 
 open Divm_ring
+open Divm_storage
 open Divm_calc
 
 (** Where atoms get their contents. All three lookups raise [Not_found] for

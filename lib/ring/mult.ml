@@ -1,0 +1,2 @@
+let zero_eps = 1e-9
+let is_zero m = Float.abs m < zero_eps

@@ -1,0 +1,11 @@
+(** Multiplicity-ring numerics shared by every layer.
+
+    Multiplicities are reals represented as floats; values whose absolute
+    value falls below {!zero_eps} are identified with the ring's zero and
+    their tuples disappear from GMRs and pools. *)
+
+(** The cancellation threshold. *)
+val zero_eps : float
+
+(** [is_zero m] iff [m] is within {!zero_eps} of zero. *)
+val is_zero : float -> bool

@@ -1,4 +1,5 @@
 open Divm_ring
+open Divm_storage
 open Divm_compiler
 module Obs = Divm_obs.Obs
 

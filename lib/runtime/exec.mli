@@ -6,7 +6,7 @@
     runtime are tested against it, and the baseline engines
     ("PostgreSQL-style" classical IVM and re-evaluation) run through it. *)
 
-open Divm_ring
+open Divm_storage
 open Divm_compiler
 
 type t

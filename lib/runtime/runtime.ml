@@ -111,25 +111,32 @@ let classify ~bound l vars =
       (i, slot l v, b))
     vars
 
-let compile_pool_atom (rt : t) ~pool_of ~bound l vars : code =
+let compile_pool_atom (rt : t) ~pool ~bound l vars : code =
   let ops = rt.ops in
   let cls = classify ~bound l vars in
   let n = List.length vars in
   let bound_cls = List.filter (fun (_, _, b) -> b) cls in
   let free_cls = List.filter (fun (_, _, b) -> not b) cls in
   if List.length bound_cls = n then begin
-    (* full key lookup *)
+    (* full key lookup: probe with a reusable scratch key (the pool only
+       copies keys it must retain, and [get] retains nothing) *)
     let key_slots = Array.of_list (List.map (fun (_, s, _) -> s) cls) in
+    let kw = Array.length key_slots in
+    let scratch = Array.make kw (Value.Int 0) in
     fun env k ->
-      let pool = pool_of () in
       Obs.Counter.incr ops;
-      let key = Array.map (fun s -> env.(s)) key_slots in
-      let m = Pool.get pool key in
+      for j = 0 to kw - 1 do
+        Array.unsafe_set scratch j env.(Array.unsafe_get key_slots j)
+      done;
+      let m = Pool.get pool scratch in
       if m <> 0. then k m
   end
   else begin
     let writes = Array.of_list (List.map (fun (i, s, _) -> (i, s)) free_cls) in
     let checks = Array.of_list (List.map (fun (i, s, _) -> (i, s)) bound_cls) in
+    (* duplicate occurrences of a variable are classified as bound by
+       [classify], so every entry of [writes] is a distinct variable's
+       first occurrence: write it, nothing to re-verify *)
     let visit env k (key : Vtuple.t) m =
       Obs.Counter.incr ops;
       let ok = ref true in
@@ -137,30 +144,29 @@ let compile_pool_atom (rt : t) ~pool_of ~bound l vars : code =
         (fun (i, s) -> if not (Value.equal key.(i) env.(s)) then ok := false)
         checks;
       if !ok then begin
-        (* duplicate free occurrences: write first, check later ones *)
         Array.iter (fun (i, s) -> env.(s) <- key.(i)) writes;
-        let dup_ok = ref true in
-        Array.iter
-          (fun (i, s) -> if not (Value.equal key.(i) env.(s)) then dup_ok := false)
-          writes;
-        if !dup_ok then k m
+        k m
       end
     in
-    if bound_cls = [] then fun env k ->
-      let pool = pool_of () in
-      Pool.foreach pool (visit env k)
+    if bound_cls = [] then fun env k -> Pool.foreach pool (visit env k)
     else
       let bpos = Array.of_list (List.map (fun (i, _, _) -> i) bound_cls) in
       let bslots = Array.of_list (List.map (fun (_, s, _) -> s) bound_cls) in
-      fun env k ->
-        let pool = pool_of () in
-        match Pool.find_slice pool bpos with
-        | Some index ->
-            let sub = Array.map (fun s -> env.(s)) bslots in
+      (* the slice index is resolved once per compiled statement, not per
+         visited tuple: pools and their declared indexes are fixed at
+         program-load time *)
+      match Pool.find_slice pool bpos with
+      | Some index ->
+          let bw = Array.length bslots in
+          let sub = Array.make bw (Value.Int 0) in
+          fun env k ->
+            for j = 0 to bw - 1 do
+              Array.unsafe_set sub j env.(Array.unsafe_get bslots j)
+            done;
             Pool.slice pool ~index sub (visit env k)
-        | None ->
-            (* no declared index: scan with checks (correct, slower) *)
-            Pool.foreach pool (visit env k)
+      | None ->
+          (* no declared index: scan with checks (correct, slower) *)
+          fun env k -> Pool.foreach pool (visit env k)
   end
 
 (* Single-tuple delta atom: binds the current tuple's fields directly. *)
@@ -183,12 +189,9 @@ let compile_single_delta (rt : t) ~bound l vars : code =
       (fun (i, s) -> if not (Value.equal key.(i) env.(s)) then ok := false)
       checks;
     if !ok then begin
+      (* [writes] holds only first occurrences (see [classify]) *)
       Array.iter (fun (i, s) -> env.(s) <- key.(i)) writes;
-      let dup_ok = ref true in
-      Array.iter
-        (fun (i, s) -> if not (Value.equal key.(i) env.(s)) then dup_ok := false)
-        writes;
-      if !dup_ok then k rt.cur_mult
+      k rt.cur_mult
     end
 
 (* ------------------------------------------------------------------ *)
@@ -221,7 +224,7 @@ let rec compile_expr (rt : t) ~mode ~bound l (e : expr) : code =
       invalid_arg ("Runtime: raw base relation in statement: " ^ r.rname)
   | Map m ->
       let p = pool rt m.mname in
-      compile_pool_atom rt ~pool_of:(fun () -> p) ~bound l m.mvars
+      compile_pool_atom rt ~pool:p ~bound l m.mvars
   | DeltaRel r -> (
       match mode with
       | Single -> compile_single_delta rt ~bound l r.rvars
@@ -231,7 +234,7 @@ let rec compile_expr (rt : t) ~mode ~bound l (e : expr) : code =
             | Some p -> p
             | None -> invalid_arg ("Runtime: no batch pool for " ^ r.rname)
           in
-          compile_pool_atom rt ~pool_of:(fun () -> p) ~bound l r.rvars)
+          compile_pool_atom rt ~pool:p ~bound l r.rvars)
   | Prod es ->
       let rec go bound = function
         | [] -> fun _ k -> k 1.
@@ -258,17 +261,28 @@ let rec compile_expr (rt : t) ~mode ~bound l (e : expr) : code =
         let total = ref 0. in
         cq env (fun m -> total := !total +. m);
         if Float.abs !total >= Gmr.zero_eps then k !total)
-      else
+      else begin
+        (* temp group and scratch key allocated once per compiled closure:
+           invocations of one closure never overlap, so [clear]-and-reuse
+           replaces a fresh table per evaluation, and [add_borrow] copies
+           the scratch key only on first insert of a group *)
+        let ow = Array.length out_slots in
+        let scratch = Array.make ow (Value.Int 0) in
+        let temp = Gmr.create () in
         fun env k ->
-          let temp = Gmr.create () in
+          Gmr.clear temp;
           cq env (fun m ->
-              Gmr.add temp (Array.map (fun s -> env.(s)) out_slots) m);
+              for j = 0 to ow - 1 do
+                Array.unsafe_set scratch j env.(Array.unsafe_get out_slots j)
+              done;
+              Gmr.add_borrow temp scratch m);
           Gmr.iter
             (fun key m ->
               Obs.Counter.incr ops;
               Array.iteri (fun j s -> env.(s) <- key.(j)) out_slots;
               k m)
             temp
+      end
   | Exists q ->
       let qsch = Calc.schema ~bound q in
       let cq = compile_expr rt ~mode ~bound l q in
@@ -276,18 +290,25 @@ let rec compile_expr (rt : t) ~mode ~bound l (e : expr) : code =
         let total = ref 0. in
         cq env (fun m -> total := !total +. m);
         if Float.abs !total >= Gmr.zero_eps then k 1.)
-      else
+      else begin
         let q_slots = slots_of l qsch in
+        let qw = Array.length q_slots in
+        let scratch = Array.make qw (Value.Int 0) in
+        let temp = Gmr.create () in
         fun env k ->
-          let temp = Gmr.create () in
+          Gmr.clear temp;
           cq env (fun m ->
-              Gmr.add temp (Array.map (fun s -> env.(s)) q_slots) m);
+              for j = 0 to qw - 1 do
+                Array.unsafe_set scratch j env.(Array.unsafe_get q_slots j)
+              done;
+              Gmr.add_borrow temp scratch m);
           Gmr.iter
             (fun key _m ->
               Obs.Counter.incr ops;
               Array.iteri (fun j s -> env.(s) <- key.(j)) q_slots;
               k 1.)
             temp
+      end
   | Lift (v, q) ->
       let qsch = Calc.schema ~bound q in
       let cq = compile_expr rt ~mode ~bound l q in
@@ -305,12 +326,18 @@ let rec compile_expr (rt : t) ~mode ~bound l (e : expr) : code =
             env.(v_slot) <- Value.Float !total;
             k 1.
           end
-      else
+      else begin
         let q_slots = slots_of l qsch in
+        let qw = Array.length q_slots in
+        let scratch = Array.make qw (Value.Int 0) in
+        let temp = Gmr.create () in
         fun env k ->
-          let temp = Gmr.create () in
+          Gmr.clear temp;
           cq env (fun m ->
-              Gmr.add temp (Array.map (fun s -> env.(s)) q_slots) m);
+              for j = 0 to qw - 1 do
+                Array.unsafe_set scratch j env.(Array.unsafe_get q_slots j)
+              done;
+              Gmr.add_borrow temp scratch m);
           Gmr.iter
             (fun key m ->
               Obs.Counter.incr ops;
@@ -323,6 +350,7 @@ let rec compile_expr (rt : t) ~mode ~bound l (e : expr) : code =
                 k 1.
               end)
             temp
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Statement compilation                                               *)
@@ -344,16 +372,30 @@ let compile_stmt rt ~mode (s : Prog.stmt) : unit -> unit =
      would expose mid-statement writes (and mutate a pool being scanned) —
      buffer the result and apply afterwards. *)
   let self_reading = List.mem s.target (Calc.map_refs s.rhs) in
+  (* Per-statement scratch target key; the sinks copy it on first insert
+     ([add_borrow]), so the buffer is safe to refill on the next tuple. *)
+  let tw = Array.length tv_slots in
+  let scratch = Array.make tw (Value.Int 0) in
+  let fill env =
+    for j = 0 to tw - 1 do
+      Array.unsafe_set scratch j env.(Array.unsafe_get tv_slots j)
+    done
+  in
   let direct () =
     let env = Array.make l.width (Value.Int 0) in
     code env (fun m ->
-        Pool.add target (Array.map (fun sl -> env.(sl)) tv_slots) m)
+        fill env;
+        Pool.add_borrow target scratch m)
   in
+  (* Reused across firings: trigger executions never overlap, and [clear]
+     only drops references — keys handed to the pool stay intact. *)
+  let buf = Gmr.create () in
   let buffered () =
     let env = Array.make l.width (Value.Int 0) in
-    let buf = Gmr.create () in
+    Gmr.clear buf;
     code env (fun m ->
-        Gmr.add buf (Array.map (fun sl -> env.(sl)) tv_slots) m);
+        fill env;
+        Gmr.add_borrow buf scratch m);
     buf
   in
   match (s.op, self_reading) with
@@ -484,6 +526,8 @@ let run_col_plan (rt : t) (cb : Colbatch.t) plan =
     List.map (fun (i, op, c) -> (Colbatch.column cb i, op, c)) plan.cp_filters
   in
   let keep_cols = Array.map (Colbatch.column cb) plan.cp_keep in
+  let kw = Array.length keep_cols in
+  let scratch = Array.make kw (Value.Int 0) in
   for row = 0 to Colbatch.length cb - 1 do
     if
       List.for_all
@@ -494,9 +538,10 @@ let run_col_plan (rt : t) (cb : Colbatch.t) plan =
         match plan.cp_weight with None -> 1. | Some f -> f row cb
       in
       Obs.Counter.incr ops;
-      Pool.add target
-        (Array.map (fun col -> col.(row)) keep_cols)
-        (mults.(row) *. w)
+      for j = 0 to kw - 1 do
+        Array.unsafe_set scratch j (Array.unsafe_get keep_cols j).(row)
+      done;
+      Pool.add_borrow target scratch (mults.(row) *. w)
     end
   done
 

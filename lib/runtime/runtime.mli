@@ -14,6 +14,7 @@
       with no batch materialization ([apply_single]). *)
 
 open Divm_ring
+open Divm_storage
 open Divm_compiler
 
 type t

@@ -4,15 +4,29 @@
     A GMR both represents base-table contents (count multiplicities) and
     materialized aggregate results (aggregate values stored in the
     multiplicity). Addition is the bag union of the calculus: multiplicities
-    of equal tuples sum, tuples reaching multiplicity zero disappear. *)
+    of equal tuples sum, tuples reaching multiplicity zero disappear.
+
+    Rebased on the specialized storage core ({!Oaidx}): tuples and
+    multiplicities live in parallel slot arrays (multiplicities unboxed),
+    reached through an open-addressing index with cached hashes,
+    single-probe upserts and tombstone-free deletion — the direct
+    data-structure operations §5.1 compiles triggers down to. *)
+
+open Divm_ring
 
 type t
 
 val create : ?size:int -> unit -> t
 
 (** [add r tup m] adds multiplicity [m] to tuple [tup], removing the entry if
-    the result cancels to zero. *)
+    the result cancels to zero. [tup] is retained by reference: the caller
+    must not mutate it afterwards. *)
 val add : t -> Vtuple.t -> float -> unit
+
+(** Scratch-key variant of [add] for compiled trigger closures: [tup] is a
+    borrowed buffer the caller will overwrite, copied by the table only
+    when this is its first insertion. *)
+val add_borrow : t -> Vtuple.t -> float -> unit
 
 (** [set r tup m] overwrites the multiplicity (removing on zero). *)
 val set : t -> Vtuple.t -> float -> unit
@@ -26,6 +40,8 @@ val fold : (Vtuple.t -> float -> 'a -> 'a) -> t -> 'a -> 'a
 val cardinal : t -> int
 val is_empty : t -> bool
 val copy : t -> t
+
+(** Reset to empty, keeping the allocated capacity for reuse. *)
 val clear : t -> unit
 
 (** In-place bag union: [union_into dst src] adds every entry of [src]. *)
@@ -49,5 +65,5 @@ val byte_size : t -> int
 val pp : Format.formatter -> t -> unit
 
 (** [zero_eps] is the cancellation threshold: multiplicities with absolute
-    value below it are treated as zero. *)
+    value below it are treated as zero (= {!Divm_ring.Mult.zero_eps}). *)
 val zero_eps : float

@@ -1,0 +1,50 @@
+(** Open-addressing slot index: the specialized storage core (§5.1–5.2).
+
+    Maps tuples to integer slot ids. The index stores only (cached hash,
+    slot) pairs — the key tuples themselves live in the owner's slot
+    arrays and are passed to [find] for comparison, so one key array
+    serves the records and every index over them. Linear probing over a
+    power-of-two capacity at load factor ≤ 1/2; deletion is tombstone-free
+    (backward shift), so probe chains never degrade under churn.
+
+    The upsert protocol costs exactly one hash and one probe sequence:
+
+    {[
+      let h = Oaidx.hash key in
+      match Oaidx.find idx keys h key with
+      | -1 ->                         (* miss: [find] latched the bucket *)
+          let slot = (* allocate; write key/value *) in
+          Oaidx.add_latched idx h slot
+      | slot ->                       (* hit: update in place, or *)
+          Oaidx.remove_latched idx    (* delete with no second probe *)
+    ]}
+
+    [add_latched]/[remove_latched] must immediately follow the [find] that
+    latched the bucket, with no intervening operation on the index. Not
+    thread-safe. *)
+
+open Divm_ring
+
+type t
+
+val create : ?size:int -> unit -> t
+val cardinal : t -> int
+
+(** Finalized, never-zero hash of a key. Cache it: every entry point below
+    takes it instead of recomputing. *)
+val hash : Vtuple.t -> int
+
+(** [find t keys h k] returns the slot mapped to [k] (compared via
+    [keys.(slot)]), or [-1]. Latches the final probe bucket. *)
+val find : t -> Vtuple.t array -> int -> Vtuple.t -> int
+
+(** Insert at the bucket latched by a missing [find]. Grows (and
+    re-probes internally) when the load factor would exceed 1/2. *)
+val add_latched : t -> int -> int -> unit
+
+(** Delete the entry at the bucket latched by a successful [find],
+    backward-shifting the probe chain. *)
+val remove_latched : t -> unit
+
+val clear : t -> unit
+val copy : t -> t

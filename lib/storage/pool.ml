@@ -8,9 +8,21 @@ let m_indexes = Obs.Counter.make "divm_indexes_created_total"
 let m_probes = Obs.Counter.make "divm_index_probes_total"
 let m_probe_misses = Obs.Counter.make "divm_index_probe_misses_total"
 
+(* One non-unique secondary index. Sub-keys get their own slot space
+   ("sec slots"): [idx] maps a sub-key to its sec slot, [buckets.(ss)]
+   stacks the pool slots sharing that sub-key, and the per-pool-slot
+   back-pointers [of_sec]/[pos_in_bucket] make removal a true O(1)
+   swap-remove with no bucket scan. *)
 type sec = {
   positions : int array;
-  tbl : int list Vtuple.Tbl.t; (* sub-key -> live slots *)
+  idx : Oaidx.t;
+  mutable sub_keys : Vtuple.t array; (* per sec slot *)
+  mutable sub_hashes : int array; (* per sec slot: cached Oaidx.hash *)
+  mutable buckets : Intvec.t array; (* per sec slot *)
+  mutable sec_hwm : int;
+  sec_free : Intvec.t;
+  mutable of_sec : int array; (* pool slot -> sec slot *)
+  mutable pos_in_bucket : int array; (* pool slot -> offset in its bucket *)
   sec_base : int;
 }
 
@@ -19,12 +31,11 @@ type t = {
   rec_bytes : int;
   base : int;
   mutable keys : Vtuple.t array;
-  mutable values : float array;
-  mutable live : Bool.t array;
+  mutable values : float array; (* 0. marks a dead slot *)
   mutable hwm : int; (* high-water mark *)
-  mutable free : int list;
+  free : Intvec.t;
   mutable count : int;
-  unique : int Vtuple.Tbl.t;
+  unique : Oaidx.t;
   unique_base : int;
   secs : sec array;
 }
@@ -41,11 +52,10 @@ let create ?name ~key_width ~slices () =
     base = Trace.alloc_region (1 lsl 28);
     keys = Array.make cap Vtuple.empty;
     values = Array.make cap 0.;
-    live = Array.make cap false;
     hwm = 0;
-    free = [];
+    free = Intvec.create ();
     count = 0;
-    unique = Vtuple.Tbl.create cap;
+    unique = Oaidx.create ~size:cap ();
     unique_base = Trace.alloc_region (1 lsl 24);
     secs =
       Array.of_list
@@ -53,7 +63,14 @@ let create ?name ~key_width ~slices () =
            (fun positions ->
              {
                positions;
-               tbl = Vtuple.Tbl.create cap;
+               idx = Oaidx.create ();
+               sub_keys = Array.make cap Vtuple.empty;
+               sub_hashes = Array.make cap 0;
+               buckets = Array.make cap (Intvec.create ~cap:0 ());
+               sec_hwm = 0;
+               sec_free = Intvec.create ();
+               of_sec = Array.make cap (-1);
+               pos_in_bucket = Array.make cap 0;
                sec_base = Trace.alloc_region (1 lsl 24);
              })
            slices);
@@ -64,10 +81,6 @@ let key_width t = t.kw
 
 let addr t slot = t.base + (slot * t.rec_bytes)
 
-let probe t key =
-  if Trace.enabled () then
-    Trace.emit (t.unique_base + (Vtuple.hash key land 0xffff) * 8) Trace.Read
-
 let grow t =
   let cap = Array.length t.keys in
   let cap' = cap * 2 in
@@ -75,120 +88,189 @@ let grow t =
   Array.blit t.keys 0 keys 0 cap;
   let values = Array.make cap' 0. in
   Array.blit t.values 0 values 0 cap;
-  let live = Array.make cap' false in
-  Array.blit t.live 0 live 0 cap;
   t.keys <- keys;
   t.values <- values;
-  t.live <- live
+  (* the per-pool-slot back-pointer arrays track the slot space *)
+  Array.iter
+    (fun sec ->
+      let of_sec = Array.make cap' (-1) in
+      Array.blit sec.of_sec 0 of_sec 0 cap;
+      sec.of_sec <- of_sec;
+      let pos = Array.make cap' 0 in
+      Array.blit sec.pos_in_bucket 0 pos 0 cap;
+      sec.pos_in_bucket <- pos)
+    t.secs
 
 let alloc_slot t =
-  match t.free with
-  | s :: rest ->
-      t.free <- rest;
-      s
-  | [] ->
-      if t.hwm >= Array.length t.keys then grow t;
-      let s = t.hwm in
-      t.hwm <- t.hwm + 1;
-      s
+  if Intvec.is_empty t.free then begin
+    if t.hwm >= Array.length t.keys then grow t;
+    let s = t.hwm in
+    t.hwm <- t.hwm + 1;
+    s
+  end
+  else Intvec.pop t.free
+
+let sec_grow sec =
+  let cap = Array.length sec.sub_keys in
+  let cap' = cap * 2 in
+  let sub_keys = Array.make cap' Vtuple.empty in
+  Array.blit sec.sub_keys 0 sub_keys 0 cap;
+  sec.sub_keys <- sub_keys;
+  let sub_hashes = Array.make cap' 0 in
+  Array.blit sec.sub_hashes 0 sub_hashes 0 cap;
+  sec.sub_hashes <- sub_hashes;
+  let buckets = Array.make cap' (Intvec.create ~cap:0 ()) in
+  Array.blit sec.buckets 0 buckets 0 cap;
+  sec.buckets <- buckets
 
 let sec_insert t slot key =
   Array.iter
     (fun sec ->
       let sub = Vtuple.project key sec.positions in
-      let prev =
-        match Vtuple.Tbl.find_opt sec.tbl sub with Some l -> l | None -> []
+      let h = Oaidx.hash sub in
+      let ss =
+        let ss = Oaidx.find sec.idx sec.sub_keys h sub in
+        if ss >= 0 then ss
+        else begin
+          let ss =
+            if Intvec.is_empty sec.sec_free then begin
+              if sec.sec_hwm >= Array.length sec.sub_keys then sec_grow sec;
+              let ss = sec.sec_hwm in
+              sec.sec_hwm <- sec.sec_hwm + 1;
+              ss
+            end
+            else Intvec.pop sec.sec_free
+          in
+          sec.sub_keys.(ss) <- sub;
+          sec.sub_hashes.(ss) <- h;
+          sec.buckets.(ss) <- Intvec.create ();
+          Oaidx.add_latched sec.idx h ss;
+          ss
+        end
       in
-      Vtuple.Tbl.replace sec.tbl sub (slot :: prev))
+      let b = sec.buckets.(ss) in
+      sec.of_sec.(slot) <- ss;
+      sec.pos_in_bucket.(slot) <- Intvec.length b;
+      Intvec.push b slot)
     t.secs
 
-let sec_remove t slot key =
+let sec_remove t slot =
   Array.iter
     (fun sec ->
-      let sub = Vtuple.project key sec.positions in
-      match Vtuple.Tbl.find_opt sec.tbl sub with
-      | None -> ()
-      | Some l -> (
-          match List.filter (fun s -> s <> slot) l with
-          | [] -> Vtuple.Tbl.remove sec.tbl sub
-          | l' -> Vtuple.Tbl.replace sec.tbl sub l'))
+      let ss = sec.of_sec.(slot) in
+      let b = sec.buckets.(ss) in
+      let last = Intvec.pop b in
+      if last <> slot then begin
+        (* swap-remove: the popped tail fills the vacated position *)
+        let pos = sec.pos_in_bucket.(slot) in
+        Intvec.set b pos last;
+        sec.pos_in_bucket.(last) <- pos
+      end;
+      sec.of_sec.(slot) <- -1;
+      if Intvec.is_empty b then begin
+        (* retire the sub-key entry so churn cannot accumulate garbage *)
+        let h = sec.sub_hashes.(ss) in
+        ignore (Oaidx.find sec.idx sec.sub_keys h sec.sub_keys.(ss));
+        Oaidx.remove_latched sec.idx;
+        sec.sub_keys.(ss) <- Vtuple.empty;
+        Intvec.push sec.sec_free ss
+      end)
     t.secs
 
 let get t key =
-  probe t key;
+  let h = Oaidx.hash key in
+  if Trace.enabled () then
+    Trace.emit (t.unique_base + ((h land 0xffff) * 8)) Trace.Read;
   Obs.Counter.incr m_probes;
-  match Vtuple.Tbl.find_opt t.unique key with
-  | None ->
-      Obs.Counter.incr m_probe_misses;
-      0.
-  | Some slot ->
-      if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
-      t.values.(slot)
+  let slot = Oaidx.find t.unique t.keys h key in
+  if slot < 0 then begin
+    Obs.Counter.incr m_probe_misses;
+    0.
+  end
+  else begin
+    if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
+    t.values.(slot)
+  end
 
-let remove_slot t key slot =
-  Vtuple.Tbl.remove t.unique key;
-  t.live.(slot) <- false;
+(* The latched unique-index bucket still points at [slot]'s entry. *)
+let remove_slot_latched t slot =
+  Oaidx.remove_latched t.unique;
+  t.values.(slot) <- 0.;
   t.keys.(slot) <- Vtuple.empty;
-  t.free <- slot :: t.free;
+  Intvec.push t.free slot;
   t.count <- t.count - 1;
-  sec_remove t slot key
+  sec_remove t slot
 
-let insert t key m =
+let insert_latched ~copy t h key m =
   let slot = alloc_slot t in
+  let key = if copy then Array.copy key else key in
   t.keys.(slot) <- key;
   t.values.(slot) <- m;
-  t.live.(slot) <- true;
   t.count <- t.count + 1;
-  Vtuple.Tbl.replace t.unique key slot;
+  Oaidx.add_latched t.unique h slot;
   sec_insert t slot key;
   if Trace.enabled () then Trace.emit (addr t slot) Trace.Write
 
-let add t key m =
-  if Float.abs m >= Gmr.zero_eps then begin
-    probe t key;
-    match Vtuple.Tbl.find_opt t.unique key with
-    | None -> insert t key m
-    | Some slot ->
-        let v = t.values.(slot) +. m in
-        if Trace.enabled () then Trace.emit (addr t slot) Trace.Write;
-        if Float.abs v < Gmr.zero_eps then remove_slot t key slot
-        else t.values.(slot) <- v
+(* Single-probe upsert (one hash, one probe sequence); [copy] is the
+   scratch-key protocol: borrowed key buffers are duplicated only when the
+   record is first inserted. *)
+let upsert ~copy t key m =
+  if Float.abs m >= Mult.zero_eps then begin
+    let h = Oaidx.hash key in
+    if Trace.enabled () then
+      Trace.emit (t.unique_base + ((h land 0xffff) * 8)) Trace.Read;
+    let slot = Oaidx.find t.unique t.keys h key in
+    if slot < 0 then insert_latched ~copy t h key m
+    else begin
+      let v = t.values.(slot) +. m in
+      if Trace.enabled () then Trace.emit (addr t slot) Trace.Write;
+      if Float.abs v < Mult.zero_eps then remove_slot_latched t slot
+      else t.values.(slot) <- v
+    end
   end
 
+let add t key m = upsert ~copy:false t key m
+let add_borrow t key m = upsert ~copy:true t key m
+
 let set t key m =
-  probe t key;
-  match Vtuple.Tbl.find_opt t.unique key with
-  | None -> if Float.abs m >= Gmr.zero_eps then insert t key m
-  | Some slot ->
-      if Float.abs m < Gmr.zero_eps then remove_slot t key slot
-      else begin
-        t.values.(slot) <- m;
-        if Trace.enabled () then Trace.emit (addr t slot) Trace.Write
-      end
+  let h = Oaidx.hash key in
+  if Trace.enabled () then
+    Trace.emit (t.unique_base + ((h land 0xffff) * 8)) Trace.Read;
+  let slot = Oaidx.find t.unique t.keys h key in
+  if slot < 0 then begin
+    if Float.abs m >= Mult.zero_eps then insert_latched ~copy:false t h key m
+  end
+  else if Float.abs m < Mult.zero_eps then remove_slot_latched t slot
+  else begin
+    t.values.(slot) <- m;
+    if Trace.enabled () then Trace.emit (addr t slot) Trace.Write
+  end
 
 let foreach t f =
   for slot = 0 to t.hwm - 1 do
-    if t.live.(slot) then begin
+    let v = Array.unsafe_get t.values slot in
+    if v <> 0. then begin
       if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
-      f t.keys.(slot) t.values.(slot)
+      f (Array.unsafe_get t.keys slot) v
     end
   done
 
 let slice t ~index sub f =
   let sec = t.secs.(index) in
+  let h = Oaidx.hash sub in
   if Trace.enabled () then
-    Trace.emit (sec.sec_base + (Vtuple.hash sub land 0xffff) * 8) Trace.Read;
+    Trace.emit (sec.sec_base + ((h land 0xffff) * 8)) Trace.Read;
   Obs.Counter.incr m_probes;
-  match Vtuple.Tbl.find_opt sec.tbl sub with
-  | None -> Obs.Counter.incr m_probe_misses
-  | Some slots ->
-      List.iter
-        (fun slot ->
-          if t.live.(slot) then begin
-            if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
-            f t.keys.(slot) t.values.(slot)
-          end)
-        slots
+  let ss = Oaidx.find sec.idx sec.sub_keys h sub in
+  if ss < 0 then Obs.Counter.incr m_probe_misses
+  else begin
+    let b = sec.buckets.(ss) in
+    for i = 0 to Intvec.length b - 1 do
+      let slot = Intvec.get b i in
+      if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
+      f t.keys.(slot) t.values.(slot)
+    done
+  end
 
 let find_slice t positions =
   let rec go i =
@@ -199,18 +281,29 @@ let find_slice t positions =
   go 0
 
 let clear t =
-  Vtuple.Tbl.clear t.unique;
-  Array.iter (fun sec -> Vtuple.Tbl.clear sec.tbl) t.secs;
-  Array.fill t.live 0 (Array.length t.live) false;
+  Oaidx.clear t.unique;
+  Array.iter
+    (fun sec ->
+      Oaidx.clear sec.idx;
+      for ss = 0 to sec.sec_hwm - 1 do
+        sec.sub_keys.(ss) <- Vtuple.empty;
+        Intvec.clear sec.buckets.(ss)
+      done;
+      sec.sec_hwm <- 0;
+      Intvec.clear sec.sec_free;
+      Array.fill sec.of_sec 0 (Array.length sec.of_sec) (-1))
+    t.secs;
+  for slot = 0 to t.hwm - 1 do
+    t.keys.(slot) <- Vtuple.empty;
+    t.values.(slot) <- 0.
+  done;
   t.hwm <- 0;
-  t.free <- [];
+  Intvec.clear t.free;
   t.count <- 0
 
 let to_gmr t =
   let g = Gmr.create ~size:t.count () in
-  for slot = 0 to t.hwm - 1 do
-    if t.live.(slot) then Gmr.add g t.keys.(slot) t.values.(slot)
-  done;
+  foreach t (fun key v -> Gmr.add g key v);
   g
 
 let of_gmr ?name ~key_width ~slices g =
@@ -223,4 +316,4 @@ let byte_size t =
   foreach t (fun key _ -> acc := !acc + Vtuple.byte_size key + 8);
   !acc
 
-let free_slots t = List.length t.free
+let free_slots t = Intvec.length t.free

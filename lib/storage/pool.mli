@@ -1,10 +1,17 @@
 (** Multi-indexed record pools (§5.2, Figure 6).
 
     A pool stores fixed-format records (a key tuple plus one aggregate
-    value) in a growable arena with a free list. A unique hash index serves
-    [get]/[update]/[delete]; non-unique hash indexes over key subsets serve
-    [slice]. Indexes are declared up front by the compiler's access-pattern
-    analysis (§5.2.1) and maintained incrementally. *)
+    value) in a growable arena with a free-list stack. A unique
+    open-addressing index ({!Oaidx}: cached hashes, single-probe upserts,
+    tombstone-free deletion) serves [get]/[update]/[delete]; non-unique
+    indexes over key subsets serve [slice], with growable int-array
+    buckets and O(1) swap-remove maintenance. Indexes are declared up
+    front by the compiler's access-pattern analysis (§5.2.1) and
+    maintained incrementally.
+
+    Iteration callbacks ([foreach], [slice]) must not add or remove
+    records of the pool being iterated (the runtime buffers self-reading
+    statements for exactly this reason). *)
 
 open Divm_ring
 
@@ -22,8 +29,15 @@ val key_width : t -> int
 val get : t -> Vtuple.t -> float
 
 (** [add pool key m] adds [m] to the multiplicity of [key], inserting or
-    removing the record as needed (zero multiplicities are not stored). *)
+    removing the record as needed (zero multiplicities are not stored).
+    [key] is retained by reference on insert: the caller must not mutate
+    it afterwards. *)
 val add : t -> Vtuple.t -> float -> unit
+
+(** Scratch-key variant of [add] for compiled trigger closures: [key] is a
+    borrowed buffer the caller will overwrite, copied by the pool only
+    when the record is first inserted. *)
+val add_borrow : t -> Vtuple.t -> float -> unit
 
 (** [set pool key m] overwrites (removing on zero). *)
 val set : t -> Vtuple.t -> float -> unit

@@ -1,5 +1,6 @@
 module Tsch = Schema
 open Divm_ring
+open Divm_storage
 open Value
 
 type config = { scale : float; seed : int }

@@ -4,7 +4,7 @@
     200 items, 150 customers, 10 stores, 50/60 demographic profiles, 100
     addresses. *)
 
-open Divm_ring
+open Divm_storage
 
 type config = { scale : float; seed : int }
 

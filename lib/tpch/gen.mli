@@ -8,6 +8,7 @@
     1–50, ...). *)
 
 open Divm_ring
+open Divm_storage
 
 type config = { scale : float; seed : int }
 

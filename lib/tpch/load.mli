@@ -6,6 +6,7 @@
     [p_name]). *)
 
 open Divm_ring
+open Divm_storage
 
 exception Error of string
 

@@ -2,6 +2,7 @@
    .tbl loader. *)
 
 open Divm_ring
+open Divm_storage
 open Divm_compiler
 open Divm_dist
 open Divm_cluster

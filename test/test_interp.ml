@@ -1,4 +1,5 @@
 open Divm_ring
+open Divm_storage
 open Divm_calc
 open Divm_calc.Calc
 open Divm_eval

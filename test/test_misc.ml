@@ -1,4 +1,5 @@
 open Divm_ring
+open Divm_storage
 open Divm_cachesim
 
 let test_cache_lru () =

@@ -2,6 +2,7 @@
    their integration with the runtime and the cluster simulator. *)
 
 open Divm_ring
+open Divm_storage
 open Divm_calc.Calc
 open Divm_compiler
 open Divm_runtime

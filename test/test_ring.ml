@@ -1,4 +1,5 @@
 open Divm_ring
+open Divm_storage
 
 let v_int i = Value.Int i
 let v_str s = Value.String s

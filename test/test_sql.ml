@@ -1,4 +1,5 @@
 open Divm_ring
+open Divm_storage
 open Divm_sql
 
 let i x = Value.Int x

@@ -161,6 +161,189 @@ let qcheck_pool_model =
              Float.abs (!via_slice -. !via_model) < 1e-9)
            [ 0; 1; 2 ])
 
+(* Independent reference model for the storage core: a plain association
+   list keyed by [Vtuple.equal], with the engine's cancellation threshold.
+   Deliberately NOT a Gmr — Gmr sits on the same Oaidx core, so checking
+   against it would let a shared bug cancel out. *)
+module Model = struct
+  type t = (Vtuple.t * float) list
+
+  let get m key =
+    match List.find_opt (fun (k, _) -> Vtuple.equal k key) m with
+    | Some (_, v) -> v
+    | None -> 0.
+
+  let add m key x =
+    if Float.abs x < Gmr.zero_eps then m
+    else
+      match List.partition (fun (k, _) -> Vtuple.equal k key) m with
+      | [ (k0, v) ], rest ->
+          let v' = v +. x in
+          if Float.abs v' < Gmr.zero_eps then rest else (k0, v') :: rest
+      | [], rest -> (key, x) :: rest
+      | _ -> assert false
+
+  let set m key x =
+    let rest = List.filter (fun (k, _) -> not (Vtuple.equal k key)) m in
+    if Float.abs x < Gmr.zero_eps then rest else (key, x) :: rest
+end
+
+(* Key fields flip between [Int x] and [Float (float x)]: the two forms are
+   equal (and must collide) per [Value.equal]/[Value.hash]. *)
+let field x as_float = if as_float then Value.Float (float_of_int x) else i x
+
+type churn_op =
+  | Add of int * bool * int * bool * float
+  | Set of int * bool * int * bool * float
+  | Remove of int * bool * int * bool
+  | Clear
+
+let show_op = function
+  | Add (a, fa, b, fb, m) -> Printf.sprintf "Add(%d%s,%d%s,%g)" a
+      (if fa then "f" else "") b (if fb then "f" else "") m
+  | Set (a, fa, b, fb, m) -> Printf.sprintf "Set(%d%s,%d%s,%g)" a
+      (if fa then "f" else "") b (if fb then "f" else "") m
+  | Remove (a, fa, b, fb) -> Printf.sprintf "Remove(%d%s,%d%s)" a
+      (if fa then "f" else "") b (if fb then "f" else "")
+  | Clear -> "Clear"
+
+let gen_churn =
+  let open QCheck.Gen in
+  (* enough distinct keys (0..40 x 0..8) that long programs force index
+     growth, and enough cancellation that freed slots get reused *)
+  let key = quad (int_range 0 40) bool (int_range 0 8) bool in
+  let op =
+    frequency
+      [
+        ( 6,
+          map2
+            (fun (a, fa, b, fb) m -> Add (a, fa, b, fb, float_of_int m))
+            key (int_range (-2) 3) );
+        ( 2,
+          map2
+            (fun (a, fa, b, fb) m -> Set (a, fa, b, fb, float_of_int m))
+            key (int_range 0 3) );
+        (2, map (fun (a, fa, b, fb) -> Remove (a, fa, b, fb)) key);
+        (1, return Clear);
+      ]
+  in
+  list_size (int_range 1 300) op
+
+let arb_churn =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map show_op ops))
+    gen_churn
+
+let key_of = function
+  | Add (a, fa, b, fb, _) | Set (a, fa, b, fb, _) | Remove (a, fa, b, fb) ->
+      Some [| field a fa; field b fb |]
+  | Clear -> None
+
+(* Pool vs the association-list model: get, foreach, and every slice must
+   agree after arbitrary churn (growth, free-slot reuse, mixed-type keys). *)
+let qcheck_pool_churn =
+  QCheck.Test.make ~name:"pool = assoc-list model under churn" ~count:150
+    arb_churn (fun ops ->
+      let p = Pool.create ~key_width:2 ~slices:[ [| 1 |] ] () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match (op, key_of op) with
+          | Add (_, _, _, _, m), Some key ->
+              Pool.add p key m;
+              model := Model.add !model key m
+          | Set (_, _, _, _, m), Some key ->
+              Pool.set p key m;
+              model := Model.set !model key m
+          | Remove _, Some key ->
+              Pool.set p key 0.;
+              model := Model.set !model key 0.
+          | _ ->
+              Pool.clear p;
+              model := [])
+        ops;
+      let ok_card = Pool.cardinal p = List.length !model in
+      (* gets agree for every key the program ever mentioned *)
+      let ok_get =
+        List.for_all
+          (fun op ->
+            match key_of op with
+            | None -> true
+            | Some key ->
+                Float.abs (Pool.get p key -. Model.get !model key) < 1e-9)
+          ops
+      in
+      (* foreach emits exactly the model's entries *)
+      let seen = ref 0 in
+      let ok_foreach = ref true in
+      Pool.foreach p (fun key v ->
+          incr seen;
+          if Float.abs (v -. Model.get !model key) >= 1e-9 then
+            ok_foreach := false);
+      (* each slice bucket (queried in both key forms) sums like the model *)
+      let ok_slice =
+        List.for_all
+          (fun b ->
+            List.for_all
+              (fun fb ->
+                let got = ref 0. and want = ref 0. in
+                Pool.slice p ~index:0 [| field b fb |] (fun _ m ->
+                    got := !got +. m);
+                List.iter
+                  (fun (k, v) ->
+                    if Value.equal k.(1) (i b) then want := !want +. v)
+                  !model;
+                Float.abs (!got -. !want) < 1e-9)
+              [ false; true ])
+          [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+      in
+      ok_card && ok_get && !ok_foreach && !seen = List.length !model
+      && ok_slice)
+
+(* Same churn programs against Gmr: mult/iter/cardinal agreement. *)
+let qcheck_gmr_churn =
+  QCheck.Test.make ~name:"gmr = assoc-list model under churn" ~count:150
+    arb_churn (fun ops ->
+      let g = Gmr.create () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match (op, key_of op) with
+          | Add (_, _, _, _, m), Some key ->
+              Gmr.add g key m;
+              model := Model.add !model key m
+          | Set (_, _, _, _, m), Some key ->
+              Gmr.set g key m;
+              model := Model.set !model key m
+          | Remove _, Some key ->
+              Gmr.set g key 0.;
+              model := Model.set !model key 0.
+          | _ ->
+              Gmr.clear g;
+              model := [])
+        ops;
+      let ok_mult =
+        List.for_all
+          (fun op ->
+            match key_of op with
+            | None -> true
+            | Some key ->
+                Float.abs (Gmr.mult g key -. Model.get !model key) < 1e-9
+                && Gmr.mem g key = (Model.get !model key <> 0.))
+          ops
+      in
+      let seen = ref 0 in
+      let ok_iter = ref true in
+      Gmr.iter
+        (fun key m ->
+          incr seen;
+          if Float.abs (m -. Model.get !model key) >= 1e-9 then
+            ok_iter := false)
+        g;
+      ok_mult && !ok_iter
+      && !seen = List.length !model
+      && Gmr.cardinal g = List.length !model)
+
 let suites =
   [
     ( "storage",
@@ -176,5 +359,7 @@ let suites =
           test_colbatch_filter_project;
         Alcotest.test_case "trace hooks" `Quick test_trace_hooks;
         QCheck_alcotest.to_alcotest qcheck_pool_model;
+        QCheck_alcotest.to_alcotest qcheck_pool_churn;
+        QCheck_alcotest.to_alcotest qcheck_gmr_churn;
       ] );
   ]
