@@ -8,11 +8,15 @@
 open Divm
 open Cmdliner
 
-let run query workers batch_size scale level () =
+let run query workers batch_size scale level opts =
   let w = Workload.find query in
   let prog = Workload.compile w in
   let dp = Workload.distribute ~level w prog in
   let c = Cluster.create ~config:(Cluster.config ~workers ()) dp in
+  Divm_obs_cli.Obs_cli.activate
+    ~plan:(Profile.explain_dist ~name:w.wname dp)
+    ~storage:(fun () -> Cluster.storage_stats c)
+    opts;
   let stream = Tpch.Gen.stream { Tpch.Gen.scale; seed = 42 } ~batch_size in
   Printf.printf
     "%s on %d workers (opt level %d), batches of %d tuples\n%-10s %8s %9s %8s %7s\n"

@@ -8,10 +8,14 @@
 open Divm
 open Cmdliner
 
-let run query scale batch_size single show_result tbl_dir () =
+let run query scale batch_size single show_result tbl_dir opts =
   let w = Workload.find query in
   let prog = Workload.compile ~preaggregate:(not single) w in
   let rt = Runtime.create prog in
+  Divm_obs_cli.Obs_cli.activate
+    ~plan:(Profile.explain ~name:w.wname prog)
+    ~storage:(fun () -> Runtime.storage_stats rt)
+    opts;
   let stream =
     match tbl_dir with
     | Some dir ->

@@ -7,7 +7,7 @@
 open Divm
 open Cmdliner
 
-let run query sql mode preagg level () =
+let run query sql mode preagg level (opts : Divm_obs_cli.Obs_cli.opts) =
   let w =
     match sql with
     | Some text -> Workload.of_sql text
@@ -15,12 +15,19 @@ let run query sql mode preagg level () =
   in
   let prog = Workload.compile ~preaggregate:preagg w in
   match mode with
-  | `Local -> Format.printf "%a@." Prog.pp prog
+  | `Local ->
+      if opts.explain then
+        print_string (Profile.render (Profile.explain ~name:w.wname prog))
+      else Format.printf "%a@." Prog.pp prog
   | `Dist ->
       let dp = Workload.distribute ~level w prog in
-      Format.printf "%a@." Dprog.pp dp
+      if opts.explain then
+        print_string (Profile.render (Profile.explain_dist ~name:w.wname dp))
+      else Format.printf "%a@." Dprog.pp dp
   | `Stats ->
       let dp = Workload.distribute w prog in
+      if opts.explain then
+        print_string (Profile.render (Profile.explain_dist ~name:w.wname dp));
       Format.printf "maps: %d  statements: %d@." (List.length prog.maps)
         (Prog.stmt_count prog);
       List.iter

@@ -4,6 +4,7 @@ open Divm_compiler
 open Divm_dist
 open Divm_runtime
 module Obs = Divm_obs.Obs
+module Prof = Divm_obs.Prof
 
 (* Registry instruments. [apply_batch]'s metrics record is a view over
    these: each batch is accounted into the counters first and the record
@@ -13,6 +14,7 @@ let m_bytes_shuffled = Obs.Counter.make "divm_cluster_bytes_shuffled_total"
 let m_stages = Obs.Counter.make "divm_cluster_stages_total"
 let m_batches = Obs.Counter.make "divm_cluster_batches_total"
 let m_worker_ops = Obs.Counter.make "divm_cluster_max_worker_ops_total"
+let m_worker_ops_all = Obs.Counter.make "divm_cluster_worker_ops_total"
 let m_driver_ops = Obs.Counter.make "divm_cluster_driver_ops_total"
 
 let h_latency =
@@ -62,11 +64,13 @@ type transfer = {
   tkind : Dprog.transfer_kind;
   key : int array;
   source : string;
+  tslot : int; (* profiler slot: shuffled bytes are charged here *)
 }
 
 type pstmt =
-  | PDriver of string * (unit -> unit)  (* span label, compiled stmt *)
-  | PWorkers of string * (unit -> unit) array
+  | PDriver of string * int * (unit -> unit)
+      (* span label, profiler slot, compiled stmt *)
+  | PWorkers of string * int * (unit -> unit) array
   | PTransfer of transfer
 
 type pblock = { pmode : Dprog.mode; pstmts : pstmt list }
@@ -84,34 +88,15 @@ type t = {
 
 let workers t = t.cfg.workers
 
-(* The runtimes never fire whole triggers themselves, but the compute
-   statements of the distributed program (with their transfer-renamed map
-   references) must be visible to the access-pattern analysis so the pools
-   get their slice indexes. *)
-let runtime_prog (dp : Dprog.t) =
-  let triggers =
-    List.map
-      (fun (tr : Dprog.dtrigger) ->
-        {
-          Prog.relation = tr.drelation;
-          stmts =
-            List.concat_map
-              (fun b ->
-                List.filter_map
-                  (function Dprog.Compute s -> Some s | Dprog.Transfer _ -> None)
-                  b.Dprog.bstmts)
-              tr.blocks;
-        })
-      dp.dtriggers
-  in
-  { dp.base with Prog.triggers = triggers }
-
 let create ?(config = default_config) (dp : Dprog.t) =
-  let driver = Runtime.create (runtime_prog dp) in
-  let nodes =
-    Array.init config.workers (fun _ -> Runtime.create (runtime_prog dp))
-  in
-  let compile_block (b : Dprog.block) =
+  (* The runtimes never fire whole triggers themselves, but the compute
+     statements of the distributed program (with their transfer-renamed
+     map references) must be visible to the access-pattern analysis so
+     the pools get their slice indexes. *)
+  let rprog = Dprog.compute_prog dp in
+  let driver = Runtime.create rprog in
+  let nodes = Array.init config.workers (fun _ -> Runtime.create rprog) in
+  let compile_block trigger (b : Dprog.block) =
     {
       pmode = b.bmode;
       pstmts =
@@ -119,16 +104,27 @@ let create ?(config = default_config) (dp : Dprog.t) =
           (fun d ->
             match d with
             | Dprog.Transfer { tname; tkind; key; source } ->
-                PTransfer { tname; tkind; key; source }
+                PTransfer
+                  {
+                    tname;
+                    tkind;
+                    key;
+                    source;
+                    tslot = Prof.slot ~trigger ~label:("transfer:" ^ tname);
+                  }
             | Dprog.Compute s -> (
                 match Dprog.mode_of dp.locs (Dprog.Compute s) with
                 | Dprog.MLocal ->
+                    let label = "driver:" ^ s.target in
                     PDriver
-                      ( "driver:" ^ s.target,
+                      ( label,
+                        Prof.slot ~trigger ~label,
                         List.hd (Runtime.compile_stmts driver [ s ]) )
                 | Dprog.MDist ->
+                    let label = "stmt:" ^ s.target in
                     PWorkers
-                      ( "stmt:" ^ s.target,
+                      ( label,
+                        Prof.slot ~trigger ~label,
                         Array.map
                           (fun rt -> List.hd (Runtime.compile_stmts rt [ s ]))
                           nodes )))
@@ -138,7 +134,7 @@ let create ?(config = default_config) (dp : Dprog.t) =
   let plans =
     List.map
       (fun (tr : Dprog.dtrigger) ->
-        (tr.drelation, List.map compile_block tr.blocks))
+        (tr.drelation, List.map (compile_block tr.drelation) tr.blocks))
       dp.dtriggers
   in
   (* Batches live at the workers when the delta pre-aggregations do. *)
@@ -280,14 +276,20 @@ let apply_batch t ~rel batch =
           List.iter
             (fun ps ->
               match ps with
-              | PDriver (lbl, f) -> Obs.span lbl f
+              | PDriver (lbl, slot, f) ->
+                  Runtime.run_attributed t.driver ~label:lbl ~slot f
               | PTransfer tr ->
                   Obs.span ("transfer:" ^ tr.tname) (fun () ->
+                      let wall0 = Unix.gettimeofday () in
                       let before_max =
                         Array.fold_left max net.into_driver net.into_node
                       in
                       let bytes_before = net.total_bytes in
                       let ser = run_transfer t net tr in
+                      if Prof.enabled () then
+                        Prof.add tr.tslot ~ops:0 ~probes:0 ~misses:0 ~scanned:0
+                          ~bytes:(net.total_bytes - bytes_before)
+                          ~wall:(Unix.gettimeofday () -. wall0);
                       let after_max =
                         Array.fold_left max net.into_driver net.into_node
                       in
@@ -328,7 +330,8 @@ let apply_batch t ~rel batch =
                     List.iter
                       (fun ps ->
                         match ps with
-                        | PWorkers (lbl, fs) -> Obs.span lbl fs.(wi)
+                        | PWorkers (lbl, slot, fs) ->
+                            Runtime.run_attributed rt ~label:lbl ~slot fs.(wi)
                         | PDriver _ | PTransfer _ -> assert false)
                       b.pstmts;
                     let d = Runtime.ops rt - o0 in
@@ -362,6 +365,7 @@ let apply_batch t ~rel batch =
   Obs.Counter.add m_stages !stages;
   Obs.Counter.incr m_batches;
   Obs.Counter.add m_driver_ops (Runtime.ops t.driver - driver_ops0);
+  Obs.Counter.add m_worker_ops_all (Array.fold_left ( + ) 0 worker_ops);
   Obs.Histogram.observe h_latency !latency;
   Obs.Gauge.set g_workers (float_of_int w);
   Obs.Gauge.set g_last_latency !latency;
@@ -404,6 +408,19 @@ let result t qname =
   match List.assoc_opt qname t.dprog.base.queries with
   | Some m -> map_contents t m
   | None -> invalid_arg ("Cluster.result: unknown query " ^ qname)
+
+(* Storage self-metrics for the driver and one representative worker
+   (partitions are symmetric modulo hashing skew). *)
+let storage_stats t =
+  List.map
+    (fun (n, s) -> ("driver/" ^ n, s))
+    (Runtime.storage_stats t.driver)
+  @
+  if t.cfg.workers = 0 then []
+  else
+    List.map
+      (fun (n, s) -> ("w0/" ^ n, s))
+      (Runtime.storage_stats t.nodes.(0))
 
 (* ------------------------------------------------------------------ *)
 (* Fault tolerance                                                     *)

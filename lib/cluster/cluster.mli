@@ -76,6 +76,11 @@ val map_contents : t -> string -> Gmr.t
 
 val result : t -> string -> Gmr.t
 
+(** Per-pool storage self-metrics for the driver (["driver/…"]) and one
+    representative worker (["w0/…"]); partitions are symmetric modulo
+    hashing skew. Cold path. *)
+val storage_stats : t -> (string * Divm_storage.Pool.stats) list
+
 (** Consistency check: replicated maps hold identical contents on every
     worker. Raises [Failure] when violated. *)
 val check_replicas : t -> unit

@@ -20,7 +20,8 @@
     - {!Tpch}, {!Tpcds} — workloads; {!Baseline} — comparison engines;
       {!Cachesim} — the Table 2 cache model;
     - {!Obs} — observability: metrics registry and span tracer shared by
-      every layer; {!Workload} — named-query boilerplate for front ends.
+      every layer; {!Profile} — EXPLAIN and the per-statement profiler;
+      {!Workload} — named-query boilerplate for front ends.
 
     {1 Quickstart}
 
@@ -66,6 +67,7 @@ module Sql = Divm_sql.Sql
 module Baseline = Divm_baseline.Baseline
 module Cachesim = Divm_cachesim.Cachesim
 module Obs = Divm_obs.Obs
+module Profile = Divm_profile.Profile
 module Workload = Divm_workload.Workload
 
 module Tpch = struct

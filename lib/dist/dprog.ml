@@ -86,6 +86,27 @@ let jobs_and_stages t rel =
   in
   (jobs, stages)
 
+(* The plain trigger program over just the compute statements, in block
+   order — what a node's [Runtime] compiles, and what EXPLAIN's
+   access-path analysis runs on. *)
+let compute_prog (t : t) =
+  let triggers =
+    List.map
+      (fun tr ->
+        {
+          Prog.relation = tr.drelation;
+          stmts =
+            List.concat_map
+              (fun b ->
+                List.filter_map
+                  (function Compute s -> Some s | Transfer _ -> None)
+                  b.bstmts)
+              tr.blocks;
+        })
+      t.dtriggers
+  in
+  { t.base with Prog.triggers = triggers }
+
 let block_counts tr =
   List.fold_left
     (fun (l, d) b -> match b.bmode with MLocal -> (l + 1, d) | MDist -> (l, d + 1))

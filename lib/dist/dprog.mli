@@ -60,3 +60,8 @@ val pp : Format.formatter -> t -> unit
 
 (** Count of blocks per mode across one trigger: (local, distributed). *)
 val block_counts : dtrigger -> int * int
+
+(** The plain trigger program over just the compute statements, in block
+    order: what each node's runtime compiles (the cluster simulator) and
+    what EXPLAIN's access-pattern analysis runs on. *)
+val compute_prog : t -> Prog.t

@@ -94,6 +94,40 @@ module Histogram = struct
 
   let count t = t.h_count
   let sum t = t.h_sum
+
+  (* Shared with the snapshot exporters, which carry the same arrays. *)
+  let percentile_of ~buckets ~counts ~count p =
+    if count <= 0 then Float.nan
+    else begin
+      let n = Array.length buckets in
+      let rank = p /. 100. *. float_of_int count in
+      let res = ref Float.nan in
+      let cum = ref 0 in
+      (try
+         for i = 0 to n do
+           let c = counts.(i) in
+           if c > 0 && float_of_int (!cum + c) >= rank then begin
+             (if i >= n then
+                (* +Inf bucket: no finite upper bound to interpolate
+                   towards; report the largest finite bound *)
+                res := (if n = 0 then Float.nan else buckets.(n - 1))
+              else
+                let lo = if i = 0 then 0. else buckets.(i - 1) in
+                let hi = buckets.(i) in
+                let frac =
+                  Float.max 0. (rank -. float_of_int !cum) /. float_of_int c
+                in
+                res := lo +. (frac *. (hi -. lo)));
+             raise Exit
+           end;
+           cum := !cum + c
+         done
+       with Exit -> ());
+      !res
+    end
+
+  let percentile t p =
+    percentile_of ~buckets:t.h_buckets ~counts:t.h_counts ~count:t.h_count p
 end
 
 (* ------------------------------------------------------------------ *)
@@ -136,16 +170,28 @@ let diff ~later ~earlier =
     (fun (name, v) ->
       match (v, List.assoc_opt name earlier) with
       | VCounter a, Some (VCounter b) -> (name, VCounter (a - b))
-      | VHistogram a, Some (VHistogram b)
-        when Array.length a.counts = Array.length b.counts ->
-          ( name,
-            VHistogram
-              {
-                a with
-                counts = Array.mapi (fun i c -> c - b.counts.(i)) a.counts;
-                sum = a.sum -. b.sum;
-                count = a.count - b.count;
-              } )
+      | VHistogram a, Some (VHistogram b) ->
+          if a.buckets = b.buckets then
+            ( name,
+              VHistogram
+                {
+                  a with
+                  counts = Array.mapi (fun i c -> c - b.counts.(i)) a.counts;
+                  sum = a.sum -. b.sum;
+                  count = a.count - b.count;
+                } )
+          else
+            (* Bucket layout changed between the snapshots, so per-bucket
+               deltas are meaningless: zero them and subtract only the
+               scalar moments, which remain well-defined. *)
+            ( name,
+              VHistogram
+                {
+                  a with
+                  counts = Array.make (Array.length a.counts) 0;
+                  sum = a.sum -. b.sum;
+                  count = a.count - b.count;
+                } )
       | _ -> (name, v))
     later
 
@@ -222,7 +268,16 @@ let to_text snap =
             h.counts;
           Buffer.add_string buf
             (Printf.sprintf "%s_sum %s\n%s_count %d\n" base (fmt_float h.sum)
-               base h.count))
+               base h.count);
+          if h.count > 0 then begin
+            let q p =
+              Histogram.percentile_of ~buckets:h.buckets ~counts:h.counts
+                ~count:h.count p
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "# %s%s p50=%s p95=%s p99=%s\n" base lbl
+                 (fmt_float (q 50.)) (fmt_float (q 95.)) (fmt_float (q 99.)))
+          end)
     snap;
   Buffer.contents buf
 
@@ -277,9 +332,17 @@ let to_json snap =
               if j > 0 then Buffer.add_string buf ",";
               Buffer.add_string buf (string_of_int c))
             h.counts;
+          let q p =
+            Histogram.percentile_of ~buckets:h.buckets ~counts:h.counts
+              ~count:h.count p
+          in
           Buffer.add_string buf
-            (Printf.sprintf "],\"sum\":%s,\"count\":%d}" (json_float h.sum)
-               h.count))
+            (Printf.sprintf
+               "],\"sum\":%s,\"count\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+               (json_float h.sum) h.count
+               (json_float (q 50.))
+               (json_float (q 95.))
+               (json_float (q 99.))))
     snap;
   Buffer.add_string buf "}";
   Buffer.contents buf

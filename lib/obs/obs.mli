@@ -62,6 +62,16 @@ module Histogram : sig
   val observe : t -> float -> unit
   val count : t -> int
   val sum : t -> float
+
+  (** [percentile t p] estimates the [p]-th percentile ([0. <= p <= 100.])
+      by linear interpolation inside the bucket containing the rank; the
+      first bucket interpolates from 0, the +inf bucket reports the
+      largest finite bound. [nan] on an empty histogram. *)
+  val percentile : t -> float -> float
+
+  (** Same estimator over raw snapshot arrays (see {!value}). *)
+  val percentile_of :
+    buckets:float array -> counts:int array -> count:int -> float -> float
 end
 
 (** {1 Registry snapshots} *)
@@ -82,7 +92,10 @@ val snapshot : unit -> snapshot
 
 (** [diff ~later ~earlier]: counters and histogram counts/sums subtract,
     gauges keep [later]'s value; instruments absent from [earlier] pass
-    through. *)
+    through. If a histogram's bucket bounds changed between the snapshots
+    (an instrument re-created with different [~buckets]), per-bucket deltas
+    are meaningless: the result keeps [later]'s bounds with all bucket
+    counts zeroed and subtracts only [sum]/[count]. *)
 val diff : later:snapshot -> earlier:snapshot -> snapshot
 
 val find : snapshot -> string -> value option
@@ -93,7 +106,8 @@ val counter_value : snapshot -> string -> int
 (** Prometheus text exposition format ([# TYPE] comments included). *)
 val to_text : snapshot -> string
 
-(** One JSON object per instrument, keyed by metric name. *)
+(** One JSON object per instrument, keyed by metric name; histograms
+    include estimated [p50]/[p95]/[p99] (see {!Histogram.percentile}). *)
 val to_json : snapshot -> string
 
 (** Reset every registered counter and histogram to zero (gauges keep

@@ -1,0 +1,100 @@
+(* Per-statement attribution slots for the profiler (Divm.Profile).
+
+   This lives below runtime/cluster so their compiled closures can charge
+   work to a slot without depending on the report layer. Slots are
+   resolved to dense integer ids once, at statement-compile time; the
+   firing path does plain array additions — no string hashing, no
+   Hashtbl, no allocation. *)
+
+type row = {
+  r_trigger : string;
+  r_label : string;
+  r_firings : int;
+  r_ops : int;
+  r_probes : int;
+  r_misses : int;
+  r_scanned : int;
+  r_bytes : int;
+  r_wall : float;
+}
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* Structure-of-arrays keyed by slot id; grows geometrically. Slot ids
+   are stable for the life of the process (compiled closures capture
+   them), so [reset] zeroes the tallies but keeps registrations. *)
+let cap = ref 0
+let n = ref 0
+let triggers = ref [||]
+let labels = ref [||]
+let firings = ref [||]
+let ops = ref [||]
+let probes = ref [||]
+let misses = ref [||]
+let scanned = ref [||]
+let bytes = ref [||]
+let wall = ref [||]
+let ids : (string * string, int) Hashtbl.t = Hashtbl.create 64
+
+let grow () =
+  let cap' = if !cap = 0 then 32 else 2 * !cap in
+  let gi a = Array.append !a (Array.make (cap' - !cap) 0) in
+  let gs a = Array.append !a (Array.make (cap' - !cap) "") in
+  triggers := gs triggers;
+  labels := gs labels;
+  firings := gi firings;
+  ops := gi ops;
+  probes := gi probes;
+  misses := gi misses;
+  scanned := gi scanned;
+  bytes := gi bytes;
+  wall := Array.append !wall (Array.make (cap' - !cap) 0.);
+  cap := cap'
+
+let slot ~trigger ~label =
+  match Hashtbl.find_opt ids (trigger, label) with
+  | Some id -> id
+  | None ->
+      if !n >= !cap then grow ();
+      let id = !n in
+      incr n;
+      !triggers.(id) <- trigger;
+      !labels.(id) <- label;
+      Hashtbl.replace ids (trigger, label) id;
+      id
+
+let add id ~ops:o ~probes:p ~misses:m ~scanned:s ~bytes:b ~wall:w =
+  let fa = !firings and oa = !ops and pa = !probes in
+  let ma = !misses and sa = !scanned and ba = !bytes and wa = !wall in
+  Array.unsafe_set fa id (Array.unsafe_get fa id + 1);
+  Array.unsafe_set oa id (Array.unsafe_get oa id + o);
+  Array.unsafe_set pa id (Array.unsafe_get pa id + p);
+  Array.unsafe_set ma id (Array.unsafe_get ma id + m);
+  Array.unsafe_set sa id (Array.unsafe_get sa id + s);
+  Array.unsafe_set ba id (Array.unsafe_get ba id + b);
+  Array.unsafe_set wa id (Array.unsafe_get wa id +. w)
+
+let rows () =
+  List.init !n (fun id ->
+      {
+        r_trigger = !triggers.(id);
+        r_label = !labels.(id);
+        r_firings = !firings.(id);
+        r_ops = !ops.(id);
+        r_probes = !probes.(id);
+        r_misses = !misses.(id);
+        r_scanned = !scanned.(id);
+        r_bytes = !bytes.(id);
+        r_wall = !wall.(id);
+      })
+
+let reset () =
+  Array.fill !firings 0 !cap 0;
+  Array.fill !ops 0 !cap 0;
+  Array.fill !probes 0 !cap 0;
+  Array.fill !misses 0 !cap 0;
+  Array.fill !scanned 0 !cap 0;
+  Array.fill !bytes 0 !cap 0;
+  Array.fill !wall 0 !cap 0.

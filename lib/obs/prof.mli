@@ -1,0 +1,51 @@
+(** Per-statement attribution slots — the profiler's accumulator.
+
+    The runtime and cluster resolve a slot id per compiled statement (or
+    transfer) once at compile time with {!slot}; firing a statement under
+    an enabled profiler charges counter {e deltas} to that id with {!add}
+    — array-indexed additions only, no string lookups on the hot path.
+    With the profiler disabled ({!enabled} [= false], the default) the
+    firing path pays a single flag check.
+
+    The report layer ([Divm.Profile]) joins {!rows} against the static
+    plan; it lives in a separate library above runtime/dist, which is why
+    this accumulator sits here in [Divm_obs]. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** [slot ~trigger ~label] returns the dense id for the (trigger, label)
+    pair, allocating it on first use. Idempotent; ids are stable for the
+    process lifetime. Labels follow ["stmt:<target>"], ["columnar:<target>"],
+    ["driver:<target>"], ["transfer:<name>"]. *)
+val slot : trigger:string -> label:string -> int
+
+(** Charge one firing plus counter deltas to a slot. *)
+val add :
+  int ->
+  ops:int ->
+  probes:int ->
+  misses:int ->
+  scanned:int ->
+  bytes:int ->
+  wall:float ->
+  unit
+
+type row = {
+  r_trigger : string;
+  r_label : string;
+  r_firings : int;
+  r_ops : int;  (** elementary record ops (§6 cost model) *)
+  r_probes : int;  (** primary-index probes ([Pool.get]/[Pool.slice]) *)
+  r_misses : int;  (** probes that found nothing *)
+  r_scanned : int;  (** records scanned through secondary-index slices *)
+  r_bytes : int;  (** serialized bytes this transfer shuffled *)
+  r_wall : float;  (** seconds *)
+}
+
+(** All slots in id (registration) order, including zero ones. *)
+val rows : unit -> row list
+
+(** Zero every tally; slot registrations (and the ids captured by compiled
+    closures) survive. *)
+val reset : unit -> unit

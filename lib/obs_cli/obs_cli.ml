@@ -1,10 +1,20 @@
 module Obs = Divm_obs.Obs
+module Profile = Divm_profile.Profile
 
-let install ~metrics ~trace =
+type opts = { explain : bool; profile : bool }
+
+let install ?metrics_json ~metrics ~trace () =
   (* at_exit runs hooks in reverse registration order: register metrics
      first so the trace file is written before the snapshot is printed. *)
   if metrics then
     at_exit (fun () -> prerr_string (Obs.to_text (Obs.snapshot ())));
+  (match metrics_json with
+  | None -> ()
+  | Some file ->
+      at_exit (fun () ->
+          let oc = open_out file in
+          output_string oc (Obs.to_json (Obs.snapshot ()));
+          close_out oc));
   match trace with
   | None -> ()
   | Some file ->
@@ -14,6 +24,36 @@ let install ~metrics ~trace =
           Printf.eprintf "wrote %d spans to %s\n%!"
             (List.length (Obs.events ()))
             file)
+
+(* Registry state when profiling was switched on, so the exit report can
+   reconcile slot sums against the registry deltas of the same window. *)
+let profile_baseline = ref None
+
+let enable_profile () =
+  Profile.reset ();
+  Profile.set_enabled true;
+  profile_baseline := Some (Obs.snapshot ())
+
+let profile_report ?plan ?storage () =
+  let diff =
+    Option.map
+      (fun earlier -> Obs.diff ~later:(Obs.snapshot ()) ~earlier)
+      !profile_baseline
+  in
+  Profile.report ?plan ?storage ?diff ()
+
+let activate ?plan ?storage opts =
+  (match (opts.explain, plan) with
+  | true, Some p -> print_string (Profile.render p)
+  | _ -> ());
+  if opts.profile then begin
+    enable_profile ();
+    at_exit (fun () ->
+        prerr_string
+          (profile_report ?plan
+             ?storage:(Option.map (fun f -> f ()) storage)
+             ()))
+  end
 
 open Cmdliner
 
@@ -25,6 +65,15 @@ let metrics_t =
           "Print a final metrics registry snapshot (Prometheus text format) \
            on stderr at exit.")
 
+let metrics_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a final metrics registry snapshot as JSON to $(docv) at \
+           exit.")
+
 let trace_t =
   Arg.(
     value
@@ -34,22 +83,53 @@ let trace_t =
           "Record trace spans and write them to $(docv) as Chrome \
            trace_event JSON at exit (open in chrome://tracing or Perfetto).")
 
+let explain_t =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the compiled trigger program's plan: per statement the \
+           chosen access path (foreach/get/slice), which index serves it, \
+           the columnar route, and (distributed) location tags, blocks and \
+           transfers.")
+
+let profile_t =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable the per-statement profiler and print a hot-statement \
+           report (ops/probes/bytes/wall per statement, reconciled against \
+           registry totals) on stderr at exit.")
+
 let setup =
   Term.(
-    const (fun metrics trace -> install ~metrics ~trace) $ metrics_t $ trace_t)
+    const (fun metrics metrics_json trace explain profile ->
+        install ?metrics_json ~metrics ~trace ();
+        { explain; profile })
+    $ metrics_t $ metrics_json_t $ trace_t $ explain_t $ profile_t)
 
 let scan_argv () =
   let rec go acc = function
     | [] -> List.rev acc
     | "--metrics" :: tl ->
-        install ~metrics:true ~trace:None;
+        install ~metrics:true ~trace:None ();
+        go acc tl
+    | "--metrics-json" :: file :: tl ->
+        install ~metrics:false ~metrics_json:file ~trace:None ();
         go acc tl
     | "--trace" :: file :: tl ->
-        install ~metrics:false ~trace:(Some file);
+        install ~metrics:false ~trace:(Some file) ();
         go acc tl
     | arg :: tl when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
         install ~metrics:false
-          ~trace:(Some (String.sub arg 8 (String.length arg - 8)));
+          ~trace:(Some (String.sub arg 8 (String.length arg - 8)))
+          ();
+        go acc tl
+    | "--profile" :: tl ->
+        (* no static plan available here: report slots only *)
+        enable_profile ();
+        at_exit (fun () -> prerr_string (profile_report ()));
         go acc tl
     | arg :: tl -> go (arg :: acc) tl
   in

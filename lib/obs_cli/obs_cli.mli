@@ -1,26 +1,55 @@
-(** Shared [--metrics] / [--trace FILE] flags for the CLIs.
+(** Shared observability CLI wiring for the [divm] binaries.
 
-    Include {!setup} in a cmdliner term to give a binary the standard
-    observability switches:
+    Adds [--metrics], [--metrics-json FILE], [--trace FILE], [--explain]
+    and [--profile] to a binary — either through cmdliner ({!setup}) or by
+    scanning [Sys.argv] directly ({!scan_argv}) for binaries that do their
+    own argument parsing. Metrics / trace / profile output is emitted from
+    [at_exit] hooks so it reflects the whole run. *)
 
-    - [--metrics] prints a final {!Divm_obs.Obs} registry snapshot in
-      Prometheus text format on stderr when the process exits;
-    - [--trace FILE] enables span recording and writes the collected spans
-      as Chrome [trace_event] JSON to [FILE] at exit (open it in
-      [chrome://tracing] or Perfetto).
+(** What the user asked for beyond metrics/tracing (which install their
+    own hooks as a side effect of parsing). *)
+type opts = { explain : bool; profile : bool }
 
-    Both act at exit so they compose with any command without threading
-    state through it. *)
+(** [install ?metrics_json ~metrics ~trace ()] registers the at-exit
+    hooks: with [metrics], print a Prometheus-text registry snapshot on
+    stderr; with [metrics_json = Some f], write the registry snapshot as
+    JSON to [f]; with [trace = Some f], enable span recording and write a
+    Chrome trace_event JSON file to [f] (open it in [chrome://tracing] or
+    Perfetto). *)
+val install :
+  ?metrics_json:string -> metrics:bool -> trace:string option -> unit -> unit
 
-(** Cmdliner term parsing both flags and installing the [at_exit] hooks. *)
-val setup : unit Cmdliner.Term.t
+(** Reset the profiler slots, enable profiling, and snapshot the registry
+    as the reconciliation baseline for {!profile_report}. *)
+val enable_profile : unit -> unit
+
+(** Render the profiler report now, reconciled against the registry delta
+    since {!enable_profile}. *)
+val profile_report :
+  ?plan:Divm_profile.Profile.plan ->
+  ?storage:(string * Divm_storage.Pool.stats) list ->
+  unit ->
+  string
+
+(** [activate ?plan ?storage opts] acts on parsed {!opts}: with
+    [opts.explain] and a [plan], print the rendered EXPLAIN on stdout now;
+    with [opts.profile], {!enable_profile} and register an at-exit hook
+    printing {!profile_report} on stderr. [storage] is a thunk (for
+    example [fun () -> Runtime.storage_stats rt]) evaluated at exit so the
+    report sees final pool occupancy. *)
+val activate :
+  ?plan:Divm_profile.Profile.plan ->
+  ?storage:(unit -> (string * Divm_storage.Pool.stats) list) ->
+  opts ->
+  unit
+
+(** Cmdliner term parsing all five flags; evaluating it calls {!install}
+    and returns the remaining {!opts} for the binary to {!activate}. *)
+val setup : opts Cmdliner.Term.t
 
 (** For binaries that do their own argv handling (the bench harness):
-    [scan_argv ()] consumes [--metrics], [--trace FILE] and [--trace=FILE]
-    from [Sys.argv], installs the same hooks, and returns the remaining
-    arguments (excluding [Sys.argv.(0)]). *)
+    consume the observability flags from [Sys.argv], installing the same
+    hooks as encountered ([--profile] enables the profiler and registers a
+    plan-less at-exit report), and return the remaining arguments
+    (excluding [Sys.argv.(0)]). *)
 val scan_argv : unit -> string list
-
-(** What the flags install: enable tracing / register the exit hooks
-    directly. Exposed for tests and custom front ends. *)
-val install : metrics:bool -> trace:string option -> unit

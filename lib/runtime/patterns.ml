@@ -69,3 +69,25 @@ let collect prog select =
 
 let slices prog = collect prog (fun k -> k = `Map)
 let batch_slices prog = collect prog (fun k -> k = `Delta)
+
+(* The per-statement view of the same analysis, for EXPLAIN: one entry
+   per atom occurrence in evaluation order, classified exactly as the
+   closure compiler will access it. *)
+type path = Get | Foreach | Slice of int array
+
+type access = {
+  acc_kind : [ `Map | `Delta | `Rel ];
+  acc_name : string;
+  acc_path : path;
+}
+
+let accesses (s : Prog.stmt) =
+  let out = ref [] in
+  walk ~bound:[] s.Prog.rhs (fun kind name vars pos ->
+      let path =
+        if pos = [] then Foreach
+        else if List.length pos = List.length vars then Get
+        else Slice (Array.of_list pos)
+      in
+      out := { acc_kind = kind; acc_name = name; acc_path = path } :: !out);
+  List.rev !out

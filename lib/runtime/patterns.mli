@@ -16,3 +16,23 @@ val slices : Prog.t -> (string * int array list) list
 (** Batch relation patterns: slice patterns over the raw update batch of
     each stream relation (for programs that reference [DeltaRel] inline). *)
 val batch_slices : Prog.t -> (string * int array list) list
+
+(** {2 Per-statement view (EXPLAIN)} *)
+
+type path =
+  | Get  (** every key position bound: unique-index point lookup *)
+  | Foreach  (** nothing bound: full scan *)
+  | Slice of int array  (** these positions bound: secondary-index slice *)
+
+type access = {
+  acc_kind : [ `Map | `Delta | `Rel ];
+      (** materialized map, update-batch pool, or raw relation *)
+  acc_name : string;
+  acc_path : path;
+}
+
+(** [accesses stmt] lists every atom the statement's RHS reads, in
+    evaluation order, with the access path the closure compiler will use —
+    the same walk that feeds {!slices}, so EXPLAIN can never disagree with
+    the indexes actually built. *)
+val accesses : Prog.stmt -> access list

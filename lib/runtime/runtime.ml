@@ -4,6 +4,7 @@ open Divm_calc.Calc
 open Divm_storage
 open Divm_compiler
 module Obs = Divm_obs.Obs
+module Prof = Divm_obs.Prof
 
 (* Registry instruments fed once per batch (never per record op): the
    hot-path counter is the runtime's private [ops] counter, folded into
@@ -15,6 +16,13 @@ let m_tuples = Obs.Counter.make "divm_tuples_total"
 let h_batch_seconds = Obs.Histogram.make "divm_batch_seconds"
 let g_stored_tuples = Obs.Gauge.make "divm_stored_tuples"
 
+(* The storage layer's probe counters ([Counter.make] is idempotent per
+   name, so these are [Pool]'s own instruments): the profiler reads them
+   around each statement firing to attribute probe work per statement. *)
+let m_probes = Obs.Counter.make "divm_index_probes_total"
+let m_probe_misses = Obs.Counter.make "divm_index_probe_misses_total"
+let m_slice_scanned = Obs.Counter.make "divm_slice_scanned_total"
+
 type env = Value.t array
 type code = env -> (float -> unit) -> unit
 
@@ -25,10 +33,11 @@ type t = {
   mutable cur_tuple : Vtuple.t;
   mutable cur_mult : float;
   ops : Obs.Counter.t; (* per-instance elementary record operations *)
-  mutable triggers_batch : (string * (string * (unit -> unit)) list) list;
-      (* each statement carries its span label *)
-  mutable triggers_single : (string * (unit -> unit) list) list;
-  mutable col_runners : (string * (string * (Colbatch.t -> unit)) list) list;
+  mutable triggers_batch : (string * (string * int * (unit -> unit)) list) list;
+      (* each statement carries its span label and profiler slot id *)
+  mutable triggers_single : (string * (int * (unit -> unit)) list) list;
+  mutable col_runners :
+    (string * (string * int * (Colbatch.t -> unit)) list) list;
       (* per-relation columnar pre-aggregation executors (§5.2.2) *)
 }
 
@@ -431,7 +440,7 @@ type col_plan = {
 }
 
 (* the delta relation a statement's pre-aggregation reads, if any *)
-let trigger_rel_of _rt (s : Prog.stmt) =
+let trigger_rel_of (s : Prog.stmt) =
   match Calc.delta_rels s.rhs with [ r ] -> r | _ -> ""
 
 let columnar_plan (s : Prog.stmt) : col_plan option =
@@ -597,14 +606,16 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
           ( tr.relation,
             List.filter_map
               (fun (st : Prog.stmt) ->
-                if not (String.equal (trigger_rel_of rt st) tr.relation) then
+                if not (String.equal (trigger_rel_of st) tr.relation) then
                   None
                 else
                   match columnar_plan st with
                   | Some plan ->
                       Hashtbl.replace planned (tr.relation, st.target) ();
+                      let label = "columnar:" ^ st.target in
                       Some
-                        ( "columnar:" ^ st.target,
+                        ( label,
+                          Prof.slot ~trigger:tr.relation ~label,
                           fun cb -> run_col_plan rt cb plan )
                   | None -> None)
               tr.stmts ))
@@ -615,7 +626,9 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
         ( tr.relation,
           List.map
             (fun (st : Prog.stmt) ->
-              ( "stmt:" ^ st.target,
+              let label = "stmt:" ^ st.target in
+              ( label,
+                Prof.slot ~trigger:tr.relation ~label,
                 if Hashtbl.mem planned (tr.relation, st.target) then
                   fun () -> ()
                 else compile_stmt rt ~mode:Batch st ))
@@ -624,7 +637,12 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
   rt.triggers_single <-
     List.map
       (fun (tr : Prog.trigger) ->
-        (tr.relation, List.map (compile_stmt rt ~mode:Single) tr.stmts))
+        ( tr.relation,
+          List.map
+            (fun (st : Prog.stmt) ->
+              ( Prof.slot ~trigger:tr.relation ~label:("stmt:" ^ st.target),
+                compile_stmt rt ~mode:Single st ))
+            tr.stmts ))
       prog.triggers;
   rt
 
@@ -669,6 +687,29 @@ let report (rt : t) ~ops0 ~tuples ~t0 ~single =
   end;
   { ops = dops; tuples; wall }
 
+(* Attribute one firing's counter deltas to a profiler slot. Reads four
+   counters before and after the closure — O(#statements) per batch, and
+   with the profiler disabled the firing path pays only the flag check in
+   the callers below. *)
+let attributed (rt : t) slot f =
+  let t0 = Unix.gettimeofday () in
+  let o0 = Obs.Counter.value rt.ops
+  and p0 = Obs.Counter.value m_probes
+  and ms0 = Obs.Counter.value m_probe_misses
+  and s0 = Obs.Counter.value m_slice_scanned in
+  f ();
+  Prof.add slot
+    ~ops:(Obs.Counter.value rt.ops - o0)
+    ~probes:(Obs.Counter.value m_probes - p0)
+    ~misses:(Obs.Counter.value m_probe_misses - ms0)
+    ~scanned:(Obs.Counter.value m_slice_scanned - s0)
+    ~bytes:0
+    ~wall:(Unix.gettimeofday () -. t0)
+
+let run_attributed rt ~label ~slot f =
+  if Prof.enabled () then Obs.span label (fun () -> attributed rt slot f)
+  else Obs.span label f
+
 let apply_batch rt ~rel batch =
   let stmts =
     match List.assoc_opt rel rt.triggers_batch with
@@ -687,9 +728,14 @@ let apply_batch rt ~rel batch =
             | None -> 0
           in
           let cb = Colbatch.of_gmr ~width batch in
-          List.iter (fun (lbl, run) -> Obs.span lbl (fun () -> run cb)) runners
+          List.iter
+            (fun (lbl, slot, run) ->
+              run_attributed rt ~label:lbl ~slot (fun () -> run cb))
+            runners
       | _ -> ());
-      List.iter (fun (lbl, f) -> Obs.span lbl f) stmts);
+      List.iter
+        (fun (lbl, slot, f) -> run_attributed rt ~label:lbl ~slot f)
+        stmts);
   report rt ~ops0 ~tuples:(Gmr.cardinal batch) ~t0 ~single:false
 
 let apply_single rt ~rel tup m =
@@ -702,7 +748,11 @@ let apply_single rt ~rel tup m =
   let ops0 = Obs.Counter.value rt.ops in
   rt.cur_tuple <- tup;
   rt.cur_mult <- m;
-  List.iter (fun f -> f ()) stmts;
+  (* the single-tuple fast path never opens spans; under an enabled
+     profiler it still charges per-statement deltas *)
+  if Prof.enabled () then
+    List.iter (fun (slot, f) -> attributed rt slot f) stmts
+  else List.iter (fun (_, f) -> f ()) stmts;
   report rt ~ops0 ~tuples:1 ~t0 ~single:true
 
 let load rt tables =
@@ -741,3 +791,42 @@ let result rt qname =
 
 let ops (rt : t) = Obs.Counter.value rt.ops
 let reset_ops (rt : t) = Obs.Counter.reset rt.ops
+
+(* The (trigger relation, target) pairs batch mode routes through the
+   columnar §5.2.2 path — the same [columnar_plan] test [create] applies,
+   exposed so EXPLAIN agrees with the runtime by construction. *)
+let columnar_routed (prog : Prog.t) =
+  List.concat_map
+    (fun (tr : Prog.trigger) ->
+      List.filter_map
+        (fun (st : Prog.stmt) ->
+          if
+            String.equal (trigger_rel_of st) tr.relation
+            && columnar_plan st <> None
+          then Some (tr.relation, st.target)
+          else None)
+        tr.stmts)
+    prog.Prog.triggers
+
+let storage_stats rt =
+  let maps =
+    List.filter_map
+      (fun (m : Prog.map_decl) ->
+        Option.map
+          (fun p ->
+            Pool.observe p;
+            (m.mname, Pool.stats p))
+          (Hashtbl.find_opt rt.pools m.mname))
+      rt.prog.maps
+  in
+  let batches =
+    List.filter_map
+      (fun (r, _) ->
+        Option.map
+          (fun p ->
+            Pool.observe p;
+            ("batch_" ^ r, Pool.stats p))
+          (Hashtbl.find_opt rt.batch_pools r))
+      rt.prog.streams
+  in
+  maps @ batches

@@ -71,6 +71,29 @@ val reset_ops : t -> unit
 (** Total stored tuples over non-transient maps. *)
 val total_tuples : t -> int
 
+(** {1 Profiling and EXPLAIN support}
+
+    Per-statement attribution slots live in {!Divm_obs.Prof}; each
+    compiled statement captures its slot id at compile time. When the
+    profiler is enabled, every firing charges the statement's record-op
+    and index-probe counter deltas (plus wall time) to its slot; disabled,
+    the firing path pays one flag check. *)
+
+(** The (trigger relation, statement target) pairs that batch mode routes
+    through the §5.2.2 columnar path — the same test [create] applies, so
+    EXPLAIN cannot disagree with the runtime. *)
+val columnar_routed : Prog.t -> (string * string) list
+
+(** Per-pool storage self-metrics (maps first, then [batch_*] update
+    pools), also published as registry gauges ({!Pool.observe}). Computed
+    on demand; cold path. *)
+val storage_stats : t -> (string * Pool.stats) list
+
+(** [run_attributed rt ~label ~slot f] runs [f] inside an [Obs.span label]
+    and, when the profiler is enabled, charges its counter deltas to
+    [slot]. Exposed for the cluster simulator's block executor. *)
+val run_attributed : t -> label:string -> slot:int -> (unit -> unit) -> unit
+
 (** {1 Hooks for the cluster simulator}
 
     The distributed runtime executes statements at a finer granularity than

@@ -131,6 +131,23 @@ let clear t =
   else Array.fill t.hashes 0 cap 0;
   t.count <- 0
 
+(* On-demand self-metrics: the find/add hot paths carry no instrumentation,
+   so the stats walk the table instead. Displacement from the home bucket
+   is exactly the probe count a successful lookup of that entry pays. *)
+let load t = float_of_int t.count /. float_of_int (t.mask + 1)
+
+let probe_hist ?(max_len = 16) t =
+  let h = Array.make (max_len + 1) 0 in
+  for i = 0 to t.mask do
+    let hb = t.hashes.(i) in
+    if hb <> 0 then begin
+      let d = (i - (hb land t.mask)) land t.mask in
+      let d = if d > max_len then max_len else d in
+      h.(d) <- h.(d) + 1
+    end
+  done;
+  h
+
 let copy t =
   {
     mask = t.mask;

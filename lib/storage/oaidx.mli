@@ -48,3 +48,17 @@ val remove_latched : t -> unit
 
 val clear : t -> unit
 val copy : t -> t
+
+(** {2 Self-metrics}
+
+    Computed on demand by walking the table — the probe paths stay
+    uninstrumented. *)
+
+(** Occupancy over capacity; ≤ 1/2 by construction. *)
+val load : t -> float
+
+(** [probe_hist t] buckets every stored entry by its displacement from its
+    home bucket (the probes a successful lookup of it costs). Index [i]
+    counts displacement [i]; the last bucket ([max_len], default 16)
+    absorbs longer chains. Sums to {!cardinal}. *)
+val probe_hist : ?max_len:int -> t -> int array

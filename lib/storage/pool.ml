@@ -7,6 +7,7 @@ let m_pools = Obs.Counter.make "divm_pools_created_total"
 let m_indexes = Obs.Counter.make "divm_indexes_created_total"
 let m_probes = Obs.Counter.make "divm_index_probes_total"
 let m_probe_misses = Obs.Counter.make "divm_index_probe_misses_total"
+let m_slice_scanned = Obs.Counter.make "divm_slice_scanned_total"
 
 (* One non-unique secondary index. Sub-keys get their own slot space
    ("sec slots"): [idx] maps a sub-key to its sec slot, [buckets.(ss)]
@@ -27,6 +28,7 @@ type sec = {
 }
 
 type t = {
+  pname : string;
   kw : int;
   rec_bytes : int;
   base : int;
@@ -40,13 +42,13 @@ type t = {
   secs : sec array;
 }
 
-let create ?name ~key_width ~slices () =
-  ignore name;
+let create ?(name = "anon") ~key_width ~slices () =
   Obs.Counter.incr m_pools;
   Obs.Counter.add m_indexes (List.length slices);
   let cap = 16 in
   let rec_bytes = (key_width * 8) + 8 + 16 in
   {
+    pname = name;
     kw = key_width;
     rec_bytes;
     base = Trace.alloc_region (1 lsl 28);
@@ -265,6 +267,7 @@ let slice t ~index sub f =
   if ss < 0 then Obs.Counter.incr m_probe_misses
   else begin
     let b = sec.buckets.(ss) in
+    Obs.Counter.add m_slice_scanned (Intvec.length b);
     for i = 0 to Intvec.length b - 1 do
       let slot = Intvec.get b i in
       if Trace.enabled () then Trace.emit (addr t slot) Trace.Read;
@@ -317,3 +320,43 @@ let byte_size t =
   !acc
 
 let free_slots t = Intvec.length t.free
+let name t = t.pname
+
+(* --------------------------------------------------------------- *)
+(* Self-metrics                                                     *)
+(* --------------------------------------------------------------- *)
+
+type stats = {
+  s_name : string;
+  s_live : int;
+  s_free : int;
+  s_hwm : int;
+  s_indexes : int;
+  s_load : float;
+  s_probe_hist : int array;
+}
+
+let stats t =
+  {
+    s_name = t.pname;
+    s_live = t.count;
+    s_free = Intvec.length t.free;
+    s_hwm = t.hwm;
+    s_indexes = Array.length t.secs;
+    s_load = Oaidx.load t.unique;
+    s_probe_hist = Oaidx.probe_hist t.unique;
+  }
+
+(* Push the per-pool gauges into the registry under the pool's name.
+   Cold path: called by report generators, never by compiled closures. *)
+let observe t =
+  let g suffix v =
+    Obs.Gauge.set
+      (Obs.Gauge.make
+         (Printf.sprintf "divm_pool_%s{pool=%s}" suffix
+            (Obs.json_string t.pname)))
+      v
+  in
+  g "live_slots" (float_of_int t.count);
+  g "free_slots" (float_of_int (Intvec.length t.free));
+  g "load_factor" (Oaidx.load t.unique)

@@ -63,3 +63,27 @@ val byte_size : t -> int
 
 (** Number of free-list slots currently available for reuse. *)
 val free_slots : t -> int
+
+(** The [?name] given at creation (["anon"] otherwise). *)
+val name : t -> string
+
+(** {2 Self-metrics}
+
+    Snapshot of a pool's storage health, computed on demand (the hot
+    paths carry no extra instrumentation). *)
+
+type stats = {
+  s_name : string;
+  s_live : int;  (** live records *)
+  s_free : int;  (** free-list slots awaiting reuse *)
+  s_hwm : int;  (** slot high-water mark (live + free) *)
+  s_indexes : int;  (** declared secondary slice indexes *)
+  s_load : float;  (** unique-index load factor, ≤ 1/2 *)
+  s_probe_hist : int array;  (** unique-index probe-length histogram *)
+}
+
+val stats : t -> stats
+
+(** Publish live/free-slot and load-factor gauges for this pool to the
+    [Obs] registry (labeled by pool name). Cold path. *)
+val observe : t -> unit

@@ -106,6 +106,57 @@ let test_exporters_parse () =
   Alcotest.(check bool) "chrome trace has complete events" true
     (contains ~affix:"\"ph\":\"X\"" trace)
 
+let test_percentiles () =
+  (* observations 5,15,15,35 into buckets (0,10],(10,20],(20,40],+inf *)
+  let buckets = [| 10.; 20.; 40. |] and counts = [| 1; 2; 1; 0 |] in
+  let q p = Obs.Histogram.percentile_of ~buckets ~counts ~count:4 p in
+  Alcotest.(check (float 1e-9)) "p25 tops out the first bucket" 10. (q 25.);
+  Alcotest.(check (float 1e-9)) "p50 interpolates mid-bucket" 15. (q 50.);
+  Alcotest.(check (float 1e-9)) "p100 is the max bound hit" 40. (q 100.);
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan
+       (Obs.Histogram.percentile_of ~buckets ~counts:[| 0; 0; 0; 0 |] ~count:0
+          50.));
+  (* everything in the +inf bucket: report the largest finite bound *)
+  Alcotest.(check (float 1e-9)) "+inf bucket clamps to last bound" 40.
+    (Obs.Histogram.percentile_of ~buckets ~counts:[| 0; 0; 0; 3 |] ~count:3 99.);
+  let h = Obs.Histogram.make ~register:false ~buckets "test_obs_pct" in
+  List.iter (Obs.Histogram.observe h) [ 5.; 15.; 15.; 35. ];
+  Alcotest.(check (float 1e-9)) "instrument percentile agrees" 15.
+    (Obs.Histogram.percentile h 50.);
+  (* the JSON exporter reports the same estimates *)
+  let h' = Obs.Histogram.make ~buckets "test_obs_pct_reg" in
+  List.iter (Obs.Histogram.observe h') [ 5.; 15.; 15.; 35. ];
+  let json = Obs.to_json (Obs.snapshot ()) in
+  Alcotest.(check bool) "to_json includes p50" true
+    (contains ~affix:"\"p50\":" json && contains ~affix:"\"p99\":" json)
+
+let test_diff_bucket_mismatch () =
+  let mk buckets counts sum count =
+    Obs.VHistogram { buckets; counts; sum; count }
+  in
+  (* same bounds: per-bucket subtraction *)
+  let earlier = [ ("h", mk [| 1.; 2. |] [| 1; 0; 0 |] 0.5 1) ] in
+  let later = [ ("h", mk [| 1.; 2. |] [| 2; 1; 0 |] 3.5 3) ] in
+  (match Obs.find (Obs.diff ~later ~earlier) "h" with
+  | Some (Obs.VHistogram d) ->
+      Alcotest.(check (array int)) "bucket deltas" [| 1; 1; 0 |] d.counts;
+      Alcotest.(check (float 1e-9)) "sum delta" 3.0 d.sum;
+      Alcotest.(check int) "count delta" 2 d.count
+  | _ -> Alcotest.fail "histogram missing from diff");
+  (* changed bounds: bucket deltas are meaningless — zeroed, sum/count
+     still subtracted (the documented fallback, not silent absolutes) *)
+  let later' = [ ("h", mk [| 1.; 3. |] [| 2; 1; 0 |] 3.5 3) ] in
+  match Obs.find (Obs.diff ~later:later' ~earlier) "h" with
+  | Some (Obs.VHistogram d) ->
+      Alcotest.(check (array int)) "mismatched buckets zeroed" [| 0; 0; 0 |]
+        d.counts;
+      Alcotest.(check (float 1e-9)) "sum still subtracted" 3.0 d.sum;
+      Alcotest.(check int) "count still subtracted" 2 d.count;
+      Alcotest.(check bool) "keeps later's bounds" true
+        (d.buckets = [| 1.; 3. |])
+  | _ -> Alcotest.fail "histogram missing from mismatched diff"
+
 (* ------------------------------------------------------------------ *)
 (* Span tracer                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -132,6 +183,185 @@ let test_spans_nest_and_balance () =
   Alcotest.(check int) "exception span still closed" 0
     (find "boom").ev_depth;
   reset_tracer ()
+
+(* A minimal JSON reader — enough to round-trip the Chrome trace exporter's
+   output and prove the escaping is real JSON escaping, not just
+   quote-balanced text. *)
+type json =
+  | JNull
+  | JBool of bool
+  | JNum of float
+  | JStr of string
+  | JArr of json list
+  | JObj of (string * json) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else failwith (Printf.sprintf "expected %c at %d" c !pos)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> failwith "unterminated string"
+      | Some '"' -> incr pos
+      | Some '\\' -> (
+          incr pos;
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some '/' -> Buffer.add_char buf '/'
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some 'b' -> Buffer.add_char buf '\b'
+          | Some 'f' -> Buffer.add_char buf '\012'
+          | Some 'u' ->
+              let h = String.sub s (!pos + 1) 4 in
+              pos := !pos + 4;
+              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ h) land 0xff))
+          | _ -> failwith "bad escape");
+          incr pos;
+          go ())
+      | Some c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> JStr (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (incr pos; JObj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                JObj (List.rev ((k, v) :: acc))
+            | _ -> failwith "bad object"
+          in
+          members []
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (incr pos; JArr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elems (v :: acc)
+            | Some ']' ->
+                incr pos;
+                JArr (List.rev (v :: acc))
+            | _ -> failwith "bad array"
+          in
+          elems []
+    | Some 't' ->
+        pos := !pos + 4;
+        JBool true
+    | Some 'f' ->
+        pos := !pos + 5;
+        JBool false
+    | Some 'n' ->
+        pos := !pos + 4;
+        JNull
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && match s.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false
+        do
+          incr pos
+        done;
+        JNum (float_of_string (String.sub s start (!pos - start)))
+    | None -> failwith "eof"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then failwith "trailing garbage";
+  v
+
+let test_chrome_trace_escaping_roundtrip () =
+  reset_tracer ();
+  Obs.set_tracing true;
+  let nasty = "he said \"hi\"\nthen\\left\ttab" in
+  Obs.span nasty (fun () ->
+      Obs.set_attr "note" "line1\nline2 \"quoted\" c:\\path";
+      Obs.span "plain" (fun () -> ()));
+  Obs.set_tracing false;
+  let trace = Obs.chrome_trace_json () in
+  reset_tracer ();
+  let root = parse_json trace in
+  let events =
+    match root with
+    | JObj kvs -> (
+        match List.assoc "traceEvents" kvs with
+        | JArr evs -> evs
+        | _ -> Alcotest.fail "traceEvents is not an array")
+    | _ -> Alcotest.fail "trace is not an object"
+  in
+  Alcotest.(check int) "both spans exported" 2 (List.length events);
+  let name_of = function
+    | JObj kvs -> ( match List.assoc "name" kvs with JStr s -> s | _ -> "")
+    | _ -> ""
+  in
+  let ev =
+    try List.find (fun e -> name_of e = nasty) events
+    with Not_found -> Alcotest.fail "escaped span name did not round-trip"
+  in
+  (match ev with
+  | JObj kvs -> (
+      (match List.assoc "args" kvs with
+      | JObj args -> (
+          match List.assoc "note" args with
+          | JStr v ->
+              Alcotest.(check string) "attr value round-trips"
+                "line1\nline2 \"quoted\" c:\\path" v
+          | _ -> Alcotest.fail "note is not a string")
+      | _ -> Alcotest.fail "args is not an object");
+      match List.assoc "ph" kvs with
+      | JStr "X" -> ()
+      | _ -> Alcotest.fail "not a complete event")
+  | _ -> Alcotest.fail "event is not an object");
+  (* the metrics JSON exporter survives the same parser *)
+  let c = Obs.Counter.make "test_obs_roundtrip_total" in
+  Obs.Counter.incr c;
+  match parse_json (Obs.to_json (Obs.snapshot ())) with
+  | JObj _ -> ()
+  | _ -> Alcotest.fail "metrics JSON is not an object"
 
 (* ------------------------------------------------------------------ *)
 (* Runtime integration                                                 *)
@@ -292,8 +522,13 @@ let suites =
         Alcotest.test_case "instruments" `Quick test_counter_gauge_histogram;
         Alcotest.test_case "snapshot / diff" `Quick test_snapshot_diff;
         Alcotest.test_case "exporters parse" `Quick test_exporters_parse;
+        Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "diff: histogram bucket mismatch" `Quick
+          test_diff_bucket_mismatch;
         Alcotest.test_case "spans nest and balance" `Quick
           test_spans_nest_and_balance;
+        Alcotest.test_case "chrome trace escaping round-trips" `Quick
+          test_chrome_trace_escaping_roundtrip;
         Alcotest.test_case "runtime reports = registry deltas" `Quick
           test_runtime_reports_match_registry;
         Alcotest.test_case "runtime trigger spans" `Quick test_runtime_spans;

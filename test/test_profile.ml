@@ -1,0 +1,283 @@
+(* Profiling & EXPLAIN subsystem: static plans, per-statement attribution,
+   and the reconciliation of slot sums against registry totals. *)
+
+open Divm_ring
+open Divm_storage
+open Divm_calc.Calc
+open Divm_compiler
+open Divm_runtime
+module Obs = Divm_obs.Obs
+module Prof = Divm_obs.Prof
+module Profile = Divm_profile.Profile
+module Workload = Divm_workload.Workload
+
+let i x = Value.Int x
+let va = Schema.var "A"
+let vb = Schema.var "B"
+let vc = Schema.var "C"
+let streams_rs = [ ("R", [ va; vb ]); ("S", [ vb; vc ]) ]
+let q_join = sum [ vb ] (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ] ])
+let mk2 l = Gmr.of_list (List.map (fun (a, b, m) -> ([| i a; i b |], m)) l)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go k = k + n <= m && (String.sub s k n = affix || go (k + 1)) in
+  n = 0 || go 0
+
+let with_profiler f =
+  Prof.reset ();
+  Profile.set_enabled true;
+  Fun.protect ~finally:(fun () -> Profile.set_enabled false) f
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_local () =
+  let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
+  let p = Profile.explain ~name:"rs" prog in
+  Alcotest.(check bool) "local plan" false p.Profile.pl_dist;
+  Alcotest.(check (list string)) "no transfers" []
+    (List.map (fun t -> t.Profile.tp_label) p.Profile.pl_transfers);
+  (* one plan entry per compiled statement (columnar routes replace the
+     plain entry for the statement they serve) *)
+  let stmts_of tr =
+    List.length
+      (List.filter (fun s -> s.Profile.sp_trigger = tr) p.Profile.pl_stmts)
+  in
+  List.iter
+    (fun (tr : Prog.trigger) ->
+      Alcotest.(check int)
+        ("statements of " ^ tr.relation)
+        (List.length tr.stmts) (stmts_of tr.relation))
+    prog.Prog.triggers;
+  (* every compiled statement drives off a full scan of the incoming
+     (pre-aggregated) delta; the other reads are gets or slices *)
+  List.iter
+    (fun s ->
+      if not s.Profile.sp_columnar then
+        Alcotest.(check bool)
+          (s.Profile.sp_label ^ " scans its delta input")
+          true
+          (List.exists
+             (fun a -> a.Profile.a_path = Patterns.Foreach)
+             s.Profile.sp_accesses))
+    p.Profile.pl_stmts;
+  let txt = Profile.render p in
+  Alcotest.(check bool) "header" true (contains ~affix:"== EXPLAIN rs" txt);
+  Alcotest.(check bool) "trigger sections" true
+    (contains ~affix:"ON UPDATE R:" txt && contains ~affix:"ON UPDATE S:" txt);
+  Alcotest.(check bool) "access paths shown" true
+    (contains ~affix:"via foreach (full scan)" txt)
+
+let test_explain_matches_runtime_columnar () =
+  let w = Workload.find "Q3" in
+  let prog = Workload.compile w in
+  let routed = Runtime.columnar_routed prog in
+  let p = Profile.explain prog in
+  let planned =
+    List.filter_map
+      (fun s ->
+        if s.Profile.sp_columnar then
+          Some (s.Profile.sp_trigger, s.Profile.sp_target)
+        else None)
+      p.Profile.pl_stmts
+  in
+  Alcotest.(check (list (pair string string)))
+    "columnar routes agree with the runtime" routed planned;
+  Alcotest.(check bool) "Q3 uses the columnar route" true (routed <> [])
+
+let test_explain_dist () =
+  let w = Workload.find "Q3" in
+  let prog = Workload.compile w in
+  let dp = Workload.distribute w prog in
+  let p = Profile.explain_dist ~name:"Q3" dp in
+  Alcotest.(check bool) "distributed plan" true p.Profile.pl_dist;
+  Alcotest.(check bool) "has transfers" true (p.Profile.pl_transfers <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Profile.sp_label ^ " has a block")
+        true
+        (s.Profile.sp_block <> None);
+      Alcotest.(check bool)
+        (s.Profile.sp_label ^ " has a location")
+        true
+        (s.Profile.sp_loc <> None))
+    p.Profile.pl_stmts;
+  let txt = Profile.render p in
+  Alcotest.(check bool) "block structure rendered" true
+    (contains ~affix:"block 0 [distributed, stage 1]" txt);
+  Alcotest.(check bool) "transfers rendered" true
+    (contains ~affix:"[transfer:" txt);
+  Alcotest.(check bool) "location tags rendered" true
+    (contains ~affix:"@DIST<" txt || contains ~affix:"@RANDOM" txt);
+  (* JSON exporter emits something structurally plausible for both shapes *)
+  let j = Profile.plan_json p in
+  Alcotest.(check bool) "plan JSON has statements and transfers" true
+    (contains ~affix:"\"statements\"" j && contains ~affix:"\"transfers\"" j)
+
+(* ------------------------------------------------------------------ *)
+(* Attribution: slot sums = registry deltas                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_reconciles what diff =
+  List.iter
+    (fun (name, slots, registry) ->
+      Alcotest.(check int) (what ^ ": " ^ name ^ " slots = registry") registry
+        slots)
+    (Profile.reconcile ~diff)
+
+let test_profile_local_reconciles () =
+  let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
+  let rt = Runtime.create prog in
+  with_profiler (fun () ->
+      let earlier = Obs.snapshot () in
+      ignore (Runtime.apply_batch rt ~rel:"R" (mk2 [ (1, 10, 1.); (2, 20, 1.) ]));
+      ignore (Runtime.apply_batch rt ~rel:"S" (mk2 [ (10, 5, 1.); (20, 6, 2.) ]));
+      ignore (Runtime.apply_single rt ~rel:"R" [| i 7; i 10 |] 1.);
+      let diff = Obs.diff ~later:(Obs.snapshot ()) ~earlier in
+      check_reconciles "local" diff;
+      let rows = Prof.rows () in
+      Alcotest.(check bool) "some statement fired" true
+        (List.exists (fun r -> r.Prof.r_firings > 0) rows);
+      Alcotest.(check bool) "ops attributed" true
+        (List.fold_left (fun a r -> a + r.Prof.r_ops) 0 rows > 0))
+
+let test_profile_cluster_reconciles () =
+  let w = Workload.find "Q3" in
+  let prog = Workload.compile w in
+  let dp = Workload.distribute w prog in
+  let c =
+    Divm_cluster.Cluster.create
+      ~config:(Divm_cluster.Cluster.config ~workers:4 ())
+      dp
+  in
+  let stream =
+    Divm_tpch.Gen.stream { Divm_tpch.Gen.scale = 0.05; seed = 7 }
+      ~batch_size:300
+  in
+  with_profiler (fun () ->
+      let earlier = Obs.snapshot () in
+      List.iter
+        (fun (rel, b) -> ignore (Divm_cluster.Cluster.apply_batch c ~rel b))
+        stream;
+      let diff = Obs.diff ~later:(Obs.snapshot ()) ~earlier in
+      check_reconciles "cluster" diff;
+      let rows = Prof.rows () in
+      let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
+      Alcotest.(check bool) "shuffle bytes attributed to transfer slots" true
+        (sum (fun r -> r.Prof.r_bytes) > 0);
+      Alcotest.(check bool) "transfer slots registered" true
+        (List.exists
+           (fun r ->
+             r.Prof.r_bytes > 0
+             && String.length r.Prof.r_label > 9
+             && String.sub r.Prof.r_label 0 9 = "transfer:")
+           rows))
+
+let test_profile_disabled_attributes_nothing () =
+  let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
+  let rt = Runtime.create prog in
+  Prof.reset ();
+  Profile.set_enabled false;
+  ignore (Runtime.apply_batch rt ~rel:"R" (mk2 [ (1, 10, 1.) ]));
+  Alcotest.(check int) "no firings recorded" 0
+    (List.fold_left (fun a r -> a + r.Prof.r_firings) 0 (Prof.rows ()))
+
+let test_profile_results_unchanged () =
+  let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
+  let batches =
+    [
+      ("R", mk2 [ (1, 10, 1.); (2, 20, 3.) ]);
+      ("S", mk2 [ (10, 5, 1.); (20, 6, -1.) ]);
+      ("R", mk2 [ (1, 10, -1.) ]);
+    ]
+  in
+  let run () =
+    let rt = Runtime.create prog in
+    List.iter (fun (rel, b) -> ignore (Runtime.apply_batch rt ~rel b)) batches;
+    Runtime.result rt "Q"
+  in
+  let plain = run () in
+  let profiled = with_profiler run in
+  Alcotest.(check bool) "profiling does not change results" true
+    (Gmr.equal plain profiled)
+
+(* ------------------------------------------------------------------ *)
+(* Reports and storage self-metrics                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_renders () =
+  let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
+  let rt = Runtime.create prog in
+  let plan = Profile.explain ~name:"rs" prog in
+  with_profiler (fun () ->
+      let earlier = Obs.snapshot () in
+      ignore (Runtime.apply_batch rt ~rel:"R" (mk2 [ (1, 10, 1.) ]));
+      ignore (Runtime.apply_batch rt ~rel:"S" (mk2 [ (10, 5, 1.) ]));
+      let diff = Obs.diff ~later:(Obs.snapshot ()) ~earlier in
+      let storage = Runtime.storage_stats rt in
+      let txt = Profile.report ~plan ~storage ~diff () in
+      Alcotest.(check bool) "report header" true
+        (contains ~affix:"== PROFILE rs" txt);
+      Alcotest.(check bool) "totals row" true (contains ~affix:"-- totals:" txt);
+      Alcotest.(check bool) "reconciliation OK" true (contains ~affix:" OK" txt);
+      Alcotest.(check bool) "no mismatch" false
+        (contains ~affix:"MISMATCH" txt);
+      Alcotest.(check bool) "storage section" true
+        (contains ~affix:"-- storage:" txt);
+      let j = Profile.report_json ~plan ~storage ~diff () in
+      Alcotest.(check bool) "json has slots + reconciliation" true
+        (contains ~affix:"\"slots\"" j
+        && contains ~affix:"\"reconciliation\"" j))
+
+let test_storage_stats_invariants () =
+  let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
+  let rt = Runtime.create prog in
+  ignore (Runtime.apply_batch rt ~rel:"R" (mk2 [ (1, 10, 1.); (2, 20, 1.) ]));
+  ignore (Runtime.apply_batch rt ~rel:"S" (mk2 [ (10, 5, 1.); (20, 6, 1.) ]));
+  let stats = Runtime.storage_stats rt in
+  Alcotest.(check bool) "one entry per map and batch pool" true
+    (List.length stats = List.length prog.Prog.maps + List.length prog.Prog.streams);
+  List.iter
+    (fun ((name : string), (s : Pool.stats)) ->
+      Alcotest.(check string) "name matches pool" name s.Pool.s_name;
+      Alcotest.(check bool)
+        (name ^ " load in bounds")
+        true
+        (s.Pool.s_load >= 0. && s.Pool.s_load <= 0.75);
+      Alcotest.(check int)
+        (name ^ " probe histogram covers live records")
+        s.Pool.s_live
+        (Array.fold_left ( + ) 0 s.Pool.s_probe_hist))
+    stats;
+  (* observing publishes gauges under pool-labeled names *)
+  List.iter (fun (_, (s : Pool.stats)) -> ignore s) stats;
+  let snap = Obs.snapshot () in
+  Alcotest.(check bool) "live-slot gauge registered" true
+    (List.exists
+       (fun (n, _) -> contains ~affix:"divm_pool_live_slots{pool=" n)
+       snap)
+
+let suites =
+  [
+    ( "profile",
+      [
+        Alcotest.test_case "explain: local plan" `Quick test_explain_local;
+        Alcotest.test_case "explain: columnar route matches runtime" `Quick
+          test_explain_matches_runtime_columnar;
+        Alcotest.test_case "explain: distributed plan" `Quick test_explain_dist;
+        Alcotest.test_case "profiler: local slot sums = registry deltas" `Quick
+          test_profile_local_reconciles;
+        Alcotest.test_case "profiler: cluster slot sums = registry deltas"
+          `Quick test_profile_cluster_reconciles;
+        Alcotest.test_case "profiler: disabled attributes nothing" `Quick
+          test_profile_disabled_attributes_nothing;
+        Alcotest.test_case "profiler: results unchanged" `Quick
+          test_profile_results_unchanged;
+        Alcotest.test_case "report: text and JSON" `Quick test_report_renders;
+        Alcotest.test_case "storage stats invariants" `Quick
+          test_storage_stats_invariants;
+      ] );
+  ]
