@@ -37,16 +37,21 @@ let canon_string ~schema def =
   Calc.to_string cdef ^ " | "
   ^ String.concat "," (List.map (fun (v : Schema.var) -> v.name) cschema)
 
-(* Can [factors] be pre-aggregated standalone (batch atoms plus filters and
-   value terms over batch columns only)? *)
-let batch_only factors =
-  List.exists (fun f -> match f with DeltaRel _ -> true | _ -> false) factors
-  && List.for_all
-       (fun f ->
-         match f with
-         | DeltaRel _ | Cmp _ | Value _ | Const _ -> true
-         | _ -> false)
-       factors
+(* Can [e] be pre-aggregated standalone? It must read the batch (so there
+   is something to pre-aggregate), touch no stores or base relations (so it
+   is computable from the batch alone), and be closed (no free input
+   variables from the enclosing expression). This is deliberately
+   recursive: [Sum_[k](Exists(dR ⋈ filters))] qualifies even though the
+   delta sits under an Exists, which is exactly the shape the vectorized
+   join executor wants as a compacted transient. *)
+let batch_closed e =
+  Calc.has_deltas e
+  && (not (Calc.has_base_rels e))
+  && Calc.map_refs e = []
+  && match Calc.inputs ~bound:[] e with
+     | [] -> true
+     | _ :: _ -> false
+     | exception Type_error _ -> false
 
 let apply (prog : Prog.t) =
   let new_maps = ref [] in
@@ -91,7 +96,7 @@ let apply (prog : Prog.t) =
               let name, _ = intern (DeltaRel r) r.rvars in
               Map { mname = name; mvars = r.rvars }
           | Sum (gb, body)
-            when batch_only (Divm_delta.Poly.factors body)
+            when batch_closed (Sum (gb, body))
                  && (match Calc.schema ~bound:[] (Sum (gb, body)) with
                     | _ -> true
                     | exception Type_error _ -> false) ->

@@ -86,28 +86,32 @@ let accesses_of slice_pats batch_pats (s : Prog.stmt) =
 
 let op_str = function Prog.Add_to -> "+=" | Prog.Assign -> ":="
 
+(* Route kind of a statement label: the prefix before ':'. *)
+let route_of_label lbl =
+  match String.index_opt lbl ':' with
+  | Some i -> String.sub lbl 0 i
+  | None -> lbl
+
 let explain ?(name = "program") (prog : Prog.t) =
   let sp = Patterns.slices prog and bp = Patterns.batch_slices prog in
-  let columnar = Runtime.columnar_routed prog in
   let stmts =
     List.concat_map
-      (fun (tr : Prog.trigger) ->
+      (fun (rel, routed) ->
         List.map
-          (fun (st : Prog.stmt) ->
-            let is_col = List.mem (tr.relation, st.target) columnar in
+          (fun ((st : Prog.stmt), lbl) ->
             {
-              sp_trigger = tr.relation;
-              sp_label = (if is_col then "columnar:" else "stmt:") ^ st.target;
+              sp_trigger = rel;
+              sp_label = lbl;
               sp_target = st.target;
               sp_op = op_str st.op;
-              sp_columnar = is_col;
+              sp_columnar = route_of_label lbl <> "stmt";
               sp_block = None;
               sp_stage = None;
               sp_loc = None;
               sp_accesses = accesses_of sp bp st;
             })
-          tr.stmts)
-      prog.triggers
+          routed)
+      (Runtime.stmt_routes prog)
   in
   { pl_name = name; pl_dist = false; pl_stmts = stmts; pl_transfers = [] }
 
@@ -203,20 +207,30 @@ let trigger_order stmts transfers =
   List.rev !seen
 
 let render_stmt buf indent s =
+  let route = route_of_label s.sp_label in
   Printf.bprintf buf "%s%-28s %s %s %s%s\n" indent ("[" ^ s.sp_label ^ "]")
     s.sp_target s.sp_op
-    (if s.sp_columnar then "columnar batch pre-aggregation (one pass)"
-     else "compiled closure")
+    (match route with
+    | "columnar" -> "columnar batch pre-aggregation (one pass)"
+    | "columnar-join" -> "vectorized batched join (key-grouped probes)"
+    | "fused" -> "fused columnar group (one pass over the grouped batch)"
+    | _ -> "compiled closure")
     (match s.sp_loc with Some l -> "  @" ^ l | None -> "");
-  if s.sp_columnar then
-    Printf.bprintf buf
-      "%s    batch transposed once; filters scan single columns\n" indent
-  else
-    List.iter
-      (fun a ->
-        Printf.bprintf buf "%s    read %-20s via %s\n" indent (atom_str a)
-          (path_str a))
-      s.sp_accesses
+  match route with
+  | "columnar" ->
+      Printf.bprintf buf
+        "%s    batch transposed once; filters scan single columns\n" indent
+  | "columnar-join" | "fused" ->
+      Printf.bprintf buf
+        "%s    batch compacted to distinct keys; store accessors resolved \
+         once per key group\n"
+        indent
+  | _ ->
+      List.iter
+        (fun a ->
+          Printf.bprintf buf "%s    read %-20s via %s\n" indent (atom_str a)
+            (path_str a))
+        s.sp_accesses
 
 let render (p : plan) =
   let buf = Buffer.create 2048 in
@@ -340,7 +354,7 @@ let plan_summary plan r =
           p.pl_stmts
       with
       | Some s ->
-          if s.sp_columnar then "columnar"
+          if s.sp_columnar then route_of_label s.sp_label
           else
             String.concat " "
               (List.map

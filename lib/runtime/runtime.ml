@@ -23,8 +23,29 @@ let m_probes = Obs.Counter.make "divm_index_probes_total"
 let m_probe_misses = Obs.Counter.make "divm_index_probe_misses_total"
 let m_slice_scanned = Obs.Counter.make "divm_slice_scanned_total"
 
+(* Vectorized executor gauges of what the batching bought: rows merged
+   away by key compaction, and probes the generic row-at-a-time path
+   would have issued but the key-grouped accessors did not. *)
+let m_rows_compacted = Obs.Counter.make "divm_batch_rows_compacted_total"
+let m_probes_saved = Obs.Counter.make "divm_probes_saved_total"
+
 type env = Value.t array
 type code = env -> (float -> unit) -> unit
+
+(* One entry of a trigger's batch-mode executor list: a generic compiled
+   statement or a vectorized (possibly fused) statement group, in original
+   statement order. The lazy colbatch is the raw batch transposed at most
+   once per trigger firing, shared by every batch-sourced group. *)
+type exec_unit = {
+  eu_label : string;
+  eu_slot : int; (* profiler slot *)
+  eu_run : Colbatch.t Lazy.t -> unit;
+}
+
+type trigger_exec = {
+  tx_load : bool; (* any generic statement still reads the batch pool *)
+  tx_units : exec_unit list;
+}
 
 type t = {
   prog : Prog.t;
@@ -33,12 +54,8 @@ type t = {
   mutable cur_tuple : Vtuple.t;
   mutable cur_mult : float;
   ops : Obs.Counter.t; (* per-instance elementary record operations *)
-  mutable triggers_batch : (string * (string * int * (unit -> unit)) list) list;
-      (* each statement carries its span label and profiler slot id *)
+  mutable triggers_batch : (string * trigger_exec) list;
   mutable triggers_single : (string * (int * (unit -> unit)) list) list;
-  mutable col_runners :
-    (string * (string * int * (Colbatch.t -> unit)) list) list;
-      (* per-relation columnar pre-aggregation executors (§5.2.2) *)
 }
 
 type batch_report = { ops : int; tuples : int; wall : float }
@@ -424,135 +441,731 @@ let compile_stmt rt ~mode (s : Prog.stmt) : unit -> unit =
         Gmr.iter (fun key m -> Pool.add target key m) buf
 
 (* ------------------------------------------------------------------ *)
-(* Columnar batch pre-aggregation (§5.2.2)                             *)
+(* Vectorized batched joins (§5.2): static planning                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Transient delta pre-aggregations of the common shape
-   [D := Sum_used(dR ⋈ const-comparisons ⋈ batch-column values)] bypass
-   the generic closure path: the batch is transposed once into columnar
-   form, static conditions scan single columns, and the projected rows are
-   aggregated straight into the transient pool. *)
-type col_plan = {
-  cp_target : string;
-  cp_keep : int array; (* batch columns kept, in target-key order *)
-  cp_filters : (int * Calc.cmp_op * Value.t) list;
-  cp_weight : (int -> Colbatch.t -> float) option;
+(* A trigger statement qualifies for the vectorized executor when it is a
+   single product driven by one batch-derived source factor — the raw
+   update batch or a transient pre-aggregation assigned earlier in the
+   same trigger, optionally Exists-wrapped — joined against store maps
+   that are fully keyed by source columns (get probes, resolved once per
+   distinct key group), at most one partially keyed map (a slice probe),
+   lifts of fully keyed probes, and comparisons / value terms over the
+   bound columns. The source is compacted to the group's used columns
+   (duplicate keys coalesce) and sort-grouped by the probe key columns,
+   so every accessor resolves once per distinct key instead of once per
+   batch row — O(K) probes for a batch with K distinct keys (§5.2). *)
+
+type vsource = {
+  vs_name : string; (* delta stream or transient map *)
+  vs_batch : bool; (* raw update batch vs transient pool *)
+  vs_exists : bool; (* Exists-wrapped: row weight is support, not mult *)
+  vs_vars : Schema.t;
 }
 
-(* the delta relation a statement's pre-aggregation reads, if any *)
-let trigger_rel_of (s : Prog.stmt) =
-  match Calc.delta_rels s.rhs with [ r ] -> r | _ -> ""
+(* a store-map probe fully keyed by source columns; [vb_cols] are source
+   column positions in map-key order *)
+type vprobe = { vb_map : string; vb_cols : int list }
 
-let columnar_plan (s : Prog.stmt) : col_plan option =
-  let shape =
+type vslice = {
+  sl_map : string;
+  sl_bcols : int array; (* source columns of the bound part, in index order *)
+  sl_bpos : int array; (* map-key positions that are bound *)
+  sl_outs : Schema.t; (* unbound map-key variables, bound per slice row *)
+  sl_opos : int array; (* their map-key positions *)
+}
+
+(* where a statement variable lives: a source column, or an auxiliary
+   slot written by a lift or a slice output *)
+type vref = VSrc of int | VAux of string
+
+type vstep =
+  | VGet of int (* multiply by probe value, skip the row on 0 *)
+  | VExists of int (* skip the row unless the probe has support *)
+  | VLift of string * int list (* aux var := sum of probe values *)
+  | VFilter of Calc.cmp_op * Vexpr.t * Vexpr.t
+  | VWeight of Vexpr.t
+  | VSlice of vslice
+
+type vplan = {
+  vp_stmt : Prog.stmt;
+  vp_sign : float; (* product of constant factors *)
+  vp_source : vsource;
+  vp_probes : vprobe list; (* accessor table; VGet/VExists/VLift indices *)
+  vp_steps : vstep list; (* factor order; at most one VSlice *)
+  vp_tkey : vref list; (* target key, one ref per target variable *)
+  vp_used : int list; (* source columns read anywhere, sorted *)
+  vp_keycols : int list; (* source columns feeding probes/slice binds *)
+  vp_reads : string list; (* store maps probed or sliced *)
+}
+
+exception Not_vectorizable
+
+let plan_stmt_exn ~rel ~transient_ready (s : Prog.stmt) : vplan =
+  (* self-reading statements need buffered evaluation: generic path *)
+  if List.mem s.target (Calc.map_refs s.rhs) then raise Not_vectorizable;
+  let body =
     match s.rhs with
-    | Sum (_, body) -> Some (Divm_delta.Poly.factors body)
-    | (DeltaRel _ | Prod _) as e -> Some (Divm_delta.Poly.factors e)
-    | _ -> None
+    | Sum (gb, body) ->
+        (* only the accumulate-into-the-pool fast path of [compile_stmt] *)
+        if Schema.equal_as_sets gb s.target_vars then body
+        else raise Not_vectorizable
+    | rhs -> rhs
   in
-  match (s.op, shape) with
-  | Prog.Assign, Some (DeltaRel r :: rest) -> (
-      let pos_of (v : Schema.var) =
-        let rec go i = function
-          | [] -> None
-          | (x : Schema.var) :: tl ->
-              if Schema.var_equal x v then Some i else go (i + 1) tl
-        in
-        go 0 r.rvars
-      in
-      try
-        let filters = ref [] and weights = ref [] in
-        List.iter
-          (fun f ->
-            match f with
-            | Cmp (op, Vexpr.Var v, Vexpr.Const c) -> (
-                match pos_of v with
-                | Some i -> filters := (i, op, c) :: !filters
-                | None -> raise Exit)
-            | Cmp (op, Vexpr.Const c, Vexpr.Var v) -> (
-                let flip =
-                  match op with
-                  | Lt -> Gt
-                  | Lte -> Gte
-                  | Gt -> Lt
-                  | Gte -> Lte
-                  | (Eq | Neq) as o -> o
-                in
-                match pos_of v with
-                | Some i -> filters := (i, flip, c) :: !filters
-                | None -> raise Exit)
-            | Value ve ->
-                let vars = Vexpr.vars ve in
-                let slots =
-                  List.map
-                    (fun v ->
-                      match pos_of v with
-                      | Some i -> (v.Schema.name, i)
-                      | None -> raise Exit)
-                    vars
-                in
-                weights :=
-                  (fun row (cb : Colbatch.t) ->
-                    let lookup (v : Schema.var) =
-                      Colbatch.column cb (List.assoc v.name slots)
-                      |> fun col -> col.(row)
-                    in
-                    Value.to_float (Vexpr.eval lookup ve))
-                  :: !weights
-            | _ -> raise Exit)
-          rest;
-        let keep =
-          Array.of_list
-            (List.map
-               (fun v ->
-                 match pos_of v with Some i -> i | None -> raise Exit)
-               s.target_vars)
-        in
-        let weight =
-          match !weights with
-          | [] -> None
-          | ws ->
-              Some
-                (fun row cb ->
-                  List.fold_left (fun acc w -> acc *. w row cb) 1. ws)
-        in
-        Some
-          {
-            cp_target = s.target;
-            cp_keep = keep;
-            cp_filters = !filters;
-            cp_weight = weight;
-          }
-      with Exit -> None)
-  | _ -> None
+  let distinct (vars : Schema.t) =
+    let names = List.map (fun (v : Schema.var) -> v.name) vars in
+    List.length names = List.length (List.sort_uniq compare names)
+  in
+  let sign = ref 1. in
+  let rec skim = function
+    | Const c :: tl ->
+        sign := !sign *. c;
+        skim tl
+    | l -> l
+  in
+  let src, rest =
+    let source_of = function
+      | DeltaRel r when String.equal r.rname rel && r.rvars <> [] ->
+          Some (r.rname, true, r.rvars)
+      | Map m when transient_ready m.mname && m.mvars <> [] ->
+          Some (m.mname, false, m.mvars)
+      | _ -> None
+    in
+    match skim (Divm_delta.Poly.factors body) with
+    | f :: tl -> (
+        let wrapped, atom = match f with Exists q -> (true, q) | q -> (false, q) in
+        match source_of atom with
+        | Some (name, batch, vars) when distinct vars ->
+            ( { vs_name = name; vs_batch = batch; vs_exists = wrapped; vs_vars = vars },
+              tl )
+        | _ -> raise Not_vectorizable)
+    | [] -> raise Not_vectorizable
+  in
+  let pos_of (v : Schema.var) =
+    let rec go i = function
+      | [] -> None
+      | (x : Schema.var) :: tl ->
+          if String.equal x.name v.name then Some i else go (i + 1) tl
+    in
+    go 0 src.vs_vars
+  in
+  let aux = ref [] in (* names bound by lifts and slice outputs, in order *)
+  let used = ref [] and keyc = ref [] and reads = ref [] in
+  let use p = if not (List.mem p !used) then used := p :: !used in
+  let usek p =
+    use p;
+    if not (List.mem p !keyc) then keyc := p :: !keyc
+  in
+  (* a variable read by a filter / weight / target key must already be
+     bound — by a source column or by an earlier lift or slice output *)
+  let vref (v : Schema.var) =
+    match pos_of v with
+    | Some p ->
+        use p;
+        VSrc p
+    | None ->
+        if List.mem v.name !aux then VAux v.name else raise Not_vectorizable
+  in
+  let check_vexpr ve = List.iter (fun v -> ignore (vref v)) (Vexpr.vars ve) in
+  let probes = ref [] in
+  let probe_id map cols =
+    let rec find i = function
+      | [] ->
+          probes := !probes @ [ { vb_map = map; vb_cols = cols } ];
+          i
+      | p :: tl ->
+          if String.equal p.vb_map map && p.vb_cols = cols then i
+          else find (i + 1) tl
+    in
+    find 0 !probes
+  in
+  (* probe keys must be source columns: that is what makes the accessor
+     constant over a sort group and therefore shareable *)
+  let get_cols (vars : Schema.t) =
+    List.map
+      (fun v ->
+        match pos_of v with
+        | Some p ->
+            usek p;
+            p
+        | None -> raise Not_vectorizable)
+      vars
+  in
+  let fully_src (vars : Schema.t) = List.for_all (fun v -> pos_of v <> None) vars in
+  let slice_seen = ref false in
+  let steps =
+    List.filter_map
+      (fun f ->
+        match f with
+        | Const c ->
+            sign := !sign *. c;
+            None
+        | Cmp (op, a, b) ->
+            check_vexpr a;
+            check_vexpr b;
+            Some (VFilter (op, a, b))
+        | Value ve ->
+            check_vexpr ve;
+            Some (VWeight ve)
+        | Exists (Map m) when fully_src m.mvars ->
+            reads := m.mname :: !reads;
+            Some (VExists (probe_id m.mname (get_cols m.mvars)))
+        | Map m when fully_src m.mvars ->
+            reads := m.mname :: !reads;
+            Some (VGet (probe_id m.mname (get_cols m.mvars)))
+        | Lift (v, q) when pos_of v = None && not (List.mem v.name !aux) ->
+            let term = function
+              | Map m when fully_src m.mvars ->
+                  reads := m.mname :: !reads;
+                  probe_id m.mname (get_cols m.mvars)
+              | _ -> raise Not_vectorizable
+            in
+            let ids =
+              match q with
+              | Map _ -> [ term q ]
+              | Add qs -> List.map term qs
+              | _ -> raise Not_vectorizable
+            in
+            aux := v.name :: !aux;
+            Some (VLift (v.name, ids))
+        | Map m ->
+            (* partially keyed: the single slice probe *)
+            if !slice_seen then raise Not_vectorizable;
+            slice_seen := true;
+            reads := m.mname :: !reads;
+            let indexed = List.mapi (fun i v -> (i, v)) m.mvars in
+            let bound, free =
+              List.partition (fun (_, v) -> pos_of v <> None) indexed
+            in
+            let free_vars = List.map snd free in
+            if free = [] || not (distinct free_vars) then
+              raise Not_vectorizable;
+            List.iter
+              (fun (v : Schema.var) ->
+                if List.mem v.name !aux then raise Not_vectorizable)
+              free_vars;
+            let bcol (_, v) =
+              match pos_of v with
+              | Some p ->
+                  usek p;
+                  p
+              | None -> assert false
+            in
+            let sl =
+              {
+                sl_map = m.mname;
+                sl_bcols = Array.of_list (List.map bcol bound);
+                sl_bpos = Array.of_list (List.map fst bound);
+                sl_outs = free_vars;
+                sl_opos = Array.of_list (List.map fst free);
+              }
+            in
+            aux := List.map (fun (v : Schema.var) -> v.name) free_vars @ !aux;
+            Some (VSlice sl)
+        | _ -> raise Not_vectorizable)
+      rest
+  in
+  let tkey = List.map vref s.target_vars in
+  {
+    vp_stmt = s;
+    vp_sign = !sign;
+    vp_source = src;
+    vp_probes = !probes;
+    vp_steps = steps;
+    vp_tkey = tkey;
+    vp_used = List.sort compare !used;
+    vp_keycols = List.sort compare !keyc;
+    vp_reads = !reads;
+  }
 
-let run_col_plan (rt : t) (cb : Colbatch.t) plan =
-  let ops = rt.ops in
-  let target = pool rt plan.cp_target in
-  Pool.clear target;
-  let mults = Colbatch.mults cb in
-  let filter_cols =
-    List.map (fun (i, op, c) -> (Colbatch.column cb i, op, c)) plan.cp_filters
+(* One entry of a trigger's planned executor: a statement on the generic
+   closure path, or a group of ≥1 consecutive vectorized statements
+   sharing a source (and, when fused, one pass over the grouped batch). *)
+type unit_plan = UStmt of Prog.stmt | UGroup of vplan list
+
+(* Fusing [p] into [group] is sound when they share the source and no
+   member's writes can be observed by another member's reads before the
+   group completes: generic execution finishes statement i before
+   statement j starts, the fused pass interleaves them per row. *)
+let fuse_ok group (p : vplan) =
+  match group with
+  | [] -> false
+  | g0 :: _ ->
+      String.equal g0.vp_source.vs_name p.vp_source.vs_name
+      && g0.vp_source.vs_batch = p.vp_source.vs_batch
+      && (not (String.equal p.vp_stmt.target p.vp_source.vs_name))
+      && List.for_all
+           (fun (q : vplan) ->
+             (not (List.mem p.vp_stmt.target q.vp_reads))
+             && (not (List.mem q.vp_stmt.target p.vp_reads))
+             && (not (String.equal q.vp_stmt.target p.vp_source.vs_name))
+             && ((not (String.equal q.vp_stmt.target p.vp_stmt.target))
+                || (q.vp_stmt.op = Prog.Add_to && p.vp_stmt.op = Prog.Add_to)))
+           group
+
+let plan_trigger (prog : Prog.t) (tr : Prog.trigger) : unit_plan list =
+  let kinds = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Prog.map_decl) -> Hashtbl.replace kinds m.mname m.mkind)
+    prog.maps;
+  (* a transient qualifies as a source once its Assign has executed *)
+  let assigned = Hashtbl.create 8 in
+  let plans =
+    List.map
+      (fun (s : Prog.stmt) ->
+        let transient_ready n =
+          Hashtbl.find_opt kinds n = Some Prog.Transient && Hashtbl.mem assigned n
+        in
+        let p =
+          match plan_stmt_exn ~rel:tr.relation ~transient_ready s with
+          | p -> Some p
+          | exception Not_vectorizable -> None
+        in
+        if
+          s.op = Prog.Assign
+          && Hashtbl.find_opt kinds s.target = Some Prog.Transient
+        then Hashtbl.replace assigned s.target ();
+        (s, p))
+      tr.stmts
   in
-  let keep_cols = Array.map (Colbatch.column cb) plan.cp_keep in
-  let kw = Array.length keep_cols in
-  let scratch = Array.make kw (Value.Int 0) in
-  for row = 0 to Colbatch.length cb - 1 do
-    if
-      List.for_all
-        (fun (col, op, c) -> Calc.eval_cmp op col.(row) c)
-        filter_cols
-    then begin
-      let w =
-        match plan.cp_weight with None -> 1. | Some f -> f row cb
+  let finish group acc =
+    match group with [] -> acc | g -> UGroup (List.rev g) :: acc
+  in
+  let rec go acc group = function
+    | [] -> List.rev (finish group acc)
+    | (s, None) :: tl -> go (UStmt s :: finish group acc) [] tl
+    | (_, Some p) :: tl ->
+        if group <> [] && fuse_ok group p then go acc (p :: group) tl
+        else go (finish group acc) [ p ] tl
+  in
+  let units = go [] [] plans in
+  (* a lone transient-sourced statement with no probes is a pure copy /
+     filter pass: transposing the pool buys nothing, keep it generic *)
+  List.map
+    (function
+      | UGroup [ p ] when (not p.vp_source.vs_batch) && p.vp_reads = [] ->
+          UStmt p.vp_stmt
+      | u -> u)
+    units
+
+let route_label_of_group (ps : vplan list) =
+  match ps with
+  | [ p ] ->
+      (if p.vp_reads = [] then "columnar:" else "columnar-join:")
+      ^ p.vp_stmt.target
+  | ps ->
+      let targets =
+        List.fold_left
+          (fun acc (p : vplan) ->
+            if List.mem p.vp_stmt.target acc then acc
+            else acc @ [ p.vp_stmt.target ])
+          [] ps
       in
-      Obs.Counter.incr ops;
-      for j = 0 to kw - 1 do
-        Array.unsafe_set scratch j (Array.unsafe_get keep_cols j).(row)
+      "fused:" ^ String.concat "+" targets
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized batched joins: binding and execution                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-group mutable view of the compacted source batch; every bound
+   closure reads the current row through this record, so one binding
+   serves every batch. *)
+type vctx = {
+  mutable vc_cols : Value.t array array; (* group column layout *)
+  mutable vc_mults : float array;
+  mutable vc_counts : float array; (* source rows merged per compacted row *)
+  mutable vc_row : int;
+}
+
+(* A get-style accessor shared by the whole group: resolved once per
+   distinct key group, read by every member referencing it. *)
+type gacc = {
+  ga_pool : Pool.t;
+  ga_key : int array; (* compacted column positions, in map-key order *)
+  ga_scratch : Vtuple.t;
+  mutable ga_val : float;
+  mutable ga_uses : int; (* member references, for the probes-saved model *)
+}
+
+(* A shared slice accessor: the matching store rows are cached once per
+   key group. The cached key arrays are borrowed from the pool — sound
+   because fusion safety guarantees no member writes a probed pool while
+   the group runs. *)
+type gslice = {
+  gs_pool : Pool.t;
+  gs_index : int option; (* declared slice index; None scans with checks *)
+  gs_bcols : int array; (* compacted columns of the bound part *)
+  gs_bpos : int array;
+  gs_sub : Vtuple.t;
+  mutable gs_keys : Vtuple.t array;
+  mutable gs_ms : float array;
+  mutable gs_n : int;
+  mutable gs_uses : int;
+}
+
+let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
+  let src = (List.hd ps).vp_source in
+  let src_width = List.length src.vs_vars in
+  let addu l p = if not (List.mem p !l) then l := p :: !l in
+  let keyc = ref [] and usedc = ref [] in
+  List.iter
+    (fun p ->
+      List.iter (addu keyc) p.vp_keycols;
+      List.iter (addu usedc) p.vp_used)
+    ps;
+  let sk = Array.of_list (List.sort compare !keyc) in
+  let rest =
+    Array.of_list
+      (List.sort compare (List.filter (fun c -> not (List.mem c !keyc)) !usedc))
+  in
+  let sel = Array.append sk rest in
+  (* original source column -> compacted column *)
+  let cpos = Array.make src_width (-1) in
+  Array.iteri (fun i c -> cpos.(c) <- i) sel;
+  let ctx = { vc_cols = [||]; vc_mults = [||]; vc_counts = [||]; vc_row = 0 } in
+  let gaccs = ref [] in
+  let gacc_for map cols =
+    let ccols = Array.of_list (List.map (fun c -> cpos.(c)) cols) in
+    let p = pool rt map in
+    match
+      List.find_opt (fun a -> a.ga_pool == p && a.ga_key = ccols) !gaccs
+    with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            ga_pool = p;
+            ga_key = ccols;
+            ga_scratch = Array.make (Array.length ccols) (Value.Int 0);
+            ga_val = 0.;
+            ga_uses = 0;
+          }
+        in
+        gaccs := !gaccs @ [ a ];
+        a
+  in
+  let gslices = ref [] in
+  let gslice_for (sl : vslice) =
+    let bcols = Array.map (fun c -> cpos.(c)) sl.sl_bcols in
+    let p = pool rt sl.sl_map in
+    match
+      List.find_opt
+        (fun g -> g.gs_pool == p && g.gs_bcols = bcols && g.gs_bpos = sl.sl_bpos)
+        !gslices
+    with
+    | Some g -> g
+    | None ->
+        let g =
+          {
+            gs_pool = p;
+            gs_index = Pool.find_slice p sl.sl_bpos;
+            gs_bcols = bcols;
+            gs_bpos = sl.sl_bpos;
+            gs_sub = Array.make (Array.length bcols) (Value.Int 0);
+            gs_keys = [||];
+            gs_ms = [||];
+            gs_n = 0;
+            gs_uses = 0;
+          }
+        in
+        gslices := !gslices @ [ g ];
+        g
+  in
+  let ops = rt.ops in
+  let bind_member (p : vplan) =
+    let accs =
+      Array.of_list
+        (List.map (fun pr -> gacc_for pr.vb_map pr.vb_cols) p.vp_probes)
+    in
+    (* auxiliary slots: lift variables and slice outputs *)
+    let aux_slots = Hashtbl.create 8 in
+    let naux = ref 0 in
+    List.iter
+      (function
+        | VLift (n, _) ->
+            Hashtbl.replace aux_slots n !naux;
+            incr naux
+        | VSlice sl ->
+            List.iter
+              (fun (v : Schema.var) ->
+                Hashtbl.replace aux_slots v.name !naux;
+                incr naux)
+              sl.sl_outs
+        | _ -> ())
+      p.vp_steps;
+    let aux_arr = Array.make (max 1 !naux) (Value.Int 0) in
+    let aux_slot n =
+      match Hashtbl.find_opt aux_slots n with
+      | Some i -> i
+      | None -> invalid_arg ("Runtime: unbound vectorized variable " ^ n)
+    in
+    (* resolve against this member's own occurrence naming: fused members
+       may access the shared source under different positional names *)
+    let pos_of name =
+      let rec go i = function
+        | [] -> None
+        | (x : Schema.var) :: tl ->
+            if String.equal x.name name then Some i else go (i + 1) tl
+      in
+      go 0 p.vp_source.vs_vars
+    in
+    let reader_of = function
+      | VSrc c ->
+          let cc = cpos.(c) in
+          fun () -> ctx.vc_cols.(cc).(ctx.vc_row)
+      | VAux n ->
+          let i = aux_slot n in
+          fun () -> aux_arr.(i)
+    in
+    let reader_of_var (v : Schema.var) =
+      match pos_of v.name with
+      | Some c -> reader_of (VSrc c)
+      | None -> reader_of (VAux v.name)
+    in
+    (* value expressions over bound columns, resolved at bind time *)
+    let rec compile_ve (ve : Vexpr.t) : unit -> Value.t =
+      match ve with
+      | Vexpr.Const c -> fun () -> c
+      | Vexpr.Var x -> reader_of_var x
+      | Vexpr.Add (a, b) -> vbin Value.add a b
+      | Vexpr.Sub (a, b) -> vbin Value.sub a b
+      | Vexpr.Mul (a, b) -> vbin Value.mul a b
+      | Vexpr.Div (a, b) -> vbin Value.div a b
+      | Vexpr.Neg a ->
+          let ca = compile_ve a in
+          fun () -> Value.neg (ca ())
+      | Vexpr.Floor a ->
+          let ca = compile_ve a in
+          fun () ->
+            Value.Int (int_of_float (Float.floor (Value.to_float (ca ()))))
+      | Vexpr.Min (a, b) ->
+          let ca = compile_ve a and cb = compile_ve b in
+          fun () ->
+            let x = ca () and y = cb () in
+            if Value.compare x y <= 0 then x else y
+      | Vexpr.Max (a, b) ->
+          let ca = compile_ve a and cb = compile_ve b in
+          fun () ->
+            let x = ca () and y = cb () in
+            if Value.compare x y >= 0 then x else y
+    and vbin op a b =
+      let ca = compile_ve a and cb = compile_ve b in
+      fun () -> op (ca ()) (cb ())
+    in
+    (* account member references for the probes-saved model *)
+    List.iter
+      (function
+        | VGet i | VExists i -> accs.(i).ga_uses <- accs.(i).ga_uses + 1
+        | VLift (_, ids) ->
+            List.iter (fun i -> accs.(i).ga_uses <- accs.(i).ga_uses + 1) ids
+        | _ -> ())
+      p.vp_steps;
+    let target = pool rt p.vp_stmt.target in
+    let tk = Array.of_list (List.map reader_of p.vp_tkey) in
+    let tw = Array.length tk in
+    let scratch = Array.make tw (Value.Int 0) in
+    let emit m =
+      for j = 0 to tw - 1 do
+        Array.unsafe_set scratch j ((Array.unsafe_get tk j) ())
       done;
-      Pool.add_borrow target scratch (mults.(row) *. w)
-    end
-  done
+      Pool.add_borrow target scratch m
+    in
+    let rec chain steps (k : float -> unit) : float -> unit =
+      match steps with
+      | [] -> k
+      | VGet i :: tl ->
+          let a = accs.(i) and next = chain tl k in
+          fun m ->
+            let v = a.ga_val in
+            if v <> 0. then next (m *. v)
+      | VExists i :: tl ->
+          let a = accs.(i) and next = chain tl k in
+          fun m -> if Float.abs a.ga_val >= Gmr.zero_eps then next m
+      | VLift (n, ids) :: tl ->
+          let s = aux_slot n
+          and terms = Array.of_list (List.map (fun i -> accs.(i)) ids)
+          and next = chain tl k in
+          fun m ->
+            let t = ref 0. in
+            Array.iter (fun a -> t := !t +. a.ga_val) terms;
+            aux_arr.(s) <- Value.Float !t;
+            next m
+      | VFilter (op, a, b) :: tl ->
+          let ca = compile_ve a and cb = compile_ve b and next = chain tl k in
+          fun m -> if Calc.eval_cmp op (ca ()) (cb ()) then next m
+      | VWeight ve :: tl ->
+          let cv = compile_ve ve and next = chain tl k in
+          fun m ->
+            let x = Value.to_float (cv ()) in
+            if x <> 0. then next (m *. x)
+      | VSlice _ :: _ -> assert false
+    in
+    let pre, sliced =
+      let rec split acc = function
+        | [] -> (List.rev acc, None)
+        | VSlice sl :: post -> (List.rev acc, Some (sl, post))
+        | st :: tl -> split (st :: acc) tl
+      in
+      split [] p.vp_steps
+    in
+    let body =
+      match sliced with
+      | None -> chain pre emit
+      | Some (sl, post) ->
+          let gs = gslice_for sl in
+          gs.gs_uses <- gs.gs_uses + 1;
+          let out_slots =
+            Array.of_list
+              (List.map (fun (v : Schema.var) -> aux_slot v.name) sl.sl_outs)
+          in
+          let opos = sl.sl_opos in
+          let now = Array.length out_slots in
+          let postk = chain post emit in
+          let inner m =
+            for j = 0 to gs.gs_n - 1 do
+              Obs.Counter.incr ops;
+              let key = gs.gs_keys.(j) in
+              for x = 0 to now - 1 do
+                aux_arr.(out_slots.(x)) <- key.(opos.(x))
+              done;
+              postk (m *. gs.gs_ms.(j))
+            done
+          in
+          chain pre inner
+    in
+    let sign = p.vp_sign in
+    let exists = p.vp_source.vs_exists in
+    let clear = p.vp_stmt.op = Prog.Assign in
+    let run () =
+      let base =
+        if exists then ctx.vc_counts.(ctx.vc_row) else ctx.vc_mults.(ctx.vc_row)
+      in
+      if base <> 0. then begin
+        Obs.Counter.incr ops;
+        body (base *. sign)
+      end
+    in
+    ((if clear then Some target else None), run)
+  in
+  let members = List.map bind_member ps in
+  let runs = Array.of_list (List.map snd members) in
+  let clears = List.filter_map fst members in
+  let gacc_arr = Array.of_list !gaccs in
+  let gsl_arr = Array.of_list !gslices in
+  let resolve_slice gs =
+    gs.gs_n <- 0;
+    let push key m =
+      if gs.gs_n >= Array.length gs.gs_keys then begin
+        let cap = max 16 (2 * Array.length gs.gs_keys) in
+        let nk = Array.make cap [||] and nm = Array.make cap 0. in
+        Array.blit gs.gs_keys 0 nk 0 gs.gs_n;
+        Array.blit gs.gs_ms 0 nm 0 gs.gs_n;
+        gs.gs_keys <- nk;
+        gs.gs_ms <- nm
+      end;
+      gs.gs_keys.(gs.gs_n) <- key;
+      gs.gs_ms.(gs.gs_n) <- m;
+      gs.gs_n <- gs.gs_n + 1
+    in
+    let bw = Array.length gs.gs_bcols in
+    for j = 0 to bw - 1 do
+      gs.gs_sub.(j) <- ctx.vc_cols.(gs.gs_bcols.(j)).(ctx.vc_row)
+    done;
+    match gs.gs_index with
+    | Some index -> Pool.slice gs.gs_pool ~index gs.gs_sub push
+    | None ->
+        Pool.foreach gs.gs_pool (fun key m ->
+            let ok = ref true in
+            for j = 0 to bw - 1 do
+              if not (Value.equal key.(gs.gs_bpos.(j)) gs.gs_sub.(j)) then
+                ok := false
+            done;
+            if !ok then push key m)
+  in
+  let nm = Array.length runs in
+  (* No store accessors means grouping has nothing to amortize: skip the
+     sort-based compaction and run the members straight over the batch
+     rows (each batch/pool row is a distinct tuple, so per-row support
+     counts are 1). *)
+  let no_access = gacc_arr = [||] && gsl_arr = [||] in
+  let ones = ref [||] in
+  let ones_of n =
+    if Array.length !ones < n then ones := Array.make (max n 1024) 1.;
+    !ones
+  in
+  if no_access then fun raw ->
+    let cb =
+      if src.vs_batch then Lazy.force raw
+      else
+        let p = pool rt src.vs_name in
+        Colbatch.of_iter ~width:src_width ~count:(Pool.cardinal p)
+          (fun f -> Pool.foreach p f)
+    in
+    List.iter Pool.clear clears;
+    let n = Colbatch.length cb in
+    ctx.vc_cols <- Array.map (fun c -> Colbatch.column cb c) sel;
+    ctx.vc_mults <- Colbatch.mults cb;
+    ctx.vc_counts <- ones_of n;
+    for r = 0 to n - 1 do
+      ctx.vc_row <- r;
+      for i = 0 to nm - 1 do
+        runs.(i) ()
+      done
+    done;
+    (* an Assign member's freshly-cleared target now holds exactly the
+       distinct rows of the batch under that statement's key set: the
+       difference is the per-statement batch compaction *)
+    List.iter
+      (fun p -> Obs.Counter.add m_rows_compacted (max 0 (n - Pool.cardinal p)))
+      clears
+  else fun raw ->
+    let cb =
+      if src.vs_batch then Lazy.force raw
+      else
+        let p = pool rt src.vs_name in
+        Colbatch.of_iter ~width:src_width ~count:(Pool.cardinal p)
+          (fun f -> Pool.foreach p f)
+    in
+    List.iter Pool.clear clears;
+    let comp, starts, counts = Colbatch.compact_group cb ~key:sk ~rest in
+    Obs.Counter.add m_rows_compacted
+      (Colbatch.length cb - Colbatch.length comp);
+    ctx.vc_cols <- Array.init (Array.length sel) (Colbatch.column comp);
+    ctx.vc_mults <- Colbatch.mults comp;
+    ctx.vc_counts <- counts;
+    let saved = ref 0 in
+    for g = 0 to Array.length starts - 2 do
+      let lo = starts.(g) and hi = starts.(g + 1) in
+      ctx.vc_row <- lo;
+      (* the row-at-a-time path would have probed per source row per
+         reference; the group resolves each accessor exactly once *)
+      let orig = ref 0. in
+      for r = lo to hi - 1 do
+        orig := !orig +. counts.(r)
+      done;
+      let orig = int_of_float !orig in
+      Array.iter
+        (fun a ->
+          let kw = Array.length a.ga_key in
+          for j = 0 to kw - 1 do
+            a.ga_scratch.(j) <- ctx.vc_cols.(a.ga_key.(j)).(lo)
+          done;
+          a.ga_val <- Pool.get a.ga_pool a.ga_scratch;
+          saved := !saved + (a.ga_uses * orig) - 1)
+        gacc_arr;
+      Array.iter
+        (fun gs ->
+          resolve_slice gs;
+          saved := !saved + (gs.gs_uses * orig) - 1)
+        gsl_arr;
+      for r = lo to hi - 1 do
+        ctx.vc_row <- r;
+        for i = 0 to nm - 1 do
+          runs.(i) ()
+        done
+      done
+    done;
+    Obs.Counter.add m_probes_saved !saved
 
 (* ------------------------------------------------------------------ *)
 (* Program loading                                                     *)
@@ -593,46 +1206,46 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
       ops = Obs.Counter.make ~register:false "runtime_record_ops";
       triggers_batch = [];
       triggers_single = [];
-      col_runners = [];
     }
   in
-  (* Batch mode: pre-aggregations of the supported shape go through the
-     columnar path; their statements compile to no-ops. *)
-  let planned = Hashtbl.create 8 in
-  if columnar then
-    rt.col_runners <-
-      List.map
-        (fun (tr : Prog.trigger) ->
-          ( tr.relation,
-            List.filter_map
-              (fun (st : Prog.stmt) ->
-                if not (String.equal (trigger_rel_of st) tr.relation) then
-                  None
-                else
-                  match columnar_plan st with
-                  | Some plan ->
-                      Hashtbl.replace planned (tr.relation, st.target) ();
-                      let label = "columnar:" ^ st.target in
-                      Some
-                        ( label,
-                          Prof.slot ~trigger:tr.relation ~label,
-                          fun cb -> run_col_plan rt cb plan )
-                  | None -> None)
-              tr.stmts ))
-        prog.triggers;
+  (* Batch mode: one ordered executor list per trigger — vectorized
+     (possibly fused) statement groups interleaved with generic compiled
+     statements, in original statement order. *)
   rt.triggers_batch <-
     List.map
       (fun (tr : Prog.trigger) ->
-        ( tr.relation,
+        let units =
+          if columnar then plan_trigger prog tr
+          else List.map (fun s -> UStmt s) tr.stmts
+        in
+        let tx_units =
           List.map
-            (fun (st : Prog.stmt) ->
-              let label = "stmt:" ^ st.target in
-              ( label,
-                Prof.slot ~trigger:tr.relation ~label,
-                if Hashtbl.mem planned (tr.relation, st.target) then
-                  fun () -> ()
-                else compile_stmt rt ~mode:Batch st ))
-            tr.stmts ))
+            (function
+              | UStmt st ->
+                  let label = "stmt:" ^ st.Prog.target in
+                  let f = compile_stmt rt ~mode:Batch st in
+                  {
+                    eu_label = label;
+                    eu_slot = Prof.slot ~trigger:tr.relation ~label;
+                    eu_run = (fun _ -> f ());
+                  }
+              | UGroup ps ->
+                  let label = route_label_of_group ps in
+                  {
+                    eu_label = label;
+                    eu_slot = Prof.slot ~trigger:tr.relation ~label;
+                    eu_run = bind_group rt ps;
+                  })
+            units
+        in
+        let tx_load =
+          List.exists
+            (function
+              | UStmt st -> Calc.has_deltas st.Prog.rhs
+              | UGroup _ -> false)
+            units
+        in
+        (tr.relation, { tx_load; tx_units }))
       prog.triggers;
   rt.triggers_single <-
     List.map
@@ -711,31 +1324,28 @@ let run_attributed rt ~label ~slot f =
   else Obs.span label f
 
 let apply_batch rt ~rel batch =
-  let stmts =
+  let tx =
     match List.assoc_opt rel rt.triggers_batch with
-    | Some stmts -> stmts
+    | Some tx -> tx
     | None -> invalid_arg ("Runtime.apply_batch: no trigger for " ^ rel)
   in
   let t0 = Unix.gettimeofday () in
   let ops0 = Obs.Counter.value rt.ops in
   Obs.span ("trigger:" ^ rel) (fun () ->
-      load_batch rt ~rel batch;
-      (match List.assoc_opt rel rt.col_runners with
-      | Some (_ :: _ as runners) ->
-          let width =
-            match List.assoc_opt rel rt.prog.streams with
-            | Some vars -> List.length vars
-            | None -> 0
-          in
-          let cb = Colbatch.of_gmr ~width batch in
-          List.iter
-            (fun (lbl, slot, run) ->
-              run_attributed rt ~label:lbl ~slot (fun () -> run cb))
-            runners
-      | _ -> ());
+      (* the batch pool only matters to generic statements; fully
+         vectorized triggers skip the per-tuple load entirely *)
+      if tx.tx_load then load_batch rt ~rel batch;
+      let width =
+        match List.assoc_opt rel rt.prog.streams with
+        | Some vars -> List.length vars
+        | None -> 0
+      in
+      let raw = lazy (Colbatch.of_gmr ~width batch) in
       List.iter
-        (fun (lbl, slot, f) -> run_attributed rt ~label:lbl ~slot f)
-        stmts);
+        (fun u ->
+          run_attributed rt ~label:u.eu_label ~slot:u.eu_slot (fun () ->
+              u.eu_run raw))
+        tx.tx_units);
   report rt ~ops0 ~tuples:(Gmr.cardinal batch) ~t0 ~single:false
 
 let apply_single rt ~rel tup m =
@@ -792,21 +1402,37 @@ let result rt qname =
 let ops (rt : t) = Obs.Counter.value rt.ops
 let reset_ops (rt : t) = Obs.Counter.reset rt.ops
 
+(* Per trigger, each statement (in original order) paired with the route
+   label batch mode gives it: "stmt:T" for the generic closure path,
+   "columnar:T" / "columnar-join:T" for solo vectorized statements, and a
+   shared "fused:T1+T2" label for every member of a fused group. The same
+   [plan_trigger] that [create] uses produces this, so EXPLAIN agrees
+   with the runtime by construction. *)
+let stmt_routes (prog : Prog.t) : (string * (Prog.stmt * string) list) list =
+  List.map
+    (fun (tr : Prog.trigger) ->
+      ( tr.relation,
+        List.concat_map
+          (function
+            | UStmt s -> [ (s, "stmt:" ^ s.Prog.target) ]
+            | UGroup ps ->
+                let lbl = route_label_of_group ps in
+                List.map (fun (p : vplan) -> (p.vp_stmt, lbl)) ps)
+          (plan_trigger prog tr) ))
+    prog.Prog.triggers
+
 (* The (trigger relation, target) pairs batch mode routes through the
-   columnar §5.2.2 path — the same [columnar_plan] test [create] applies,
-   exposed so EXPLAIN agrees with the runtime by construction. *)
+   vectorized executor, exposed for EXPLAIN and its tests. *)
 let columnar_routed (prog : Prog.t) =
   List.concat_map
-    (fun (tr : Prog.trigger) ->
+    (fun (rel, stmts) ->
       List.filter_map
-        (fun (st : Prog.stmt) ->
-          if
-            String.equal (trigger_rel_of st) tr.relation
-            && columnar_plan st <> None
-          then Some (tr.relation, st.target)
-          else None)
-        tr.stmts)
-    prog.Prog.triggers
+        (fun ((s : Prog.stmt), lbl) ->
+          if String.length lbl >= 5 && String.equal (String.sub lbl 0 5) "stmt:"
+          then None
+          else Some (rel, s.target))
+        stmts)
+    (stmt_routes prog)
 
 let storage_stats rt =
   let maps =

@@ -79,9 +79,17 @@ val total_tuples : t -> int
     and index-probe counter deltas (plus wall time) to its slot; disabled,
     the firing path pays one flag check. *)
 
+(** Per trigger, each statement (in original order) paired with the route
+    label batch mode gives it: ["stmt:T"] for the generic closure path,
+    ["columnar:T"] for a solo vectorized pass with no store reads,
+    ["columnar-join:T"] for a solo vectorized statement with key-grouped
+    store probes, and a shared ["fused:T1+T2"] label for every member of a
+    fused group. Produced by the same planner [create] uses, so EXPLAIN
+    cannot disagree with the runtime. *)
+val stmt_routes : Prog.t -> (string * (Prog.stmt * string) list) list
+
 (** The (trigger relation, statement target) pairs that batch mode routes
-    through the §5.2.2 columnar path — the same test [create] applies, so
-    EXPLAIN cannot disagree with the runtime. *)
+    through the vectorized executor (any non-["stmt:"] label above). *)
 val columnar_routed : Prog.t -> (string * string) list
 
 (** Per-pool storage self-metrics (maps first, then [batch_*] update

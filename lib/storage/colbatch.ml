@@ -24,6 +24,18 @@ let of_gmr ~width g =
     g;
   { columns; mults; n }
 
+let of_iter ~width ~count iter =
+  let columns = Array.init width (fun _ -> Array.make count (Value.Int 0)) in
+  let mults = Array.make count 0. in
+  let i = ref 0 in
+  iter (fun tup m ->
+      for c = 0 to width - 1 do
+        columns.(c).(!i) <- tup.(c)
+      done;
+      mults.(!i) <- m;
+      incr i);
+  { columns; mults; n = !i }
+
 let to_gmr t =
   let g = Gmr.create ~size:t.n () in
   let w = width t in
@@ -38,8 +50,12 @@ let mults t = t.mults
 
 let iter_rows t f =
   let w = width t in
+  let row = Array.make w (Value.Int 0) in
   for i = 0 to t.n - 1 do
-    f (Array.init w (fun c -> t.columns.(c).(i))) t.mults.(i)
+    for c = 0 to w - 1 do
+      row.(c) <- t.columns.(c).(i)
+    done;
+    f row t.mults.(i)
   done
 
 let filter t pred =
@@ -60,6 +76,57 @@ let project t keep =
   { t with columns = Array.map (fun c -> t.columns.(c)) keep }
 
 let aggregate t = to_gmr t
+
+let compact_group t ~key ~rest =
+  let n = t.n in
+  let sel = Array.append key rest in
+  let nk = Array.length key in
+  let sw = Array.length sel in
+  let idx = Array.init n (fun i -> i) in
+  (* compare rows [a] and [b] on the first [k] selected columns *)
+  let cmp_upto k a b =
+    let rec go c =
+      if c >= k then 0
+      else
+        let r = Value.compare t.columns.(sel.(c)).(a) t.columns.(sel.(c)).(b) in
+        if r <> 0 then r else go (c + 1)
+    in
+    go 0
+  in
+  Array.sort (cmp_upto sw) idx;
+  let columns = Array.init sw (fun _ -> Array.make n (Value.Int 0)) in
+  let msum = Array.make n 0. in
+  let counts = Array.make n 0. in
+  let starts = ref [ 0 ] in
+  let out = ref 0 in
+  for i = 0 to n - 1 do
+    let r = idx.(i) in
+    if i > 0 && cmp_upto sw idx.(i - 1) r = 0 then begin
+      (* duplicate of the previous emitted row on every selected column:
+         coalesce multiplicities in place *)
+      msum.(!out - 1) <- msum.(!out - 1) +. t.mults.(r);
+      counts.(!out - 1) <- counts.(!out - 1) +. 1.
+    end
+    else begin
+      if !out > 0 && nk > 0 && cmp_upto nk idx.(i - 1) r <> 0 then
+        starts := !out :: !starts;
+      for c = 0 to sw - 1 do
+        columns.(c).(!out) <- t.columns.(sel.(c)).(r)
+      done;
+      msum.(!out) <- t.mults.(r);
+      counts.(!out) <- 1.;
+      incr out
+    end
+  done;
+  let m = !out in
+  let trunc a = if Array.length a = m then a else Array.sub a 0 m in
+  let batch =
+    { columns = Array.map trunc columns; mults = trunc msum; n = m }
+  in
+  let starts =
+    if m = 0 then [| 0 |] else Array.of_list (List.rev (m :: !starts))
+  in
+  (batch, starts, trunc counts)
 
 let byte_size t =
   let acc = ref (8 * t.n) in

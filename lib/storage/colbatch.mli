@@ -3,7 +3,10 @@
     Input batches and shuffled view contents travel in columnar form: one
     value array per attribute plus a multiplicity array. Filtering and
     projection scan single columns (cache-friendly); row transformers
-    convert to and from row-oriented GMRs/pools. *)
+    convert to and from row-oriented GMRs/pools. [compact_group] is the
+    workhorse of the vectorized batched-join executor: it coalesces
+    duplicate keys and sort-groups the survivors so downstream probes run
+    once per distinct key, not once per row. *)
 
 open Divm_ring
 
@@ -16,13 +19,24 @@ val length : t -> int
     need it to be supplied explicitly. *)
 val of_gmr : width:int -> Gmr.t -> t
 
+(** [of_iter ~width ~count iter] builds a batch by running [iter emit]
+    where [emit tup m] appends one row. [count] must be an upper bound on
+    the number of rows emitted (e.g. [Pool.cardinal]); tuples are copied,
+    so borrowed rows are fine. *)
+val of_iter :
+  width:int -> count:int -> ((Vtuple.t -> float -> unit) -> unit) -> t
+
 (** Column-to-row transformer. *)
 val to_gmr : t -> Gmr.t
 
 val column : t -> int -> Value.t array
 val mults : t -> float array
 
-(** [iter_rows b f] calls [f tuple mult] per row (tuples are fresh). *)
+(** [iter_rows b f] calls [f tuple mult] per row. The tuple array is a
+    single scratch buffer BORROWED by [f] for the duration of the call
+    only: it is overwritten in place before the next row, so [f] must copy
+    it (e.g. via [Gmr.add] / [Pool.add], which copy keys) before retaining
+    it anywhere. *)
 val iter_rows : t -> (Vtuple.t -> float -> unit) -> unit
 
 (** [filter b pred] keeps the rows whose index satisfies [pred] (the
@@ -35,6 +49,24 @@ val project : t -> int array -> t
 (** [aggregate b] merges equal rows, summing multiplicities (the row-format
     output is the pre-aggregated batch). *)
 val aggregate : t -> Gmr.t
+
+(** [compact_group b ~key ~rest] sorts the batch on the selected columns
+    [key @ rest] (original column positions), merges rows that agree on
+    every selected column (summing multiplicities), and returns
+    [(compacted, starts, counts)]:
+
+    - [compacted] has exactly the columns [key @ rest] in that order and
+      one row per distinct selected-column combination;
+    - [starts] delimits runs of equal [key] columns: group [g] spans rows
+      [starts.(g) .. starts.(g+1) - 1] of [compacted] (with [key = [||]]
+      the whole batch is one group);
+    - [counts.(i)] is the number of source rows merged into row [i]
+      (needed by Exists-style consumers that count support rather than
+      summing multiplicities).
+
+    Merged multiplicities may cancel to ~0; rows are kept regardless, so
+    consumers decide between mult- and count-based semantics. *)
+val compact_group : t -> key:int array -> rest:int array -> t * int array * float array
 
 (** Serialized size in bytes. *)
 val byte_size : t -> int

@@ -67,8 +67,42 @@ let test_explain_local () =
   Alcotest.(check bool) "header" true (contains ~affix:"== EXPLAIN rs" txt);
   Alcotest.(check bool) "trigger sections" true
     (contains ~affix:"ON UPDATE R:" txt && contains ~affix:"ON UPDATE S:" txt);
-  Alcotest.(check bool) "access paths shown" true
-    (contains ~affix:"via foreach (full scan)" txt)
+  (* the R/S join vectorizes end to end: transient assigns take the
+     columnar pre-aggregation route, the store-reading statements fuse *)
+  Alcotest.(check bool) "columnar route shown" true
+    (contains ~affix:"[columnar:" txt);
+  Alcotest.(check bool) "fused route shown" true
+    (contains ~affix:"[fused:" txt
+    && contains ~affix:"fused columnar group" txt)
+
+(* Route labels on a store-joining query: Q17's delta statements probe
+   materialized maps, so EXPLAIN must show the batched-join and fused
+   routes, while the pure transient copies stay on the generic path with
+   their access plans rendered. *)
+let test_explain_routes () =
+  let w = Workload.find "Q17" in
+  let prog = Workload.compile w in
+  let p = Profile.explain ~name:"Q17" prog in
+  let txt = Profile.render p in
+  Alcotest.(check bool) "columnar-join route" true
+    (contains ~affix:"[columnar-join:" txt
+    && contains ~affix:"vectorized batched join (key-grouped probes)" txt);
+  Alcotest.(check bool) "fused route" true (contains ~affix:"[fused:" txt);
+  Alcotest.(check bool) "generic route remains" true
+    (contains ~affix:"[stmt:" txt
+    && contains ~affix:"via foreach (full scan)" txt);
+  (* every labelled statement agrees with the runtime's planner *)
+  let routed = Runtime.columnar_routed prog in
+  Alcotest.(check bool) "Q17 takes a vectorized route" true
+    (List.mem ("lineitem", "Q17") routed);
+  List.iter
+    (fun s ->
+      if s.Profile.sp_columnar then
+        Alcotest.(check bool)
+          (s.Profile.sp_label ^ " agrees with runtime")
+          true
+          (List.mem (s.Profile.sp_trigger, s.Profile.sp_target) routed))
+    p.Profile.pl_stmts
 
 let test_explain_matches_runtime_columnar () =
   let w = Workload.find "Q3" in
@@ -265,6 +299,8 @@ let suites =
     ( "profile",
       [
         Alcotest.test_case "explain: local plan" `Quick test_explain_local;
+        Alcotest.test_case "explain: vectorized route labels" `Quick
+          test_explain_routes;
         Alcotest.test_case "explain: columnar route matches runtime" `Quick
           test_explain_matches_runtime_columnar;
         Alcotest.test_case "explain: distributed plan" `Quick test_explain_dist;

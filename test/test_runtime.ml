@@ -148,6 +148,53 @@ let qcheck_rt_agree =
         batches;
       true)
 
+(* Vectorized-executor equivalence: the same random TPC-H stream replayed
+   through columnar-on and columnar-off runtimes must leave every
+   non-transient store identical. The bench queries cover the batched-join
+   and fused-group routes (Q17 joins against stores, Q7 fuses statements
+   that access shared transients under different positional names). *)
+let qcheck_columnar_equiv =
+  let module Workload = Divm_workload.Workload in
+  let module Tpch = Divm_tpch in
+  let queries =
+    [ "Q1"; "Q3"; "Q4"; "Q6"; "Q7"; "Q12"; "Q13"; "Q14"; "Q17"; "Q19"; "Q22" ]
+  in
+  let arb =
+    QCheck.(
+      make
+        ~print:(Print.pair Print.int Print.int)
+        Gen.(pair (int_range 0 10_000) (int_range 1 40)))
+  in
+  QCheck.Test.make ~name:"columnar on/off stores agree on random TPC-H streams"
+    ~count:4 arb
+    (fun (seed, batch_size) ->
+      let stream =
+        Tpch.Gen.stream { Tpch.Gen.scale = 0.03; seed } ~batch_size
+      in
+      List.iter
+        (fun qn ->
+          let w = Workload.find qn in
+          let prog = Workload.compile w in
+          let on = Runtime.create ~columnar:true prog in
+          let off = Runtime.create ~columnar:false prog in
+          List.iter
+            (fun (rel, b) ->
+              ignore (Runtime.apply_batch on ~rel b);
+              ignore (Runtime.apply_batch off ~rel b))
+            stream;
+          List.iter
+            (fun (m : Prog.map_decl) ->
+              if m.mkind <> Prog.Transient then
+                let g_on = Runtime.map_contents on m.mname in
+                let g_off = Runtime.map_contents off m.mname in
+                if not (Gmr.equal ~eps:1e-6 g_on g_off) then
+                  Alcotest.failf
+                    "%s: store %s diverges between columnar and generic paths"
+                    qn m.mname)
+            prog.Prog.maps)
+        queries;
+      true)
+
 let test_rt_ops_counter () =
   let prog = Compile.compile ~streams:streams_rst [ ("Q", q_running) ] in
   let rt = Runtime.create prog in
@@ -207,5 +254,6 @@ let suites =
         Alcotest.test_case "ops counter" `Quick test_rt_ops_counter;
         Alcotest.test_case "columnar preagg path" `Quick test_columnar_path;
         QCheck_alcotest.to_alcotest qcheck_rt_agree;
+        QCheck_alcotest.to_alcotest qcheck_columnar_equiv;
       ] );
   ]
