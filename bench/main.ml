@@ -823,13 +823,21 @@ let micro () =
 
 let quick_queries = [ "Q1"; "Q3"; "Q6"; "Q13"; "Q17"; "Q19"; "Q22" ]
 
+(* --domains N (0 = unset: Runtime.create's own default, i.e.
+   DIVM_DOMAINS or serial). Recorded in QUICK_JSON so scaling curves are
+   self-describing. *)
+let cli_domains = ref 0
+
 let quick () =
+  let dom = if !cli_domains > 0 then Some !cli_domains else None in
+  let used_domains = ref 1 in
   let results =
     List.map
       (fun qn ->
         let q = Tpch.Queries.find qn in
         let prog = compile_tpch q in
-        let rt = Runtime.create prog in
+        let rt = Runtime.create ?domains:dom prog in
+        used_domains := Runtime.domains rt;
         let stream = Tpch.Gen.stream tpch_cfg ~batch_size:1000 in
         let prefix, suffix = split_warm stream in
         Runtime.load rt prefix;
@@ -862,7 +870,10 @@ let quick () =
   let g_tps = geomean (fun (_, t, _, _) -> t) in
   let g_ops = geomean (fun (_, _, o, _) -> o) in
   B.print_table
-    ~title:"Quick micro-bench — batched TPC-H triggers (B=1000)"
+    ~title:
+      (Printf.sprintf
+         "Quick micro-bench — batched TPC-H triggers (B=1000, domains=%d)"
+         !used_domains)
     ~header:[ "query"; "tuples/s"; "record-ops/s"; "ops/tuple" ]
     (List.map
        (fun (qn, tps, ops_s, opt) ->
@@ -879,8 +890,8 @@ let quick () =
          results)
   in
   Printf.printf
-    "QUICK_JSON {\"bench\":\"quick\",\"batch_size\":1000,\"queries\":{%s},\"geomean_tuples_per_s\":%.0f,\"geomean_ops_per_s\":%.0f}\n"
-    fields g_tps g_ops
+    "QUICK_JSON {\"bench\":\"quick\",\"batch_size\":1000,\"domains\":%d,\"queries\":{%s},\"geomean_tuples_per_s\":%.0f,\"geomean_ops_per_s\":%.0f}\n"
+    !used_domains fields g_tps g_ops
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -917,8 +928,19 @@ let () =
       String.sub a 2 (String.length a - 2)
     else a
   in
+  (* pull out --domains N / --domains=N; the rest select experiments *)
+  let rec parse_domains acc = function
+    | [] -> List.rev acc
+    | "domains" :: v :: rest ->
+        cli_domains := int_of_string v;
+        parse_domains acc rest
+    | a :: rest when String.length a > 8 && String.sub a 0 8 = "domains=" ->
+        cli_domains := int_of_string (String.sub a 8 (String.length a - 8));
+        parse_domains acc rest
+    | a :: rest -> parse_domains (a :: acc) rest
+  in
   let selected =
-    match List.map strip args with
+    match parse_domains [] (List.map strip args) with
     | [] -> List.map (fun (n, _, _) -> n) experiments
     | args -> args
   in

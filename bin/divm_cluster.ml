@@ -8,11 +8,11 @@
 open Divm
 open Cmdliner
 
-let run query workers batch_size scale level opts =
+let run query workers batch_size scale level domains opts =
   let w = Workload.find query in
   let prog = Workload.compile w in
   let dp = Workload.distribute ~level w prog in
-  let c = Cluster.create ~config:(Cluster.config ~workers ()) dp in
+  let c = Cluster.create ~config:(Cluster.config ~workers ()) ?domains dp in
   Divm_obs_cli.Obs_cli.activate
     ~plan:(Profile.explain_dist ~name:w.wname dp)
     ~storage:(fun () -> Cluster.storage_stats c)
@@ -44,12 +44,23 @@ let scale_t = Arg.(value & opt float 2.0 & info [ "scale" ] ~doc:"Stream scale")
 let level_t =
   Arg.(value & opt int 3 & info [ "opt-level" ] ~doc:"Optimization level 0–3")
 
+let domains_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~doc:
+          "Execution domains for the simulated workers (default: \
+           \\$(b,DIVM_DOMAINS) or 1). Distributed stages run worker-node \
+           closures in parallel on a shared domain pool; modeled latency \
+           and shuffled bytes are identical at any domain count.")
+
 let cmd =
   Cmd.v
     (Cmd.info "divm_cluster"
        ~doc:"Distributed incremental view maintenance on the simulated cluster")
     Term.(
       const run $ query_t $ workers_t $ batch_t $ scale_t $ level_t
-      $ Divm_obs_cli.Obs_cli.setup)
+      $ domains_t $ Divm_obs_cli.Obs_cli.setup)
 
 let () = exit (Cmd.eval cmd)

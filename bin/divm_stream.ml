@@ -8,10 +8,10 @@
 open Divm
 open Cmdliner
 
-let run query scale batch_size single show_result tbl_dir opts =
+let run query scale batch_size single show_result tbl_dir domains opts =
   let w = Workload.find query in
   let prog = Workload.compile ~preaggregate:(not single) w in
-  let rt = Runtime.create prog in
+  let rt = Runtime.create ?domains prog in
   Divm_obs_cli.Obs_cli.activate
     ~plan:(Profile.explain ~name:w.wname prog)
     ~storage:(fun () -> Runtime.storage_stats rt)
@@ -41,10 +41,13 @@ let run query scale batch_size single show_result tbl_dir opts =
       end)
     stream;
   let dt = Unix.gettimeofday () -. t0 in
-  Printf.printf "%s: %d tuples in %.3fs (%.0f tuples/s, %s mode)\n" w.wname
+  Printf.printf "%s: %d tuples in %.3fs (%.0f tuples/s, %s mode%s)\n" w.wname
     !tuples dt
     (float_of_int !tuples /. dt)
-    (if single then "single-tuple" else Printf.sprintf "batch=%d" batch_size);
+    (if single then "single-tuple" else Printf.sprintf "batch=%d" batch_size)
+    (if Runtime.domains rt > 1 then
+       Printf.sprintf ", %d domains" (Runtime.domains rt)
+     else "");
   Printf.printf "materialized maps: %d, stored tuples: %d, record ops: %d\n"
     (List.length prog.maps) (Runtime.total_tuples rt) !ops;
   if show_result then
@@ -72,11 +75,21 @@ let tbl_t =
     & info [ "tbl-dir" ]
         ~doc:"Load dbgen .tbl files from this directory instead of generating")
 
+let domains_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~doc:
+          "Execution domains for batch triggers (default: \\$(b,DIVM_DOMAINS) \
+           or 1). Vectorized statement groups fan the batch out over a \
+           shared domain pool; serial statements are unaffected.")
+
 let cmd =
   Cmd.v
     (Cmd.info "divm_stream" ~doc:"Maintain a TPC-H query over an update stream")
     Term.(
       const run $ query_t $ scale_t $ batch_t $ single_t $ result_t $ tbl_t
-      $ Divm_obs_cli.Obs_cli.setup)
+      $ domains_t $ Divm_obs_cli.Obs_cli.setup)
 
 let () = exit (Cmd.eval cmd)

@@ -5,6 +5,7 @@ open Divm_dist
 open Divm_runtime
 module Obs = Divm_obs.Obs
 module Prof = Divm_obs.Prof
+module Par = Divm_par.Par
 
 (* Registry instruments. [apply_batch]'s metrics record is a view over
    these: each batch is accounted into the counters first and the record
@@ -81,6 +82,7 @@ type t = {
   driver : Runtime.t;
   nodes : Runtime.t array;
   plans : (string * pblock list) list;
+  par : Par.Pool.t option;
   delta_at_workers : bool;
   worker_ops_gauges : Obs.Gauge.t array;
       (* per-worker ops of the last batch, labeled Prometheus-style *)
@@ -88,14 +90,21 @@ type t = {
 
 let workers t = t.cfg.workers
 
-let create ?(config = default_config) (dp : Dprog.t) =
+let create ?(config = default_config) ?domains (dp : Dprog.t) =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Par.default_domains ()
+  in
   (* The runtimes never fire whole triggers themselves, but the compute
      statements of the distributed program (with their transfer-renamed
      map references) must be visible to the access-pattern analysis so
-     the pools get their slice indexes. *)
+     the pools get their slice indexes. Simulated nodes run serially
+     within themselves ([domains:1]): the cluster's own parallelism is one
+     pool task per worker node, and nesting pools is not supported. *)
   let rprog = Dprog.compute_prog dp in
-  let driver = Runtime.create rprog in
-  let nodes = Array.init config.workers (fun _ -> Runtime.create rprog) in
+  let driver = Runtime.create ~domains:1 rprog in
+  let nodes =
+    Array.init config.workers (fun _ -> Runtime.create ~domains:1 rprog)
+  in
   let compile_block trigger (b : Dprog.block) =
     {
       pmode = b.bmode;
@@ -156,6 +165,7 @@ let create ?(config = default_config) (dp : Dprog.t) =
     driver;
     nodes;
     plans;
+    par = (if domains > 1 then Some (Par.get ~domains) else None);
     delta_at_workers;
     worker_ops_gauges;
   }
@@ -322,26 +332,47 @@ let apply_batch t ~rel batch =
             else ""
           in
           Obs.span stage_lbl (fun () ->
+              (* Every simulated node owns disjoint state (its own runtime,
+                 pools, batch partitions), so the per-worker closure arrays
+                 are embarrassingly parallel. Each task writes only its own
+                 [deltas] cell; the modeled time is computed afterwards by
+                 a serial reduction over [deltas], which is a pure function
+                 of the per-worker op counts — so modeled latency and
+                 shuffled bytes are bit-identical whether the stage ran on
+                 one domain or many. *)
+              let deltas = Array.make w 0 in
+              let run_worker wi rt =
+                let o0 = Runtime.ops rt in
+                List.iter
+                  (fun ps ->
+                    match ps with
+                    | PWorkers (lbl, slot, fs) ->
+                        Runtime.run_attributed rt ~label:lbl ~slot fs.(wi)
+                    | PDriver _ | PTransfer _ -> assert false)
+                  b.pstmts;
+                deltas.(wi) <- Runtime.ops rt - o0
+              in
+              (match t.par with
+              | Some pl
+                when (not (Prof.enabled ()))
+                     && (not (Obs.tracing ()))
+                     && not (Trace.enabled ()) ->
+                  Par.Pool.run pl
+                    (Array.mapi (fun wi rt () -> run_worker wi rt) t.nodes)
+              | _ ->
+                  Array.iteri
+                    (fun wi rt ->
+                      if Obs.tracing () then
+                        Obs.span (Printf.sprintf "worker:%d" wi) (fun () ->
+                            run_worker wi rt)
+                      else run_worker wi rt)
+                    t.nodes);
               let max_ops = ref 0 in
               Array.iteri
-                (fun wi rt ->
-                  let run () =
-                    let o0 = Runtime.ops rt in
-                    List.iter
-                      (fun ps ->
-                        match ps with
-                        | PWorkers (lbl, slot, fs) ->
-                            Runtime.run_attributed rt ~label:lbl ~slot fs.(wi)
-                        | PDriver _ | PTransfer _ -> assert false)
-                      b.pstmts;
-                    let d = Runtime.ops rt - o0 in
-                    worker_ops.(wi) <- worker_ops.(wi) + d;
-                    max_ops := max !max_ops d
-                  in
-                  if Obs.tracing () then
-                    Obs.span (Printf.sprintf "worker:%d" wi) run
-                  else run ())
-                t.nodes;
+                (fun wi d ->
+                  worker_ops.(wi) <- worker_ops.(wi) + d;
+                  max_ops := max !max_ops d)
+                deltas;
               Obs.Counter.add m_worker_ops !max_ops;
               let straggle =
                 1. +. (t.cfg.straggler *. float_of_int !pending_max_into /. 1e6)

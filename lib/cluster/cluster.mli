@@ -55,7 +55,17 @@ type metrics = {
 
 type t
 
-val create : ?config:config -> Dprog.t -> t
+(** [domains] (default: the [DIVM_DOMAINS] environment variable, else 1)
+    runs each distributed stage's per-worker closures as tasks on the
+    shared {!Divm_par.Par} pool — simulated nodes own disjoint runtimes,
+    so a stage is embarrassingly parallel. The cost model is evaluated by
+    a serial reduction over the per-worker op counts after the barrier,
+    so modeled latency, stage counts, and shuffled bytes are bit-identical
+    at any domain count. While the profiler, span tracer, or cachesim
+    sink is enabled, stages run serially (those observers are
+    single-writer; see {!Divm_obs.Obs}'s memory-ordering contract). *)
+val create : ?config:config -> ?domains:int -> Dprog.t -> t
+
 val workers : t -> int
 
 (** Process one batch through the trigger of [rel]; batches are partitioned

@@ -67,6 +67,7 @@ module Sql = Divm_sql.Sql
 module Baseline = Divm_baseline.Baseline
 module Cachesim = Divm_cachesim.Cachesim
 module Obs = Divm_obs.Obs
+module Par = Divm_par.Par
 module Profile = Divm_profile.Profile
 module Workload = Divm_workload.Workload
 

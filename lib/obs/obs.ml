@@ -1,12 +1,35 @@
-(* Global metrics registry + span tracer. Single-threaded, like the rest
-   of the system: no locks, plain mutable fields on the hot paths. *)
+(* Global metrics registry + span tracer. Counters and gauges are
+   domain-safe (see the contract in obs.mli): counters are striped into
+   per-domain shards so the hot increment stays a plain store into a cell
+   this domain owns exclusively, and reads sum the shards. Histograms and
+   the span tracer remain single-writer. *)
 
 (* ------------------------------------------------------------------ *)
 (* Instruments                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { c_name : string; mutable c : int }
-type gauge = { g_name : string; mutable g : float }
+(* Dense stripe ids: the first time a domain touches any counter it draws
+   the next id, so shard arrays stay as small as the number of domains
+   that ever counted anything. *)
+let stripe_next = Atomic.make 0
+
+let stripe_key =
+  Domain.DLS.new_key (fun () -> Atomic.fetch_and_add stripe_next 1)
+
+(* One shard is an 8-word int array with only slot 0 used: the padding
+   keeps neighbouring domains' cells off each other's cache lines. *)
+let shard_pad = 8
+let new_shard () = Array.make shard_pad 0
+
+(* Shard-array growth is rare (once per counter per new domain); one
+   process-wide lock is plenty. Publication of the grown outer array goes
+   through the [Atomic.t] so a domain that observes the new array also
+   observes its fully-initialized contents; old shards are carried over by
+   reference, never copied by value, so no concurrent increment is lost. *)
+let grow_lock = Mutex.create ()
+
+type counter = { c_name : string; c_shards : int array array Atomic.t }
+type gauge = { g_name : string; g : float Atomic.t }
 
 type hist = {
   h_name : string;
@@ -18,47 +41,97 @@ type hist = {
 
 type instrument = ICounter of counter | IGauge of gauge | IHist of hist
 
-(* Registration order matters for human-readable dumps. *)
+(* Registration order matters for human-readable dumps. The lock makes
+   registration safe from any domain, though in practice instruments are
+   created at module-init or program-load time on the main domain. *)
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 let order : string list ref = ref []
+let registry_lock = Mutex.create ()
 
 let register_instrument name i =
-  match Hashtbl.find_opt registry name with
-  | Some existing -> existing
-  | None ->
-      Hashtbl.replace registry name i;
-      order := name :: !order;
-      i
+  Mutex.lock registry_lock;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some existing -> existing
+    | None ->
+        Hashtbl.replace registry name i;
+        order := name :: !order;
+        i
+  in
+  Mutex.unlock registry_lock;
+  r
 
 module Counter = struct
   type t = counter
 
+  let fresh name = { c_name = name; c_shards = Atomic.make [| new_shard () |] }
+
   let make ?(register = true) name =
-    if not register then { c_name = name; c = 0 }
+    if not register then fresh name
     else
-      match register_instrument name (ICounter { c_name = name; c = 0 }) with
+      match register_instrument name (ICounter (fresh name)) with
       | ICounter c -> c
       | _ -> invalid_arg ("Obs.Counter.make: " ^ name ^ " is not a counter")
 
-  let[@inline] incr t = t.c <- t.c + 1
-  let[@inline] add t n = t.c <- t.c + n
-  let value t = t.c
-  let reset t = t.c <- 0
+  (* Slow path: extend the outer array with fresh shards so stripe [sid]
+     has a cell. Existing shard objects are shared between the old and new
+     outer arrays, so domains still holding the old array keep writing to
+     live cells. *)
+  let grow t sid =
+    Mutex.lock grow_lock;
+    let a = Atomic.get t.c_shards in
+    let n = Array.length a in
+    let r =
+      if sid < n then a.(sid)
+      else begin
+        let n' = max (sid + 1) (2 * n) in
+        let a' =
+          Array.init n' (fun i -> if i < n then a.(i) else new_shard ())
+        in
+        Atomic.set t.c_shards a';
+        a'.(sid)
+      end
+    in
+    Mutex.unlock grow_lock;
+    r
+
+  let[@inline] shard t =
+    let sid = Domain.DLS.get stripe_key in
+    let a = Atomic.get t.c_shards in
+    if sid < Array.length a then Array.unsafe_get a sid else grow t sid
+
+  let[@inline] incr t =
+    let s = shard t in
+    s.(0) <- s.(0) + 1
+
+  let[@inline] add t n =
+    let s = shard t in
+    s.(0) <- s.(0) + n
+
+  let value t =
+    let a = Atomic.get t.c_shards in
+    let acc = ref 0 in
+    Array.iter (fun s -> acc := !acc + s.(0)) a;
+    !acc
+
+  let reset t = Array.iter (fun s -> s.(0) <- 0) (Atomic.get t.c_shards)
   let name t = t.c_name
 end
 
 module Gauge = struct
   type t = gauge
 
+  let fresh name = { g_name = name; g = Atomic.make 0. }
+
   let make ?(register = true) name =
-    if not register then { g_name = name; g = 0. }
+    if not register then fresh name
     else
-      match register_instrument name (IGauge { g_name = name; g = 0. }) with
+      match register_instrument name (IGauge (fresh name)) with
       | IGauge g -> g
       | _ -> invalid_arg ("Obs.Gauge.make: " ^ name ^ " is not a gauge")
 
-  let[@inline] set t v = t.g <- v
-  let value t = t.g
+  let[@inline] set t v = Atomic.set t.g v
+  let value t = Atomic.get t.g
 end
 
 module Histogram = struct
@@ -151,8 +224,8 @@ let snapshot () =
     (fun name ->
       let v =
         match Hashtbl.find registry name with
-        | ICounter c -> VCounter c.c
-        | IGauge g -> VGauge g.g
+        | ICounter c -> VCounter (Counter.value c)
+        | IGauge g -> VGauge (Gauge.value g)
         | IHist h ->
             VHistogram
               {
@@ -204,7 +277,7 @@ let reset_all () =
   Hashtbl.iter
     (fun _ i ->
       match i with
-      | ICounter c -> c.c <- 0
+      | ICounter c -> Counter.reset c
       | IGauge _ -> ()
       | IHist h ->
           Array.fill h.h_counts 0 (Array.length h.h_counts) 0;

@@ -11,9 +11,10 @@
     Named monotonic {!Counter}s, {!Gauge}s, and latency {!Histogram}s
     register themselves in a global registry at creation ([make] is
     idempotent per name: re-creating returns the existing instrument).
-    Hot paths pay one field increment per event — there is no sampling
-    toggle for counters because an increment is already as cheap as the
-    check would be. {!snapshot} captures the registry, {!diff} subtracts
+    Hot paths pay a few loads and one plain store per event — there is no
+    sampling toggle for counters because an increment is already about as
+    cheap as the check would be. {!snapshot} captures the registry, {!diff}
+    subtracts
     two snapshots (counters and histograms subtract; gauges keep the later
     value), and {!to_text} / {!to_json} export Prometheus-style text and a
     machine-readable JSON report.
@@ -29,6 +30,36 @@
     batch's trigger → statement → stage → shuffle breakdown opens directly
     in [chrome://tracing] / [ui.perfetto.dev]. *)
 
+(** {2 Memory-ordering contract (multicore)}
+
+    Counters are striped: each domain increments a cache-line-padded shard
+    cell it owns exclusively (shard assignment goes through [Domain.DLS],
+    so it is injective by construction), and shard-array growth publishes
+    the new array through an [Atomic.t], which establishes the
+    happens-before needed for its initialized contents. Consequences:
+
+    - {!Counter.incr}/{!Counter.add} from any number of domains
+      concurrently never lose an update and never tear.
+    - {!Counter.value} (and {!snapshot}) may be called concurrently with
+      increments; the result is a sum of per-domain cells, each a plain
+      read, so it can lag in-flight increments but is always a value the
+      counter actually passed through per shard. After a synchronization
+      point that orders all prior increments before the read —
+      [Domain.join], or a {!Divm_par.Par.Pool.run} barrier — the value is
+      exact.
+    - {!Counter.reset}/{!reset_all} are quiescent-only: call them when no
+      other domain is incrementing, or concurrent increments may survive
+      the reset.
+    - {!Gauge.set}/{!Gauge.value} are sequentially-consistent atomics:
+      last-writer-wins, no tearing.
+    - {!Histogram.observe} and the span tracer ({!span}, {!set_attr}) are
+      {b not} domain-safe: they keep single-writer mutable state and must
+      only be driven from one domain (the parallel executors in
+      [Divm_runtime]/[Divm_cluster] fall back to their serial paths while
+      tracing or profiling is enabled).
+    - Instrument registration ([make ~register:true]) is serialized by a
+      lock and safe from any domain. *)
+
 module Counter : sig
   type t
 
@@ -39,8 +70,14 @@ module Counter : sig
 
   val incr : t -> unit
   val add : t -> int -> unit
+
+  (** Sum over per-domain shards; exact once prior increments
+      happen-before the read (see the memory-ordering contract above). *)
   val value : t -> int
+
+  (** Quiescent-only (see the memory-ordering contract above). *)
   val reset : t -> unit
+
   val name : t -> string
 end
 

@@ -5,6 +5,7 @@ open Divm_storage
 open Divm_compiler
 module Obs = Divm_obs.Obs
 module Prof = Divm_obs.Prof
+module Par = Divm_par.Par
 
 (* Registry instruments fed once per batch (never per record op): the
    hot-path counter is the runtime's private [ops] counter, folded into
@@ -40,6 +41,10 @@ type exec_unit = {
   eu_label : string;
   eu_slot : int; (* profiler slot *)
   eu_run : Colbatch.t Lazy.t -> unit;
+  (* domain-parallel executor for the same unit, bound only for vectorized
+     groups when the runtime was created with [domains > 1]; generic
+     statements serialize (see [par_routes]) *)
+  eu_par : (Colbatch.t Lazy.t -> unit) option;
 }
 
 type trigger_exec = {
@@ -54,6 +59,9 @@ type t = {
   mutable cur_tuple : Vtuple.t;
   mutable cur_mult : float;
   ops : Obs.Counter.t; (* per-instance elementary record operations *)
+  domains : int;
+  par : Par.Pool.t option; (* shared domain pool when [domains > 1] *)
+  par_min_rows : int; (* batches below this stay on the serial path *)
   mutable triggers_batch : (string * trigger_exec) list;
   mutable triggers_single : (string * (int * (unit -> unit)) list) list;
 }
@@ -803,7 +811,20 @@ type gslice = {
   mutable gs_uses : int;
 }
 
-let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
+(* The static shape of a group: which source columns the compacted batch
+   keeps and how they are ordered. Shared by every execution instance of
+   the group (the serial driver binds one, the parallel driver one per
+   domain). *)
+type gshape = {
+  sh_src : vsource;
+  sh_width : int; (* source width *)
+  sh_sk : int array; (* grouping-key columns *)
+  sh_rest : int array;
+  sh_sel : int array;
+  sh_cpos : int array; (* original source column -> compacted column *)
+}
+
+let group_shape (ps : vplan list) =
   let src = (List.hd ps).vp_source in
   let src_width = List.length src.vs_vars in
   let addu l p = if not (List.mem p !l) then l := p :: !l in
@@ -819,9 +840,36 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
       (List.sort compare (List.filter (fun c -> not (List.mem c !keyc)) !usedc))
   in
   let sel = Array.append sk rest in
-  (* original source column -> compacted column *)
   let cpos = Array.make src_width (-1) in
   Array.iteri (fun i c -> cpos.(c) <- i) sel;
+  {
+    sh_src = src;
+    sh_width = src_width;
+    sh_sk = sk;
+    sh_rest = rest;
+    sh_sel = sel;
+    sh_cpos = cpos;
+  }
+
+(* One independent execution instance of a group: its own batch cursor,
+   accessor caches, auxiliary slots, and scratch — so instances on
+   different domains share nothing but the read-only compacted columns
+   and the store pools they probe. [buffered] gives each member a private
+   [Gmr] output buffer (paired with its merge target) instead of writing
+   the target pool directly; the parallel driver merges the buffers
+   serially after the barrier. *)
+type ginst = {
+  gi_ctx : vctx;
+  gi_runs : (unit -> unit) array;
+  gi_gaccs : gacc array;
+  gi_gslices : gslice array;
+  gi_bufs : (Pool.t * Gmr.t) array; (* per member, only when buffered *)
+  gi_clears : Pool.t list; (* Assign targets, cleared before any run *)
+}
+
+let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
+    ginst =
+  let cpos = shape.sh_cpos in
   let ctx = { vc_cols = [||]; vc_mults = [||]; vc_counts = [||]; vc_row = 0 } in
   let gaccs = ref [] in
   let gacc_for map cols =
@@ -872,6 +920,7 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
         g
   in
   let ops = rt.ops in
+  let bufs = ref [] in
   let bind_member (p : vplan) =
     let accs =
       Array.of_list
@@ -964,11 +1013,22 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
     let tk = Array.of_list (List.map reader_of p.vp_tkey) in
     let tw = Array.length tk in
     let scratch = Array.make tw (Value.Int 0) in
-    let emit m =
-      for j = 0 to tw - 1 do
-        Array.unsafe_set scratch j ((Array.unsafe_get tk j) ())
-      done;
-      Pool.add_borrow target scratch m
+    let emit =
+      if buffered then begin
+        let buf = Gmr.create () in
+        bufs := (target, buf) :: !bufs;
+        fun m ->
+          for j = 0 to tw - 1 do
+            Array.unsafe_set scratch j ((Array.unsafe_get tk j) ())
+          done;
+          Gmr.add_borrow buf scratch m
+      end
+      else
+        fun m ->
+          for j = 0 to tw - 1 do
+            Array.unsafe_set scratch j ((Array.unsafe_get tk j) ())
+          done;
+          Pool.add_borrow target scratch m
     in
     let rec chain steps (k : float -> unit) : float -> unit =
       match steps with
@@ -1048,12 +1108,17 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
     ((if clear then Some target else None), run)
   in
   let members = List.map bind_member ps in
-  let runs = Array.of_list (List.map snd members) in
-  let clears = List.filter_map fst members in
-  let gacc_arr = Array.of_list !gaccs in
-  let gsl_arr = Array.of_list !gslices in
-  let resolve_slice gs =
-    gs.gs_n <- 0;
+  {
+    gi_ctx = ctx;
+    gi_runs = Array.of_list (List.map snd members);
+    gi_gaccs = Array.of_list !gaccs;
+    gi_gslices = Array.of_list !gslices;
+    gi_bufs = Array.of_list (List.rev !bufs);
+    gi_clears = List.filter_map fst members;
+  }
+
+let resolve_slice ctx gs =
+  gs.gs_n <- 0;
     let push key m =
       if gs.gs_n >= Array.length gs.gs_keys then begin
         let cap = max 16 (2 * Array.length gs.gs_keys) in
@@ -1081,37 +1146,91 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
                 ok := false
             done;
             if !ok then push key m)
-  in
+
+(* Run one instance straight over compacted rows [lo, hi) (the no-access
+   fast path: nothing to resolve per group). *)
+let run_rows (inst : ginst) lo hi =
+  let ctx = inst.gi_ctx in
+  let runs = inst.gi_runs in
   let nm = Array.length runs in
+  for r = lo to hi - 1 do
+    ctx.vc_row <- r;
+    for i = 0 to nm - 1 do
+      runs.(i) ()
+    done
+  done
+
+(* Run one instance over key groups [glo, ghi): resolve the shared
+   accessors once per group, then fire every member per row. Returns the
+   probes-saved count for the range. *)
+let run_groups (inst : ginst) starts (counts : float array) glo ghi =
+  let ctx = inst.gi_ctx in
+  let runs = inst.gi_runs in
+  let nm = Array.length runs in
+  let saved = ref 0 in
+  for g = glo to ghi - 1 do
+    let lo = starts.(g) and hi = starts.(g + 1) in
+    ctx.vc_row <- lo;
+    (* the row-at-a-time path would have probed per source row per
+       reference; the group resolves each accessor exactly once *)
+    let orig = ref 0. in
+    for r = lo to hi - 1 do
+      orig := !orig +. counts.(r)
+    done;
+    let orig = int_of_float !orig in
+    Array.iter
+      (fun a ->
+        let kw = Array.length a.ga_key in
+        for j = 0 to kw - 1 do
+          a.ga_scratch.(j) <- ctx.vc_cols.(a.ga_key.(j)).(lo)
+        done;
+        a.ga_val <- Pool.get a.ga_pool a.ga_scratch;
+        saved := !saved + (a.ga_uses * orig) - 1)
+      inst.gi_gaccs;
+    Array.iter
+      (fun gs ->
+        resolve_slice ctx gs;
+        saved := !saved + (gs.gs_uses * orig) - 1)
+      inst.gi_gslices;
+    for r = lo to hi - 1 do
+      ctx.vc_row <- r;
+      for i = 0 to nm - 1 do
+        runs.(i) ()
+      done
+    done
+  done;
+  !saved
+
+let source_colbatch rt (shape : gshape) raw =
+  if shape.sh_src.vs_batch then Lazy.force raw
+  else
+    let p = pool rt shape.sh_src.vs_name in
+    Colbatch.of_iter ~width:shape.sh_width ~count:(Pool.cardinal p) (fun f ->
+        Pool.foreach p f)
+
+let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
+  let shape = group_shape ps in
+  let inst = bind_instance rt ~shape ~buffered:false ps in
+  let ctx = inst.gi_ctx in
+  let clears = inst.gi_clears in
   (* No store accessors means grouping has nothing to amortize: skip the
      sort-based compaction and run the members straight over the batch
      rows (each batch/pool row is a distinct tuple, so per-row support
      counts are 1). *)
-  let no_access = gacc_arr = [||] && gsl_arr = [||] in
+  let no_access = inst.gi_gaccs = [||] && inst.gi_gslices = [||] in
   let ones = ref [||] in
   let ones_of n =
     if Array.length !ones < n then ones := Array.make (max n 1024) 1.;
     !ones
   in
   if no_access then fun raw ->
-    let cb =
-      if src.vs_batch then Lazy.force raw
-      else
-        let p = pool rt src.vs_name in
-        Colbatch.of_iter ~width:src_width ~count:(Pool.cardinal p)
-          (fun f -> Pool.foreach p f)
-    in
+    let cb = source_colbatch rt shape raw in
     List.iter Pool.clear clears;
     let n = Colbatch.length cb in
-    ctx.vc_cols <- Array.map (fun c -> Colbatch.column cb c) sel;
+    ctx.vc_cols <- Array.map (fun c -> Colbatch.column cb c) shape.sh_sel;
     ctx.vc_mults <- Colbatch.mults cb;
     ctx.vc_counts <- ones_of n;
-    for r = 0 to n - 1 do
-      ctx.vc_row <- r;
-      for i = 0 to nm - 1 do
-        runs.(i) ()
-      done
-    done;
+    run_rows inst 0 n;
     (* an Assign member's freshly-cleared target now holds exactly the
        distinct rows of the batch under that statement's key set: the
        difference is the per-statement batch compaction *)
@@ -1119,59 +1238,128 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
       (fun p -> Obs.Counter.add m_rows_compacted (max 0 (n - Pool.cardinal p)))
       clears
   else fun raw ->
-    let cb =
-      if src.vs_batch then Lazy.force raw
-      else
-        let p = pool rt src.vs_name in
-        Colbatch.of_iter ~width:src_width ~count:(Pool.cardinal p)
-          (fun f -> Pool.foreach p f)
-    in
+    let cb = source_colbatch rt shape raw in
     List.iter Pool.clear clears;
-    let comp, starts, counts = Colbatch.compact_group cb ~key:sk ~rest in
+    let comp, starts, counts =
+      Colbatch.compact_group cb ~key:shape.sh_sk ~rest:shape.sh_rest
+    in
     Obs.Counter.add m_rows_compacted
       (Colbatch.length cb - Colbatch.length comp);
-    ctx.vc_cols <- Array.init (Array.length sel) (Colbatch.column comp);
+    ctx.vc_cols <-
+      Array.init (Array.length shape.sh_sel) (Colbatch.column comp);
     ctx.vc_mults <- Colbatch.mults comp;
     ctx.vc_counts <- counts;
-    let saved = ref 0 in
-    for g = 0 to Array.length starts - 2 do
-      let lo = starts.(g) and hi = starts.(g + 1) in
-      ctx.vc_row <- lo;
-      (* the row-at-a-time path would have probed per source row per
-         reference; the group resolves each accessor exactly once *)
-      let orig = ref 0. in
-      for r = lo to hi - 1 do
-        orig := !orig +. counts.(r)
+    let saved = run_groups inst starts counts 0 (Array.length starts - 1) in
+    Obs.Counter.add m_probes_saved saved
+
+(* Domain-parallel driver for one vectorized group (§6's argument applied
+   locally): D shared-nothing instances run disjoint contiguous ranges of
+   the same compacted batch, emitting into private per-member buffers,
+   which then merge serially into the target pools by ring [+]. Sound for
+   every plannable group because a vectorized statement never reads its
+   own target ([plan_stmt_exn]) and no member writes a pool any member
+   probes ([fuse_ok]) — so during the fan-out, store pools are read-only
+   and all writes land in domain-private buffers. Counter totals (ops,
+   probes, rows compacted, probes saved) are identical to the serial
+   driver's: the same groups resolve the same accessors, only on
+   different domains. *)
+let bind_group_par (rt : t) (pl : Par.Pool.t) (ps : vplan list) :
+    Colbatch.t Lazy.t -> unit =
+  let d = rt.domains in
+  let shape = group_shape ps in
+  let insts =
+    Array.init d (fun _ -> bind_instance rt ~shape ~buffered:true ps)
+  in
+  let inst0 = insts.(0) in
+  (* Assign targets are shared pools: every instance lists the same ones *)
+  let clears = inst0.gi_clears in
+  let no_access = inst0.gi_gaccs = [||] && inst0.gi_gslices = [||] in
+  let merge () =
+    Array.iter
+      (fun inst ->
+        Array.iter
+          (fun (target, buf) ->
+            Gmr.iter (fun key m -> Pool.add target key m) buf;
+            Gmr.clear buf)
+          inst.gi_bufs)
+      insts
+  in
+  let ones = ref [||] in
+  let ones_of n =
+    if Array.length !ones < n then ones := Array.make (max n 1024) 1.;
+    !ones
+  in
+  if no_access then fun raw ->
+    let cb = source_colbatch rt shape raw in
+    List.iter Pool.clear clears;
+    let n = Colbatch.length cb in
+    let cols = Array.map (fun c -> Colbatch.column cb c) shape.sh_sel in
+    let mults = Colbatch.mults cb in
+    let counts = ones_of n in
+    let tasks =
+      Array.init d (fun di ->
+          let lo = di * n / d and hi = (di + 1) * n / d in
+          fun () ->
+            let inst = insts.(di) in
+            let ctx = inst.gi_ctx in
+            ctx.vc_cols <- cols;
+            ctx.vc_mults <- mults;
+            ctx.vc_counts <- counts;
+            run_rows inst lo hi)
+    in
+    Par.Pool.run pl tasks;
+    merge ();
+    List.iter
+      (fun p -> Obs.Counter.add m_rows_compacted (max 0 (n - Pool.cardinal p)))
+      clears
+  else fun raw ->
+    let cb = source_colbatch rt shape raw in
+    List.iter Pool.clear clears;
+    let comp, starts, counts =
+      Colbatch.compact_group cb ~key:shape.sh_sk ~rest:shape.sh_rest
+    in
+    Obs.Counter.add m_rows_compacted
+      (Colbatch.length cb - Colbatch.length comp);
+    let cols = Array.init (Array.length shape.sh_sel) (Colbatch.column comp) in
+    let mults = Colbatch.mults comp in
+    let ng = Array.length starts - 1 in
+    (* contiguous group ranges, balanced by compacted row count (group
+       boundaries must not split: an accessor is resolved once per group) *)
+    let bounds = Array.make (d + 1) ng in
+    bounds.(0) <- 0;
+    let total = Colbatch.length comp in
+    let gi = ref 0 in
+    for di = 1 to d - 1 do
+      let row_target = di * total / d in
+      while !gi < ng && starts.(!gi) < row_target do
+        incr gi
       done;
-      let orig = int_of_float !orig in
-      Array.iter
-        (fun a ->
-          let kw = Array.length a.ga_key in
-          for j = 0 to kw - 1 do
-            a.ga_scratch.(j) <- ctx.vc_cols.(a.ga_key.(j)).(lo)
-          done;
-          a.ga_val <- Pool.get a.ga_pool a.ga_scratch;
-          saved := !saved + (a.ga_uses * orig) - 1)
-        gacc_arr;
-      Array.iter
-        (fun gs ->
-          resolve_slice gs;
-          saved := !saved + (gs.gs_uses * orig) - 1)
-        gsl_arr;
-      for r = lo to hi - 1 do
-        ctx.vc_row <- r;
-        for i = 0 to nm - 1 do
-          runs.(i) ()
-        done
-      done
+      bounds.(di) <- !gi
     done;
-    Obs.Counter.add m_probes_saved !saved
+    let saved = Array.make d 0 in
+    let tasks =
+      Array.init d (fun di () ->
+          let inst = insts.(di) in
+          let ctx = inst.gi_ctx in
+          ctx.vc_cols <- cols;
+          ctx.vc_mults <- mults;
+          ctx.vc_counts <- counts;
+          saved.(di) <-
+            run_groups inst starts counts bounds.(di) bounds.(di + 1))
+    in
+    Par.Pool.run pl tasks;
+    merge ();
+    Obs.Counter.add m_probes_saved (Array.fold_left ( + ) 0 saved)
 
 (* ------------------------------------------------------------------ *)
 (* Program loading                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
+let create ?(auto_index = true) ?(columnar = true) ?domains
+    ?(par_min_rows = 128) (prog : Prog.t) =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Par.default_domains ()
+  in
   let slice_patterns = if auto_index then Patterns.slices prog else [] in
   let batch_patterns = if auto_index then Patterns.batch_slices prog else [] in
   let pools = Hashtbl.create 32 in
@@ -1204,6 +1392,9 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
       cur_tuple = Vtuple.empty;
       cur_mult = 0.;
       ops = Obs.Counter.make ~register:false "runtime_record_ops";
+      domains;
+      par = (if domains > 1 then Some (Par.get ~domains) else None);
+      par_min_rows;
       triggers_batch = [];
       triggers_single = [];
     }
@@ -1228,6 +1419,7 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
                     eu_label = label;
                     eu_slot = Prof.slot ~trigger:tr.relation ~label;
                     eu_run = (fun _ -> f ());
+                    eu_par = None;
                   }
               | UGroup ps ->
                   let label = route_label_of_group ps in
@@ -1235,6 +1427,10 @@ let create ?(auto_index = true) ?(columnar = true) (prog : Prog.t) =
                     eu_label = label;
                     eu_slot = Prof.slot ~trigger:tr.relation ~label;
                     eu_run = bind_group rt ps;
+                    eu_par =
+                      (match rt.par with
+                      | Some pl -> Some (bind_group_par rt pl ps)
+                      | None -> None);
                   })
             units
         in
@@ -1323,6 +1519,17 @@ let run_attributed rt ~label ~slot f =
   if Prof.enabled () then Obs.span label (fun () -> attributed rt slot f)
   else Obs.span label f
 
+(* Parallel execution excludes itself while any single-writer observer is
+   live: the profiler's slot arrays, the span tracer's stack, and the
+   cachesim's trace sink all keep global mutable state (see obs.mli's
+   memory-ordering contract). Those runs take the serial path, which also
+   keeps their exact-equality reconciliations trivially intact. *)
+let par_active rt =
+  rt.par <> None
+  && (not (Prof.enabled ()))
+  && (not (Obs.tracing ()))
+  && not (Trace.enabled ())
+
 let apply_batch rt ~rel batch =
   let tx =
     match List.assoc_opt rel rt.triggers_batch with
@@ -1331,6 +1538,7 @@ let apply_batch rt ~rel batch =
   in
   let t0 = Unix.gettimeofday () in
   let ops0 = Obs.Counter.value rt.ops in
+  let use_par = par_active rt && Gmr.cardinal batch >= rt.par_min_rows in
   Obs.span ("trigger:" ^ rel) (fun () ->
       (* the batch pool only matters to generic statements; fully
          vectorized triggers skip the per-tuple load entirely *)
@@ -1343,8 +1551,13 @@ let apply_batch rt ~rel batch =
       let raw = lazy (Colbatch.of_gmr ~width batch) in
       List.iter
         (fun u ->
+          let run =
+            match u.eu_par with
+            | Some pf when use_par -> pf
+            | _ -> u.eu_run
+          in
           run_attributed rt ~label:u.eu_label ~slot:u.eu_slot (fun () ->
-              u.eu_run raw))
+              run raw))
         tx.tx_units);
   report rt ~ops0 ~tuples:(Gmr.cardinal batch) ~t0 ~single:false
 
@@ -1401,6 +1614,7 @@ let result rt qname =
 
 let ops (rt : t) = Obs.Counter.value rt.ops
 let reset_ops (rt : t) = Obs.Counter.reset rt.ops
+let domains (rt : t) = rt.domains
 
 (* Per trigger, each statement (in original order) paired with the route
    label batch mode gives it: "stmt:T" for the generic closure path,
@@ -1420,6 +1634,40 @@ let stmt_routes (prog : Prog.t) : (string * (Prog.stmt * string) list) list =
                 List.map (fun (p : vplan) -> (p.vp_stmt, lbl)) ps)
           (plan_trigger prog tr) ))
     prog.Prog.triggers
+
+(* Per-statement multicore decision, from the same planner and access
+   analysis EXPLAIN uses: every vectorized group fans its batch ranges out
+   over domains and merges per-domain partial deltas by ring [+]; every
+   generic statement serializes on the applying domain, and the reason
+   names what defeats vectorization — the self-read, or the first
+   unbindable full-map scan ([Patterns.Foreach] over a store map). *)
+let par_routes (prog : Prog.t) : (string * (Prog.stmt * string) list) list =
+  List.map
+    (fun (rel, stmts) ->
+      ( rel,
+        List.map
+          (fun ((s : Prog.stmt), lbl) ->
+            let generic =
+              String.length lbl >= 5
+              && String.equal (String.sub lbl 0 5) "stmt:"
+            in
+            let decision =
+              if not generic then "parallel"
+              else if List.mem s.target (Calc.map_refs s.rhs) then
+                "serialize: reads own target"
+              else
+                match
+                  List.find_opt
+                    (fun (a : Patterns.access) ->
+                      a.acc_kind = `Map && a.acc_path = Patterns.Foreach)
+                    (Patterns.accesses s)
+                with
+                | Some a -> "serialize: full scan of " ^ a.acc_name
+                | None -> "serialize: not vectorizable"
+            in
+            (s, decision))
+          stmts ))
+    (stmt_routes prog)
 
 (* The (trigger relation, target) pairs batch mode routes through the
    vectorized executor, exposed for EXPLAIN and its tests. *)

@@ -36,9 +36,34 @@ type batch_report = {
     routes supported batch pre-aggregations through the §5.2.2 columnar
     path: the batch is transposed once, static conditions scan single
     columns, and projected rows aggregate straight into the transient
-    pool. *)
-val create : ?auto_index:bool -> ?columnar:bool -> Prog.t -> t
+    pool.
+
+    [domains] (default: the [DIVM_DOMAINS] environment variable, else 1)
+    enables domain-parallel batch execution: each vectorized statement
+    group fans disjoint ranges of the compacted batch out over the shared
+    {!Divm_par.Par} pool, every domain running its own instance of the
+    compiled group lock-free (store pools are read-only during the
+    fan-out; all writes land in domain-private buffers merged serially by
+    ring [+] after the barrier). Generic statements serialize — see
+    {!par_routes} for the per-statement decision. Results are exact for
+    integer multiplicities; float stores can differ from the serial path
+    by summation order within [Gmr.zero_eps]-style epsilons, exactly like
+    the columnar on/off contract. Batches smaller than [par_min_rows]
+    (default 128) stay serial, as do all firings while the profiler,
+    span tracer, or cachesim trace sink is enabled (their state is
+    single-writer). *)
+val create :
+  ?auto_index:bool ->
+  ?columnar:bool ->
+  ?domains:int ->
+  ?par_min_rows:int ->
+  Prog.t ->
+  t
+
 val prog : t -> Prog.t
+
+(** Domain count this runtime was created with (1 = serial). *)
+val domains : t -> int
 
 (** Fire the batch trigger for [rel]. Under [Obs.set_tracing true] the
     firing produces a [trigger:rel] span with one nested span per
@@ -91,6 +116,15 @@ val stmt_routes : Prog.t -> (string * (Prog.stmt * string) list) list
 (** The (trigger relation, statement target) pairs that batch mode routes
     through the vectorized executor (any non-["stmt:"] label above). *)
 val columnar_routed : Prog.t -> (string * string) list
+
+(** Per trigger, each statement paired with its multicore execution
+    decision, derived from the same planner as {!stmt_routes}:
+    ["parallel"] for vectorized groups (batch ranges fan out over domains,
+    per-domain partial deltas merge by ring [+]), or a
+    ["serialize: <reason>"] naming what pins the statement to the applying
+    domain (a self-reading RHS, or a full scan of a store map that the
+    {!Patterns.accesses} analysis could not bind). *)
+val par_routes : Prog.t -> (string * (Prog.stmt * string) list) list
 
 (** Per-pool storage self-metrics (maps first, then [batch_*] update
     pools), also published as registry gauges ({!Pool.observe}). Computed

@@ -57,7 +57,7 @@ let drop_slot r s =
 let upsert ~copy r tup m =
   if not (is_zero m) then begin
     let h = Oaidx.hash tup in
-    let s = Oaidx.find r.idx r.keys h tup in
+    let s = Oaidx.find_latched r.idx r.keys h tup in
     if s >= 0 then begin
       let m' = r.mults.(s) +. m in
       if is_zero m' then drop_slot r s else r.mults.(s) <- m'
@@ -76,7 +76,7 @@ let add_borrow r tup m = upsert ~copy:true r tup m
 
 let set r tup m =
   let h = Oaidx.hash tup in
-  let s = Oaidx.find r.idx r.keys h tup in
+  let s = Oaidx.find_latched r.idx r.keys h tup in
   if s >= 0 then begin
     if is_zero m then drop_slot r s else r.mults.(s) <- m
   end

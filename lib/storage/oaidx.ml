@@ -34,7 +34,27 @@ let hash (k : Vtuple.t) =
   let h = h lxor (h lsr 29) in
   if h = 0 then 0x2545F491 else h
 
+(* Side-effect-free probe: safe for concurrent readers of a shared table
+   (the parallel batch executor probes store pools from many domains).
+   Write paths use [find_latched], which additionally records the bucket
+   where the probe ended for the follow-up [add_latched]/[remove_latched]. *)
 let find t (keys : Vtuple.t array) h (k : Vtuple.t) =
+  let mask = t.mask in
+  let hashes = t.hashes and slots = t.slots in
+  let i = ref (h land mask) in
+  let res = ref (-2) in
+  while !res = -2 do
+    let hb = Array.unsafe_get hashes !i in
+    if hb = 0 then res := -1
+    else if
+      hb = h
+      && Vtuple.equal (Array.unsafe_get keys (Array.unsafe_get slots !i)) k
+    then res := Array.unsafe_get slots !i
+    else i := (!i + 1) land mask
+  done;
+  !res
+
+let find_latched t (keys : Vtuple.t array) h (k : Vtuple.t) =
   let mask = t.mask in
   let hashes = t.hashes and slots = t.slots in
   let i = ref (h land mask) in

@@ -11,17 +11,23 @@
 
     {[
       let h = Oaidx.hash key in
-      match Oaidx.find idx keys h key with
-      | -1 ->                         (* miss: [find] latched the bucket *)
+      match Oaidx.find_latched idx keys h key with
+      | -1 ->                         (* miss: the bucket is latched *)
           let slot = (* allocate; write key/value *) in
           Oaidx.add_latched idx h slot
       | slot ->                       (* hit: update in place, or *)
           Oaidx.remove_latched idx    (* delete with no second probe *)
     ]}
 
-    [add_latched]/[remove_latched] must immediately follow the [find] that
-    latched the bucket, with no intervening operation on the index. Not
-    thread-safe. *)
+    [add_latched]/[remove_latched] must immediately follow the
+    [find_latched] that latched the bucket, with no intervening operation
+    on the index.
+
+    Concurrency: {!find} is side-effect free, so any number of domains may
+    probe a quiescent (not concurrently mutated) table; the latch lives in
+    per-table state, which is why read paths must use {!find} and only
+    single-owner write paths may use {!find_latched}. Mutation is
+    single-writer, with no concurrent readers. *)
 
 open Divm_ring
 
@@ -35,8 +41,14 @@ val cardinal : t -> int
 val hash : Vtuple.t -> int
 
 (** [find t keys h k] returns the slot mapped to [k] (compared via
-    [keys.(slot)]), or [-1]. Latches the final probe bucket. *)
+    [keys.(slot)]), or [-1]. Pure probe: no latch, safe for concurrent
+    readers. *)
 val find : t -> Vtuple.t array -> int -> Vtuple.t -> int
+
+(** Like {!find}, and additionally latches the final probe bucket for an
+    immediately-following {!add_latched}/{!remove_latched}. Single-owner
+    write paths only. *)
+val find_latched : t -> Vtuple.t array -> int -> Vtuple.t -> int
 
 (** Insert at the bucket latched by a missing [find]. Grows (and
     re-probes internally) when the load factor would exceed 1/2. *)

@@ -131,7 +131,7 @@ let sec_insert t slot key =
       let sub = Vtuple.project key sec.positions in
       let h = Oaidx.hash sub in
       let ss =
-        let ss = Oaidx.find sec.idx sec.sub_keys h sub in
+        let ss = Oaidx.find_latched sec.idx sec.sub_keys h sub in
         if ss >= 0 then ss
         else begin
           let ss =
@@ -172,7 +172,7 @@ let sec_remove t slot =
       if Intvec.is_empty b then begin
         (* retire the sub-key entry so churn cannot accumulate garbage *)
         let h = sec.sub_hashes.(ss) in
-        ignore (Oaidx.find sec.idx sec.sub_keys h sec.sub_keys.(ss));
+        ignore (Oaidx.find_latched sec.idx sec.sub_keys h sec.sub_keys.(ss));
         Oaidx.remove_latched sec.idx;
         sec.sub_keys.(ss) <- Vtuple.empty;
         Intvec.push sec.sec_free ss
@@ -221,7 +221,7 @@ let upsert ~copy t key m =
     let h = Oaidx.hash key in
     if Trace.enabled () then
       Trace.emit (t.unique_base + ((h land 0xffff) * 8)) Trace.Read;
-    let slot = Oaidx.find t.unique t.keys h key in
+    let slot = Oaidx.find_latched t.unique t.keys h key in
     if slot < 0 then insert_latched ~copy t h key m
     else begin
       let v = t.values.(slot) +. m in
@@ -238,7 +238,7 @@ let set t key m =
   let h = Oaidx.hash key in
   if Trace.enabled () then
     Trace.emit (t.unique_base + ((h land 0xffff) * 8)) Trace.Read;
-  let slot = Oaidx.find t.unique t.keys h key in
+  let slot = Oaidx.find_latched t.unique t.keys h key in
   if slot < 0 then begin
     if Float.abs m >= Mult.zero_eps then insert_latched ~copy:false t h key m
   end

@@ -1,0 +1,187 @@
+(* Multicore layer: the Par pool contract, the Obs counter/gauge
+   memory-ordering contract hammered from real domains, and the cluster
+   simulator's cost-model determinism at any domain count. *)
+open Divm_ring
+open Divm_storage
+open Divm_calc.Calc
+open Divm_compiler
+open Divm_dist
+open Divm_runtime
+open Divm_cluster
+module Obs = Divm_obs.Obs
+module Par = Divm_par.Par
+
+(* ------------------------------------------------------------------ *)
+(* Obs domain safety                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_hammer () =
+  (* 4 domains x 250k unsynchronized increments: striped shards must lose
+     nothing, and Domain.join is the happens-before point that makes
+     [value] exact. *)
+  let c = Obs.Counter.make ~register:false "par_test_hammer" in
+  let per = 250_000 and d = 4 in
+  let doms =
+    Array.init d (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Obs.Counter.incr c
+            done))
+  in
+  Array.iter Domain.join doms;
+  Alcotest.(check int) "no lost updates" (per * d) (Obs.Counter.value c);
+  Obs.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Obs.Counter.value c);
+  (* mixed incr/add from fresh domains after a reset *)
+  let doms =
+    Array.init d (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1_000 do
+              Obs.Counter.add c 3
+            done))
+  in
+  Array.iter Domain.join doms;
+  Alcotest.(check int) "add after reset" (3_000 * d) (Obs.Counter.value c)
+
+let test_gauge_domains () =
+  let g = Obs.Gauge.make ~register:false "par_test_gauge" in
+  let doms =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () -> Obs.Gauge.set g (float_of_int i)))
+  in
+  Array.iter Domain.join doms;
+  let v = Obs.Gauge.value g in
+  Alcotest.(check bool) "last-writer value" true (v >= 0. && v <= 3.)
+
+(* ------------------------------------------------------------------ *)
+(* Par pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_runs_all () =
+  let pl = Par.get ~domains:4 in
+  let n = 64 in
+  let hit = Array.make n 0 in
+  Par.Pool.run pl (Array.init n (fun i () -> hit.(i) <- hit.(i) + 1));
+  Alcotest.(check (array int)) "each task exactly once" (Array.make n 1) hit
+
+let test_pool_reuse () =
+  (* back-to-back runs on the shared pool, like a batch stream *)
+  let pl = Par.get ~domains:2 in
+  let acc = ref 0 in
+  for _ = 1 to 50 do
+    let part = Array.make 8 0 in
+    Par.Pool.run pl (Array.init 8 (fun i () -> part.(i) <- i));
+    acc := !acc + Array.fold_left ( + ) 0 part
+  done;
+  Alcotest.(check int) "50 barriers" (50 * 28) !acc
+
+let test_pool_exception () =
+  let pl = Par.get ~domains:2 in
+  let ran = Array.make 4 false in
+  (match
+     Par.Pool.run pl
+       (Array.init 4 (fun i () ->
+            ran.(i) <- true;
+            if i = 2 then failwith "task boom"))
+   with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "re-raised" "task boom" m);
+  (* the barrier still completed: every task ran, and the pool survives *)
+  Alcotest.(check (array bool)) "all tasks ran" (Array.make 4 true) ran;
+  let ok = Array.make 3 false in
+  Par.Pool.run pl (Array.init 3 (fun i () -> ok.(i) <- true));
+  Alcotest.(check (array bool)) "pool usable after" (Array.make 3 true) ok
+
+let test_pool_growth () =
+  let pl = Par.get ~domains:2 in
+  let pl' = Par.get ~domains:3 in
+  Alcotest.(check bool) "shared pool instance" true (pl == pl');
+  Alcotest.(check bool) "grown to max requested" true (Par.Pool.domains pl >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster cost-model determinism                                      *)
+(* ------------------------------------------------------------------ *)
+
+let i x = Value.Int x
+let va = Schema.var "A"
+let vb = Schema.var "B"
+let vc = Schema.var "C"
+let vd = Schema.var "D"
+let streams_rst = [ ("R", [ va; vb ]); ("S", [ vb; vc ]); ("T", [ vc; vd ]) ]
+
+let q_running =
+  sum [ vb ]
+    (prod [ rel "R" [ va; vb ]; rel "S" [ vb; vc ]; rel "T" [ vc; vd ] ])
+
+let mk2 l =
+  Gmr.of_list (List.map (fun (a, b, m) -> ([| i a; i b |], m)) l)
+
+let batches_running =
+  [
+    ("R", mk2 [ (1, 10, 1.); (2, 10, 1.); (4, 30, 1.) ]);
+    ("S", mk2 [ (10, 100, 1.); (20, 200, 2.); (30, 100, 1.) ]);
+    ("T", mk2 [ (100, 7, 1.); (200, 8, 1.) ]);
+    ("R", mk2 [ (3, 20, 2.); (1, 10, -1.) ]);
+    ("S", mk2 [ (20, 100, 1.); (10, 100, -1.) ]);
+    ("T", mk2 [ (100, 9, 3.); (200, 8, -1.) ]);
+  ]
+
+let bits = Int64.bits_of_float
+
+let test_cluster_determinism () =
+  (* Same distributed program, same batches, 1 vs 4 execution domains:
+     the modeled cost must be bit-identical per batch (the model is a
+     serial reduction over per-worker op counts), and the final state
+     equal. *)
+  let prog = Compile.compile ~streams:streams_rst [ ("Q", q_running) ] in
+  let catalog = Loc.heuristic ~keys:[ "B"; "C" ] prog in
+  let dp =
+    Distribute.compile
+      ~options:{ Distribute.level = 3; delta_at = `Workers }
+      ~catalog prog
+  in
+  let mk d = Cluster.create ~config:(Cluster.config ~workers:5 ()) ~domains:d dp in
+  let c1 = mk 1 and c4 = mk 4 in
+  List.iter
+    (fun (rel, b) ->
+      let m1 = Cluster.apply_batch c1 ~rel (Gmr.copy b) in
+      let m4 = Cluster.apply_batch c4 ~rel (Gmr.copy b) in
+      Alcotest.(check int64)
+        "modeled latency bit-identical" (bits m1.Cluster.latency)
+        (bits m4.Cluster.latency);
+      Alcotest.(check int) "stages" m1.Cluster.stages m4.Cluster.stages;
+      Alcotest.(check int) "bytes shuffled" m1.Cluster.bytes_shuffled
+        m4.Cluster.bytes_shuffled;
+      Alcotest.(check int) "max worker ops" m1.Cluster.max_worker_ops
+        m4.Cluster.max_worker_ops;
+      Alcotest.(check int) "driver ops" m1.Cluster.driver_ops
+        m4.Cluster.driver_ops)
+    batches_running;
+  Alcotest.(check bool) "results equal" true
+    (Gmr.equal (Cluster.result c1 "Q") (Cluster.result c4 "Q"))
+
+let test_runtime_domains_accessor () =
+  let prog = Compile.compile ~streams:streams_rst [ ("Q", q_running) ] in
+  let rt = Runtime.create ~domains:3 prog in
+  Alcotest.(check int) "domains recorded" 3 (Runtime.domains rt);
+  let rt1 = Runtime.create ~domains:1 prog in
+  Alcotest.(check int) "serial" 1 (Runtime.domains rt1)
+
+let suites =
+  [
+    ( "par",
+      [
+        Alcotest.test_case "counter hammer (4 domains)" `Quick
+          test_counter_hammer;
+        Alcotest.test_case "gauge across domains" `Quick test_gauge_domains;
+        Alcotest.test_case "pool runs every task" `Quick test_pool_runs_all;
+        Alcotest.test_case "pool barrier reuse" `Quick test_pool_reuse;
+        Alcotest.test_case "pool exception propagation" `Quick
+          test_pool_exception;
+        Alcotest.test_case "shared pool growth" `Quick test_pool_growth;
+        Alcotest.test_case "cluster cost model deterministic" `Quick
+          test_cluster_determinism;
+        Alcotest.test_case "runtime domains accessor" `Quick
+          test_runtime_domains_accessor;
+      ] );
+  ]

@@ -195,6 +195,64 @@ let qcheck_columnar_equiv =
         queries;
       true)
 
+(* Domain-parallel executor equivalence: the same random TPC-H stream
+   replayed through serial and parallel runtimes must leave every
+   non-transient store identical (exactly for integer multiplicities,
+   within summation-order epsilon for float aggregates — the same
+   contract as columnar on/off). [par_min_rows:1] forces even the
+   smallest random batches through the parallel fan-out. *)
+let qcheck_parallel_equiv =
+  let module Workload = Divm_workload.Workload in
+  let module Tpch = Divm_tpch in
+  let queries =
+    [ "Q1"; "Q3"; "Q4"; "Q6"; "Q7"; "Q12"; "Q13"; "Q14"; "Q17"; "Q19"; "Q22" ]
+  in
+  let arb =
+    QCheck.(
+      make
+        ~print:(Print.pair Print.int Print.int)
+        Gen.(pair (int_range 0 10_000) (int_range 1 40)))
+  in
+  QCheck.Test.make
+    ~name:"parallel (2,4 domains) stores agree with serial on TPC-H streams"
+    ~count:4 arb
+    (fun (seed, batch_size) ->
+      let stream =
+        Tpch.Gen.stream { Tpch.Gen.scale = 0.03; seed } ~batch_size
+      in
+      List.iter
+        (fun qn ->
+          let w = Workload.find qn in
+          let prog = Workload.compile w in
+          let seq = Runtime.create ~domains:1 prog in
+          let par2 = Runtime.create ~domains:2 ~par_min_rows:1 prog in
+          let par4 = Runtime.create ~domains:4 ~par_min_rows:1 prog in
+          List.iter
+            (fun (rel, b) ->
+              ignore (Runtime.apply_batch seq ~rel b);
+              ignore (Runtime.apply_batch par2 ~rel b);
+              ignore (Runtime.apply_batch par4 ~rel b))
+            stream;
+          List.iter
+            (fun (m : Prog.map_decl) ->
+              if m.mkind <> Prog.Transient then begin
+                let g_seq = Runtime.map_contents seq m.mname in
+                List.iter
+                  (fun (d, rt) ->
+                    if
+                      not
+                        (Gmr.equal ~eps:1e-6 g_seq (Runtime.map_contents rt m.mname))
+                    then
+                      Alcotest.failf
+                        "%s: store %s diverges between serial and %d-domain \
+                         execution"
+                        qn m.mname d)
+                  [ (2, par2); (4, par4) ]
+              end)
+            prog.Prog.maps)
+        queries;
+      true)
+
 let test_rt_ops_counter () =
   let prog = Compile.compile ~streams:streams_rst [ ("Q", q_running) ] in
   let rt = Runtime.create prog in
@@ -255,5 +313,6 @@ let suites =
         Alcotest.test_case "columnar preagg path" `Quick test_columnar_path;
         QCheck_alcotest.to_alcotest qcheck_rt_agree;
         QCheck_alcotest.to_alcotest qcheck_columnar_equiv;
+        QCheck_alcotest.to_alcotest qcheck_parallel_equiv;
       ] );
   ]
