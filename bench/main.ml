@@ -823,24 +823,26 @@ let micro () =
 
 let quick_queries = [ "Q1"; "Q3"; "Q6"; "Q13"; "Q17"; "Q19"; "Q22" ]
 
-(* --domains N (0 = unset: Runtime.create's own default, i.e.
-   DIVM_DOMAINS or serial). Recorded in QUICK_JSON so scaling curves are
-   self-describing. *)
-let cli_domains = ref 0
+(* The engine config parsed from the command line by Obs_cli.scan_common
+   (--backend/--workers/--domains/--batch/--opt-level). Default: local
+   backend, B=1000, DIVM_DOMAINS — the historical QUICK_JSON setup, so
+   the perf trajectory stays comparable. *)
+let cli_engine = ref (Engine.config ())
 
 let quick () =
-  let dom = if !cli_domains > 0 then Some !cli_domains else None in
+  let cfg = !cli_engine in
+  let bs = cfg.Engine.batch_size in
   let used_domains = ref 1 in
+  let backend = ref "local" in
   let results =
     List.map
       (fun qn ->
-        let q = Tpch.Queries.find qn in
-        let prog = compile_tpch q in
-        let rt = Runtime.create ?domains:dom prog in
-        used_domains := Runtime.domains rt;
-        let stream = Tpch.Gen.stream tpch_cfg ~batch_size:1000 in
+        let eng = Engine.create ~config:cfg (Workload.find qn) in
+        used_domains := Engine.domains eng;
+        backend := Engine.backend_name eng;
+        let stream = Tpch.Gen.stream tpch_cfg ~batch_size:bs in
         let prefix, suffix = split_warm stream in
-        Runtime.load rt prefix;
+        Engine.load eng prefix;
         (* Repeat the measured suffix until the budget elapses; account
            only in-trigger wall time so stream bookkeeping is excluded. *)
         let tuples = ref 0 and ops = ref 0 and wall = ref 0. in
@@ -849,14 +851,15 @@ let quick () =
            while true do
              List.iter
                (fun (rel, b) ->
-                 let r = Runtime.apply_batch rt ~rel b in
-                 tuples := !tuples + r.Runtime.tuples;
-                 ops := !ops + r.Runtime.ops;
-                 wall := !wall +. r.Runtime.wall;
+                 let r = Engine.apply_batch eng ~rel b in
+                 tuples := !tuples + r.Engine.tuples;
+                 ops := !ops + r.Engine.ops;
+                 wall := !wall +. r.Engine.wall;
                  if Unix.gettimeofday () > deadline then raise Exit)
                suffix
            done
          with Exit -> ());
+        Engine.shutdown eng;
         let tps = float_of_int !tuples /. !wall in
         let ops_s = float_of_int !ops /. !wall in
         (qn, tps, ops_s, float_of_int !ops /. float_of_int !tuples))
@@ -872,8 +875,9 @@ let quick () =
   B.print_table
     ~title:
       (Printf.sprintf
-         "Quick micro-bench — batched TPC-H triggers (B=1000, domains=%d)"
-         !used_domains)
+         "Quick micro-bench — batched TPC-H triggers (B=%d, %s backend, \
+          domains=%d)"
+         bs !backend !used_domains)
     ~header:[ "query"; "tuples/s"; "record-ops/s"; "ops/tuple" ]
     (List.map
        (fun (qn, tps, ops_s, opt) ->
@@ -890,8 +894,8 @@ let quick () =
          results)
   in
   Printf.printf
-    "QUICK_JSON {\"bench\":\"quick\",\"batch_size\":1000,\"domains\":%d,\"queries\":{%s},\"geomean_tuples_per_s\":%.0f,\"geomean_ops_per_s\":%.0f}\n"
-    !used_domains fields g_tps g_ops
+    "QUICK_JSON {\"bench\":\"quick\",\"batch_size\":%d,\"domains\":%d,\"queries\":{%s},\"geomean_tuples_per_s\":%.0f,\"geomean_ops_per_s\":%.0f}\n"
+    bs !used_domains fields g_tps g_ops
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -921,26 +925,19 @@ let experiments =
   ]
 
 let () =
-  let args = Divm_obs_cli.Obs_cli.scan_argv () in
+  (* Engine + observability flags are shared with the CLIs
+     (--backend/--workers/--domains/--batch/--opt-level, --metrics/
+     --trace/--profile); the remaining arguments select experiments. *)
+  let common, args = Divm_obs_cli.Obs_cli.scan_common () in
+  cli_engine := common.Divm_obs_cli.Obs_cli.engine;
   (* accept both [quick] and [--quick] forms *)
   let strip a =
     if String.length a > 2 && String.sub a 0 2 = "--" then
       String.sub a 2 (String.length a - 2)
     else a
   in
-  (* pull out --domains N / --domains=N; the rest select experiments *)
-  let rec parse_domains acc = function
-    | [] -> List.rev acc
-    | "domains" :: v :: rest ->
-        cli_domains := int_of_string v;
-        parse_domains acc rest
-    | a :: rest when String.length a > 8 && String.sub a 0 8 = "domains=" ->
-        cli_domains := int_of_string (String.sub a 8 (String.length a - 8));
-        parse_domains acc rest
-    | a :: rest -> parse_domains (a :: acc) rest
-  in
   let selected =
-    match parse_domains [] (List.map strip args) with
+    match List.map strip args with
     | [] -> List.map (fun (n, _, _) -> n) experiments
     | args -> args
   in

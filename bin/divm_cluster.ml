@@ -1,66 +1,92 @@
-(* divm_cluster — run the simulated cluster on a TPC-H query and report
-   per-batch metrics (modeled latency, shuffled bytes, stages).
+(* divm_cluster — run a TPC-H query on a distributed backend and report
+   per-batch metrics.
 
-   With --trace FILE every batch becomes a cluster:REL span whose stage:N
-   and transfer:NAME children carry modeled_ms attributes that sum to the
-   reported latency; --metrics prints the registry totals at exit. *)
+   --backend simulated (default): the deterministic cluster simulator —
+   modeled latency, shuffled bytes, stages. --backend multiprocess: real
+   worker processes over Unix domain sockets; the same cost model runs as
+   a predictor, and each batch reports modeled latency next to measured
+   wall time and actual wire bytes (--stage-json FILE writes the
+   per-stage reconciliation). Both backends leave bit-identical stores.
+
+   With --trace FILE every batch becomes a cluster:REL (or node:REL) span
+   whose stage:N and transfer:NAME children carry modeled_ms attributes;
+   --metrics prints the registry totals at exit. *)
 
 open Divm
 open Cmdliner
+module Obs_cli = Divm_obs_cli.Obs_cli
 
-let run query workers batch_size scale level domains opts =
-  let w = Workload.find query in
-  let prog = Workload.compile w in
-  let dp = Workload.distribute ~level w prog in
-  let c = Cluster.create ~config:(Cluster.config ~workers ()) ?domains dp in
-  Divm_obs_cli.Obs_cli.activate
-    ~plan:(Profile.explain_dist ~name:w.wname dp)
-    ~storage:(fun () -> Cluster.storage_stats c)
-    opts;
-  let stream = Tpch.Gen.stream { Tpch.Gen.scale; seed = 42 } ~batch_size in
+let run query scale stage_json (common : Obs_cli.common) =
+  let cfg = common.engine in
+  let eng = Engine.create ~config:cfg (Workload.find query) in
+  Obs_cli.activate_engine eng common.opts;
+  let w = Engine.workload eng in
+  let workers =
+    match cfg.backend with
+    | Engine.Simulated cc -> cc.Cluster.workers
+    | Engine.Multiprocess nc -> nc.Node.workers
+    | Engine.Local -> 1
+  in
+  let stream =
+    Tpch.Gen.stream { Tpch.Gen.scale; seed = 42 } ~batch_size:cfg.batch_size
+  in
   Printf.printf
-    "%s on %d workers (opt level %d), batches of %d tuples\n%-10s %8s %9s %8s %7s\n"
-    w.wname workers level batch_size "relation" "tuples" "latency" "shuffle"
-    "stages";
+    "%s on %d %s workers (opt level %d), batches of %d tuples\n\
+     %-10s %8s %9s %9s %8s %7s\n"
+    w.Workload.wname workers (Engine.backend_name eng) cfg.opt_level
+    cfg.batch_size "relation" "tuples" "modeled" "wall" "shuffle" "stages";
+  let reports = ref [] in
   List.iter
     (fun (rel, b) ->
-      let m = Cluster.apply_batch c ~rel b in
-      Printf.printf "%-10s %8d %8.1fms %7dKB %7d\n" rel (Gmr.cardinal b)
-        (m.Cluster.latency *. 1000.)
-        (m.bytes_shuffled / 1024)
-        m.stages)
+      let r = Engine.apply_batch eng ~rel b in
+      reports := r :: !reports;
+      Printf.printf "%-10s %8d %8.1fms %8.1fms %7dKB %7d\n" rel r.Engine.tuples
+        (Option.value r.Engine.modeled ~default:0. *. 1000.)
+        (r.Engine.wall *. 1000.)
+        (r.Engine.bytes_shuffled / 1024)
+        r.Engine.stages)
     stream;
   List.iter
     (fun (mname, _) ->
       Printf.printf "%s: %d result tuples\n" mname
-        (Gmr.cardinal (Cluster.result c mname)))
-    w.maps
+        (Gmr.cardinal (Engine.query eng mname)))
+    w.Workload.maps;
+  (match stage_json with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Engine.reconcile_json (List.rev !reports));
+      close_out oc;
+      Printf.eprintf "wrote per-stage reconciliation to %s\n%!" file);
+  Engine.shutdown eng
 
 let query_t = Arg.(value & pos 0 string "Q3" & info [] ~docv:"QUERY")
-let workers_t = Arg.(value & opt int 8 & info [ "workers"; "w" ] ~doc:"Workers")
-let batch_t = Arg.(value & opt int 2000 & info [ "batch" ] ~doc:"Batch size")
 let scale_t = Arg.(value & opt float 2.0 & info [ "scale" ] ~doc:"Stream scale")
 
-let level_t =
-  Arg.(value & opt int 3 & info [ "opt-level" ] ~doc:"Optimization level 0–3")
-
-let domains_t =
+let stage_json_t =
   Arg.(
     value
-    & opt (some int) None
-    & info [ "domains" ]
+    & opt (some string) None
+    & info [ "stage-json" ] ~docv:"FILE"
         ~doc:
-          "Execution domains for the simulated workers (default: \
-           \\$(b,DIVM_DOMAINS) or 1). Distributed stages run worker-node \
-           closures in parallel on a shared domain pool; modeled latency \
-           and shuffled bytes are identical at any domain count.")
+          "Write per-stage predicted-vs-measured latency (and modeled vs \
+           actual bytes) as JSON to $(docv) at the end of the run.")
+
+(* This binary's defaults: the simulated backend, 8 workers, 2000-tuple
+   batches — `--backend multiprocess --workers 2` flips to real processes. *)
+let defaults =
+  Engine.config
+    ~backend:(Engine.Simulated (Cluster.config ~workers:8 ()))
+    ~batch_size:2000 ()
 
 let cmd =
   Cmd.v
     (Cmd.info "divm_cluster"
-       ~doc:"Distributed incremental view maintenance on the simulated cluster")
+       ~doc:
+         "Distributed incremental view maintenance on the simulated or \
+          multi-process cluster")
     Term.(
-      const run $ query_t $ workers_t $ batch_t $ scale_t $ level_t
-      $ domains_t $ Divm_obs_cli.Obs_cli.setup)
+      const run $ query_t $ scale_t $ stage_json_t
+      $ Obs_cli.parse_common ~defaults ())
 
 let () = exit (Cmd.eval cmd)

@@ -1,5 +1,9 @@
-(* divm_stream — run a query over a synthesized update stream with the
-   specialized local runtime and report throughput and the result.
+(* divm_stream — run a query over a synthesized update stream and report
+   throughput and the result.
+
+   Defaults to the local specialized runtime; --backend simulated or
+   --backend multiprocess routes the same stream through the distributed
+   engines behind the same Engine API.
 
    With --trace FILE each trigger firing shows up as a trigger:REL span
    with per-statement children; --metrics prints the registry (record
@@ -7,21 +11,23 @@
 
 open Divm
 open Cmdliner
+module Obs_cli = Divm_obs_cli.Obs_cli
 
-let run query scale batch_size single show_result tbl_dir domains opts =
-  let w = Workload.find query in
-  let prog = Workload.compile ~preaggregate:(not single) w in
-  let rt = Runtime.create ?domains prog in
-  Divm_obs_cli.Obs_cli.activate
-    ~plan:(Profile.explain ~name:w.wname prog)
-    ~storage:(fun () -> Runtime.storage_stats rt)
-    opts;
+let run query scale single show_result tbl_dir (common : Obs_cli.common) =
+  let cfg = common.engine in
+  let cfg =
+    if single then { cfg with Engine.preaggregate = false } else cfg
+  in
+  let eng = Engine.create ~config:cfg (Workload.find query) in
+  Obs_cli.activate_engine eng common.opts;
+  let w = Engine.workload eng in
   let stream =
     match tbl_dir with
     | Some dir ->
         (* real dbgen data: each table arrives as one bulk batch *)
         Tpch.Load.load_dir dir
-    | None -> Tpch.Gen.stream { Tpch.Gen.scale; seed = 42 } ~batch_size
+    | None ->
+        Tpch.Gen.stream { Tpch.Gen.scale; seed = 42 } ~batch_size:cfg.batch_size
   in
   let tuples = ref 0 in
   let ops = ref 0 in
@@ -32,35 +38,33 @@ let run query scale batch_size single show_result tbl_dir domains opts =
       if single then
         Gmr.iter
           (fun tup m ->
-            let r = Runtime.apply_single rt ~rel tup m in
-            ops := !ops + r.Runtime.ops)
+            let r = Engine.apply_single eng ~rel tup m in
+            ops := !ops + r.Engine.ops)
           b
       else begin
-        let r = Runtime.apply_batch rt ~rel b in
-        ops := !ops + r.Runtime.ops
+        let r = Engine.apply_batch eng ~rel b in
+        ops := !ops + r.Engine.ops
       end)
     stream;
   let dt = Unix.gettimeofday () -. t0 in
-  Printf.printf "%s: %d tuples in %.3fs (%.0f tuples/s, %s mode%s)\n" w.wname
-    !tuples dt
+  Printf.printf "%s: %d tuples in %.3fs (%.0f tuples/s, %s mode, %s backend)\n"
+    w.Workload.wname !tuples dt
     (float_of_int !tuples /. dt)
-    (if single then "single-tuple" else Printf.sprintf "batch=%d" batch_size)
-    (if Runtime.domains rt > 1 then
-       Printf.sprintf ", %d domains" (Runtime.domains rt)
-     else "");
-  Printf.printf "materialized maps: %d, stored tuples: %d, record ops: %d\n"
-    (List.length prog.maps) (Runtime.total_tuples rt) !ops;
+    (if single then "single-tuple"
+     else Printf.sprintf "batch=%d" cfg.Engine.batch_size)
+    (Engine.backend_name eng);
+  Printf.printf "materialized maps: %d, record ops: %d\n"
+    (List.length (Engine.prog eng).Prog.maps)
+    !ops;
   if show_result then
     List.iter
       (fun (mname, _) ->
-        Format.printf "%s = %a@." mname Gmr.pp (Runtime.result rt mname))
-      w.maps
+        Format.printf "%s = %a@." mname Gmr.pp (Engine.query eng mname))
+      w.Workload.maps;
+  Engine.shutdown eng
 
 let query_t = Arg.(value & pos 0 string "Q3" & info [] ~docv:"QUERY")
 let scale_t = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Stream scale")
-
-let batch_t =
-  Arg.(value & opt int 1000 & info [ "batch" ] ~doc:"Update batch size")
 
 let single_t =
   Arg.(value & flag & info [ "single" ] ~doc:"Tuple-at-a-time processing")
@@ -75,21 +79,11 @@ let tbl_t =
     & info [ "tbl-dir" ]
         ~doc:"Load dbgen .tbl files from this directory instead of generating")
 
-let domains_t =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "domains" ]
-        ~doc:
-          "Execution domains for batch triggers (default: \\$(b,DIVM_DOMAINS) \
-           or 1). Vectorized statement groups fan the batch out over a \
-           shared domain pool; serial statements are unaffected.")
-
 let cmd =
   Cmd.v
     (Cmd.info "divm_stream" ~doc:"Maintain a TPC-H query over an update stream")
     Term.(
-      const run $ query_t $ scale_t $ batch_t $ single_t $ result_t $ tbl_t
-      $ domains_t $ Divm_obs_cli.Obs_cli.setup)
+      const run $ query_t $ scale_t $ single_t $ result_t $ tbl_t
+      $ Obs_cli.parse_common ~defaults:(Engine.config ~batch_size:1000 ()) ())
 
 let () = exit (Cmd.eval cmd)

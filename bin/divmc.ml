@@ -2,12 +2,17 @@
 
    Compile a TPC-H/TPC-DS query (by name) or an SQL string over the TPC-H
    schema, and print the trigger program, the distributed program, or its
-   job/stage summary. *)
+   job/stage summary. Takes the same engine flags as the runner binaries
+   (--opt-level selects the distributed pipeline level; --backend and
+   --workers parse but compile-only modes never spawn engines). *)
 
 open Divm
 open Cmdliner
+module Obs_cli = Divm_obs_cli.Obs_cli
 
-let run query sql mode preagg level (opts : Divm_obs_cli.Obs_cli.opts) =
+let run query sql mode preagg (common : Obs_cli.common) =
+  let opts = common.opts in
+  let level = common.engine.Engine.opt_level in
   let w =
     match sql with
     | Some text -> Workload.of_sql text
@@ -25,7 +30,7 @@ let run query sql mode preagg level (opts : Divm_obs_cli.Obs_cli.opts) =
         print_string (Profile.render (Profile.explain_dist ~name:w.wname dp))
       else Format.printf "%a@." Dprog.pp dp
   | `Stats ->
-      let dp = Workload.distribute w prog in
+      let dp = Workload.distribute ~level w prog in
       if opts.explain then
         print_string (Profile.render (Profile.explain_dist ~name:w.wname dp));
       Format.printf "maps: %d  statements: %d@." (List.length prog.maps)
@@ -63,16 +68,11 @@ let preagg_t =
     value & opt bool true
     & info [ "preagg" ] ~doc:"Batch pre-aggregation (§3.3)")
 
-let level_t =
-  Arg.(
-    value & opt int 3
-    & info [ "opt-level" ] ~doc:"Distributed optimization level 0–3 (Fig 13)")
-
 let cmd =
   Cmd.v
     (Cmd.info "divmc" ~doc:"Compile queries to incremental maintenance programs")
     Term.(
-      const run $ query_t $ sql_t $ mode_t $ preagg_t $ level_t
-      $ Divm_obs_cli.Obs_cli.setup)
+      const run $ query_t $ sql_t $ mode_t $ preagg_t
+      $ Obs_cli.parse_common ())
 
 let () = exit (Cmd.eval cmd)

@@ -27,29 +27,14 @@ let g_max_bytes_per_worker = Obs.Gauge.make "divm_cluster_max_bytes_per_worker"
 
 type config = {
   workers : int;
-  sync_base : float;
-  sync_per_worker : float;
-  per_op : float;
-  bandwidth : float;
-  ser_per_byte : float;
-  straggler : float;
+  domains : int option;
+  cost : Costmodel.t;
 }
 
-(* Calibration: Q6 batch sync 65 ms at 50 workers, 386 ms at 1000
-   (§6.2.1) gives sync_base ≈ 48 ms and ≈ 0.34 ms/worker; a worker
-   aggregates 100k tuples in 6 ms → 60 ns per elementary operation. *)
-let default_config =
-  {
-    workers = 50;
-    sync_base = 0.048;
-    sync_per_worker = 0.00034;
-    per_op = 6e-8;
-    bandwidth = 3e8;
-    ser_per_byte = 4e-9;
-    straggler = 0.08;
-  }
+let config ?(workers = 50) ?domains ?(cost = Costmodel.default) () =
+  { workers; domains; cost }
 
-let config ?(workers = 50) () = { default_config with workers }
+let default_config = config ()
 
 type metrics = {
   latency : float;
@@ -91,8 +76,19 @@ type t = {
 let workers t = t.cfg.workers
 
 let create ?(config = default_config) ?domains (dp : Dprog.t) =
+  (* Explicit precedence: the config record pins the domain count; the
+     optional argument is a convenience for callers without a config. Both
+     given and disagreeing is a caller bug, not a silent override. *)
   let domains =
-    match domains with Some d -> max 1 d | None -> Par.default_domains ()
+    match (config.domains, domains) with
+    | Some a, Some b when a <> b ->
+        invalid_arg
+          (Printf.sprintf
+             "Cluster.create: contradictory domain counts (config.domains=%d \
+              vs ~domains:%d)"
+             a b)
+    | Some d, _ | None, Some d -> max 1 d
+    | None, None -> Par.default_domains ()
   in
   (* The runtimes never fire whole triggers themselves, but the compute
      statements of the distributed program (with their transfer-renamed
@@ -180,7 +176,7 @@ type net = {
   mutable into_driver : int;
 }
 
-let tuple_bytes tup = Vtuple.byte_size tup + 8
+let tuple_bytes = Costmodel.tuple_bytes
 
 (* Execute one transfer; returns (total network bytes, max bytes into one
    node, serialization bytes at sources). *)
@@ -307,9 +303,8 @@ let apply_batch t ~rel batch =
                       pending_max_into :=
                         max !pending_max_into (after_max - before_max);
                       let dt =
-                        (t.cfg.ser_per_byte *. float_of_int ser)
-                        +. float_of_int (after_max - before_max)
-                           /. t.cfg.bandwidth
+                        Costmodel.transfer_latency t.cfg.cost ~ser_bytes:ser
+                          ~max_into:(after_max - before_max)
                       in
                       latency := !latency +. dt;
                       if Obs.tracing () then begin
@@ -374,16 +369,12 @@ let apply_batch t ~rel batch =
                   max_ops := max !max_ops d)
                 deltas;
               Obs.Counter.add m_worker_ops !max_ops;
-              let straggle =
-                1. +. (t.cfg.straggler *. float_of_int !pending_max_into /. 1e6)
+              let dt =
+                Costmodel.stage_latency t.cfg.cost ~workers:w ~max_ops:!max_ops
+                  ~pending_max_into:!pending_max_into
               in
               pending_bytes := 0;
               pending_max_into := 0;
-              let dt =
-                t.cfg.sync_base
-                +. (t.cfg.sync_per_worker *. float_of_int w)
-                +. (float_of_int !max_ops *. t.cfg.per_op *. straggle)
-              in
               latency := !latency +. dt;
               if Obs.tracing () then begin
                 Obs.set_attr "modeled_ms" (Printf.sprintf "%.6f" (dt *. 1e3));
@@ -516,10 +507,8 @@ let checkpoint t =
       0 snap
   in
   let latency =
-    t.cfg.sync_base
-    +. (t.cfg.sync_per_worker *. float_of_int t.cfg.workers)
-    +. (float_of_int max_node_bytes
-       *. (t.cfg.ser_per_byte +. (1. /. t.cfg.bandwidth)))
+    Costmodel.checkpoint_latency t.cfg.cost ~workers:t.cfg.workers
+      ~max_node_bytes
   in
   (snap, latency)
 

@@ -23,20 +23,22 @@ open Divm_storage
 open Divm_dist
 
 type config = {
-  workers : int;
-  sync_base : float;  (** s, per distributed stage *)
-  sync_per_worker : float;  (** s per worker per stage *)
-  per_op : float;  (** s per elementary record operation *)
-  bandwidth : float;  (** bytes/s into one node *)
-  ser_per_byte : float;  (** serialization cost, s/byte, parallel across W *)
-  straggler : float;
-      (** extra slowdown of the slowest worker per MB shuffled to it *)
+  workers : int;  (** simulated worker nodes *)
+  domains : int option;
+      (** execution domains for the stage fan-out; [None] defers to the
+          [?domains] argument of {!create}, then [DIVM_DOMAINS]. When both
+          the record and the argument pin a count they must agree —
+          {!create} raises [Invalid_argument] on contradiction instead of
+          silently preferring one. *)
+  cost : Costmodel.t;
+      (** the latency model (calibrated defaults: {!Costmodel.default}) *)
 }
 
 (** Calibrated to the paper's cluster (see module doc). 50 workers. *)
 val default_config : config
 
-val config : ?workers:int -> unit -> config
+val config :
+  ?workers:int -> ?domains:int -> ?cost:Costmodel.t -> unit -> config
 
 (** Per-batch cost record. Since the observability layer this is a view
     over the {!Divm_obs.Obs} registry: every batch is first accounted into
@@ -55,8 +57,10 @@ type metrics = {
 
 type t
 
-(** [domains] (default: the [DIVM_DOMAINS] environment variable, else 1)
-    runs each distributed stage's per-worker closures as tasks on the
+(** [domains] (precedence: [config.domains], else [?domains], else the
+    [DIVM_DOMAINS] environment variable, else 1 — contradictory explicit
+    values raise [Invalid_argument]) runs each distributed stage's
+    per-worker closures as tasks on the
     shared {!Divm_par.Par} pool — simulated nodes own disjoint runtimes,
     so a stage is embarrassingly parallel. The cost model is evaluated by
     a serial reduction over the per-worker op counts after the barrier,

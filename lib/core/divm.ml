@@ -15,7 +15,13 @@
       core;
     - {!Exec}, {!Runtime} — interpreted and specialized local runtimes (§5);
     - {!Loc}, {!Dprog}, {!Distribute} — the distributed compiler (§4);
+      {!Costmodel} — the latency model shared by simulator and predictor;
     - {!Cluster} — the simulated Spark-like cluster (§6.2);
+    - {!Protocol}, {!Node} — the multi-process engine: real worker
+      processes over a framed binary shuffle protocol;
+    - {!Engine} — the unified backend API every front end drives
+      ([Local] runtime, [Simulated] cluster, [Multiprocess] node engine
+      behind one [create]/[apply_batch]/[query]/[shutdown]);
     - {!Sql} — SQL frontend;
     - {!Tpch}, {!Tpcds} — workloads; {!Baseline} — comparison engines;
       {!Cachesim} — the Table 2 cache model;
@@ -62,7 +68,11 @@ module Patterns = Divm_runtime.Patterns
 module Loc = Divm_dist.Loc
 module Dprog = Divm_dist.Dprog
 module Distribute = Divm_dist.Distribute
+module Costmodel = Divm_dist.Costmodel
 module Cluster = Divm_cluster.Cluster
+module Protocol = Divm_node.Protocol
+module Node = Divm_node.Node
+module Engine = Divm_engine.Engine
 module Sql = Divm_sql.Sql
 module Baseline = Divm_baseline.Baseline
 module Cachesim = Divm_cachesim.Cachesim

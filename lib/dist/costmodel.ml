@@ -1,0 +1,43 @@
+open Divm_ring
+
+type t = {
+  sync_base : float;
+  sync_per_worker : float;
+  per_op : float;
+  bandwidth : float;
+  ser_per_byte : float;
+  straggler : float;
+}
+
+let default =
+  {
+    sync_base = 0.048;
+    sync_per_worker = 0.00034;
+    per_op = 6e-8;
+    bandwidth = 3e8;
+    ser_per_byte = 4e-9;
+    straggler = 0.08;
+  }
+
+let tuple_bytes tup = Vtuple.byte_size tup + 8
+
+(* Evaluation order below is kept exactly as the simulator historically
+   computed it, so extracting the model preserves bit-identical latencies
+   (the test suite checks modeled floats by their Int64 bits). *)
+
+let straggle t ~pending_max_into =
+  1. +. (t.straggler *. float_of_int pending_max_into /. 1e6)
+
+let stage_latency t ~workers ~max_ops ~pending_max_into =
+  t.sync_base
+  +. (t.sync_per_worker *. float_of_int workers)
+  +. (float_of_int max_ops *. t.per_op *. straggle t ~pending_max_into)
+
+let transfer_latency t ~ser_bytes ~max_into =
+  (t.ser_per_byte *. float_of_int ser_bytes)
+  +. (float_of_int max_into /. t.bandwidth)
+
+let checkpoint_latency t ~workers ~max_node_bytes =
+  t.sync_base
+  +. (t.sync_per_worker *. float_of_int workers)
+  +. (float_of_int max_node_bytes *. (t.ser_per_byte +. (1. /. t.bandwidth)))

@@ -1,0 +1,213 @@
+open Divm_storage
+open Divm_compiler
+open Divm_dist
+module Runtime = Divm_runtime.Runtime
+module Cluster = Divm_cluster.Cluster
+module Node = Divm_node.Node
+module Workload = Divm_workload.Workload
+
+type backend =
+  | Local
+  | Simulated of Cluster.config
+  | Multiprocess of Node.config
+
+type config = {
+  backend : backend;
+  domains : int option;
+  batch_size : int;
+  opt_level : int;
+  preaggregate : bool;
+  auto_index : bool;
+  columnar : bool;
+}
+
+let config ?(backend = Local) ?domains ?(batch_size = 1000) ?(opt_level = 3)
+    ?(preaggregate = true) ?(auto_index = true) ?(columnar = true) () =
+  { backend; domains; batch_size; opt_level; preaggregate; auto_index; columnar }
+
+let default_config = config ()
+
+type report = {
+  tuples : int;
+  ops : int;
+  wall : float;
+  modeled : float option;
+  stages : int;
+  bytes_shuffled : int;
+  wire_bytes : int;
+  stage_stats : Node.stage_stat list;
+}
+
+type impl =
+  | ILocal of Runtime.t
+  | ISim of Cluster.t
+  | IProc of Node.t
+
+type t = {
+  cfg : config;
+  w : Workload.t;
+  eprog : Prog.t;
+  edprog : Dprog.t option;
+  impl : impl;
+}
+
+let create ?(config = default_config) (w : Workload.t) =
+  let prog = Workload.compile ~preaggregate:config.preaggregate w in
+  match config.backend with
+  | Local ->
+      let rt =
+        Runtime.create ~auto_index:config.auto_index ~columnar:config.columnar
+          ?domains:config.domains prog
+      in
+      { cfg = config; w; eprog = prog; edprog = None; impl = ILocal rt }
+  | Simulated cc ->
+      let dp = Workload.distribute ~level:config.opt_level w prog in
+      let c = Cluster.create ~config:cc ?domains:config.domains dp in
+      { cfg = config; w; eprog = prog; edprog = Some dp; impl = ISim c }
+  | Multiprocess nc ->
+      let dp = Workload.distribute ~level:config.opt_level w prog in
+      let n = Node.create ~config:nc dp in
+      { cfg = config; w; eprog = prog; edprog = Some dp; impl = IProc n }
+
+let conf t = t.cfg
+let workload t = t.w
+let prog t = t.eprog
+let dprog t = t.edprog
+
+let backend_name t =
+  match t.impl with
+  | ILocal _ -> "local"
+  | ISim _ -> "simulated"
+  | IProc _ -> "multiprocess"
+
+let domains t =
+  match t.impl with ILocal rt -> Runtime.domains rt | ISim _ | IProc _ -> 1
+
+let apply_batch t ~rel batch =
+  match t.impl with
+  | ILocal rt ->
+      let r = Runtime.apply_batch rt ~rel batch in
+      {
+        tuples = r.Runtime.tuples;
+        ops = r.Runtime.ops;
+        wall = r.Runtime.wall;
+        modeled = None;
+        stages = 0;
+        bytes_shuffled = 0;
+        wire_bytes = 0;
+        stage_stats = [];
+      }
+  | ISim c ->
+      let t0 = Unix.gettimeofday () in
+      let m = Cluster.apply_batch c ~rel batch in
+      {
+        tuples = Gmr.cardinal batch;
+        ops = m.Cluster.driver_ops + m.Cluster.max_worker_ops;
+        wall = Unix.gettimeofday () -. t0;
+        modeled = Some m.Cluster.latency;
+        stages = m.Cluster.stages;
+        bytes_shuffled = m.Cluster.bytes_shuffled;
+        wire_bytes = 0;
+        stage_stats = [];
+      }
+  | IProc n ->
+      let m = Node.apply_batch n ~rel batch in
+      {
+        tuples = Gmr.cardinal batch;
+        ops = m.Node.driver_ops + m.Node.max_worker_ops;
+        wall = m.Node.wall;
+        modeled = Some m.Node.latency;
+        stages = m.Node.stages;
+        bytes_shuffled = m.Node.bytes_shuffled;
+        wire_bytes = m.Node.wire_bytes;
+        stage_stats = m.Node.stage_stats;
+      }
+
+let apply_single t ~rel tup m =
+  match t.impl with
+  | ILocal rt ->
+      let r = Runtime.apply_single rt ~rel tup m in
+      {
+        tuples = r.Runtime.tuples;
+        ops = r.Runtime.ops;
+        wall = r.Runtime.wall;
+        modeled = None;
+        stages = 0;
+        bytes_shuffled = 0;
+        wire_bytes = 0;
+        stage_stats = [];
+      }
+  | ISim _ | IProc _ ->
+      let b = Gmr.create ~size:1 () in
+      Gmr.add b tup m;
+      apply_batch t ~rel b
+
+let load t entries =
+  match t.impl with
+  | ILocal rt -> Runtime.load rt entries
+  | ISim c ->
+      List.iter (fun (rel, b) -> ignore (Cluster.apply_batch c ~rel b)) entries
+  | IProc n ->
+      List.iter (fun (rel, b) -> ignore (Node.apply_batch n ~rel b)) entries
+
+let query t qname =
+  match t.impl with
+  | ILocal rt -> Runtime.result rt qname
+  | ISim c -> Cluster.result c qname
+  | IProc n -> Node.result n qname
+
+let map_contents t name =
+  match t.impl with
+  | ILocal rt -> Runtime.map_contents rt name
+  | ISim c -> Cluster.map_contents c name
+  | IProc n -> Node.map_contents n name
+
+let storage_stats t =
+  match t.impl with
+  | ILocal rt -> Runtime.storage_stats rt
+  | ISim c -> Cluster.storage_stats c
+  | IProc _ -> []
+
+let shutdown t = match t.impl with IProc n -> Node.shutdown n | _ -> ()
+
+(* Reconciliation artifact: per stage name, how the predictor did against
+   the measurement, summed over the batches. *)
+let reconcile_json reports =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (s : Node.stage_stat) ->
+          let row =
+            match Hashtbl.find_opt tbl s.Node.sname with
+            | Some row -> row
+            | None ->
+                let row = ref (0, 0., 0., 0, 0) in
+                Hashtbl.add tbl s.Node.sname row;
+                order := s.Node.sname :: !order;
+                row
+          in
+          let n, p, m, b, wb = !row in
+          row :=
+            ( n + 1,
+              p +. s.Node.predicted,
+              m +. s.Node.measured,
+              b + s.Node.sbytes,
+              wb + s.Node.swire ))
+        r.stage_stats)
+    reports;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i name ->
+      let n, p, m, b, wb = !(Hashtbl.find tbl name) in
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"name\": %S, \"batches\": %d, \"predicted_ms\": %.6f, \
+            \"measured_ms\": %.6f, \"bytes\": %d, \"wire_bytes\": %d}"
+           name n (p *. 1e3) (m *. 1e3) b wb))
+    (List.rev !order);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

@@ -1,0 +1,694 @@
+open Divm_storage
+open Divm_dist
+open Divm_runtime
+module Obs = Divm_obs.Obs
+module Prof = Divm_obs.Prof
+module Par = Divm_par.Par
+
+(* Registry instruments, mirroring the simulator's so `--metrics` and
+   Profile.reconcile treat both backends uniformly. *)
+let m_bytes_shuffled = Obs.Counter.make "divm_node_bytes_shuffled_total"
+let m_wire_bytes = Obs.Counter.make "divm_node_wire_bytes_total"
+let m_stages = Obs.Counter.make "divm_node_stages_total"
+let m_batches = Obs.Counter.make "divm_node_batches_total"
+let m_worker_ops = Obs.Counter.make "divm_node_worker_ops_total"
+let m_driver_ops = Obs.Counter.make "divm_node_driver_ops_total"
+let g_workers = Obs.Gauge.make "divm_node_workers"
+
+type config = {
+  workers : int;
+  cost : Costmodel.t;
+  socket_dir : string option;
+  worker_exe : string option;
+}
+
+let config ?(workers = 2) ?(cost = Costmodel.default) ?socket_dir ?worker_exe
+    () =
+  { workers; cost; socket_dir; worker_exe }
+
+let default_config = config ()
+
+type stage_stat = {
+  sname : string;
+  predicted : float;
+  measured : float;
+  sbytes : int;
+  swire : int;
+}
+
+type metrics = {
+  latency : float;
+  wall : float;
+  stages : int;
+  bytes_shuffled : int;
+  wire_bytes : int;
+  max_worker_ops : int;
+  driver_ops : int;
+  stage_stats : stage_stat list;
+}
+
+let ignore_sigpipe () =
+  (* A worker dying mid-write must surface as EPIPE, not kill the
+     coordinator. *)
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> ()
+
+(* -------------------------------------------------------------- *)
+(* Worker side                                                     *)
+(* -------------------------------------------------------------- *)
+
+type wstate = { wrt : Runtime.t; wplans : (string * (unit -> unit) list array) list }
+
+let build_wstate (dp : Dprog.t) =
+  (* Same compilation path as the simulator's nodes: one serial runtime
+     over the compute program, closures per distributed block. The block
+     array indexes line up with the coordinator's plan because both walk
+     the identical marshaled [Dprog.t]. *)
+  let rt = Runtime.create ~domains:1 (Dprog.compute_prog dp) in
+  let wplans =
+    List.map
+      (fun (tr : Dprog.dtrigger) ->
+        ( tr.drelation,
+          Array.of_list
+            (List.map
+               (fun (b : Dprog.block) ->
+                 match b.bmode with
+                 | Dprog.MLocal -> []
+                 | Dprog.MDist ->
+                     List.filter_map
+                       (fun d ->
+                         match d with
+                         | Dprog.Transfer _ -> None
+                         | Dprog.Compute s ->
+                             Some (List.hd (Runtime.compile_stmts rt [ s ])))
+                       b.bstmts)
+               tr.blocks) ))
+      dp.dtriggers
+  in
+  { wrt = rt; wplans }
+
+let serve fd =
+  let state = ref None in
+  let st () =
+    match !state with
+    | Some s -> s
+    | None -> failwith "divm_node worker: message before Init"
+  in
+  let running = ref true in
+  while !running do
+    match Protocol.read_msg fd with
+    | exception End_of_file -> running := false
+    | msg, _ ->
+        let reply =
+          match msg with
+          | Protocol.Init s ->
+              let dp : Dprog.t = Marshal.from_string s 0 in
+              state := Some (build_wstate dp);
+              Protocol.Ack
+          | Protocol.Load_batch (rel, g) ->
+              Runtime.load_batch (st ()).wrt ~rel g;
+              Protocol.Ack
+          | Protocol.Run_block (rel, bi) ->
+              let s = st () in
+              let o0 = Runtime.ops s.wrt in
+              (match List.assoc_opt rel s.wplans with
+              | Some blocks when bi >= 0 && bi < Array.length blocks ->
+                  List.iter (fun f -> f ()) blocks.(bi)
+              | _ ->
+                  failwith
+                    (Printf.sprintf "divm_node worker: no block %d for %s" bi
+                       rel));
+              Protocol.Block_done (Runtime.ops s.wrt - o0)
+          | Protocol.Pull_map name ->
+              Protocol.Map_contents (Runtime.map_contents (st ()).wrt name)
+          | Protocol.Deliver (name, g) ->
+              let s = st () in
+              Gmr.iter (fun tup m -> Runtime.add_to_map s.wrt name tup m) g;
+              Protocol.Ack
+          | Protocol.Clear_map name ->
+              Runtime.clear_map (st ()).wrt name;
+              Protocol.Ack
+          | Protocol.Shutdown ->
+              running := false;
+              Protocol.Ack
+          | Protocol.Hello _ | Protocol.Ack | Protocol.Block_done _
+          | Protocol.Map_contents _ ->
+              failwith "divm_node worker: unexpected coordinator message"
+        in
+        ignore (Protocol.write_msg fd reply)
+  done
+
+let worker_main ~socket ~id =
+  ignore_sigpipe ();
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec connect tries =
+    try Unix.connect fd (Unix.ADDR_UNIX socket)
+    with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+    when tries > 0 ->
+      Unix.sleepf 0.05;
+      connect (tries - 1)
+  in
+  connect 100;
+  ignore (Protocol.write_msg fd (Protocol.Hello id));
+  serve fd;
+  (try Unix.close fd with _ -> ())
+
+(* -------------------------------------------------------------- *)
+(* Coordinator                                                     *)
+(* -------------------------------------------------------------- *)
+
+type transfer = {
+  tname : string;
+  tkind : Dprog.transfer_kind;
+  key : int array;
+  source : string;
+  tslot : int;
+}
+
+type item =
+  | NDriver of string * int * (unit -> unit)
+  | NTransfer of transfer
+
+type nblock =
+  | BLocal of item list
+  | BDist of int * int (* block index within the trigger, profiler slot *)
+
+type conn = { fd : Unix.file_descr; pid : int option }
+
+type t = {
+  cfg : config;
+  dprog : Dprog.t;
+  driver : Runtime.t;
+  conns : conn array;
+  plans : (string * nblock list) list;
+  delta_at_workers : bool;
+  mutable wire : int; (* actual socket bytes, current batch *)
+  mutable alive : bool;
+}
+
+let workers t = t.cfg.workers
+
+let send t wi msg = t.wire <- t.wire + Protocol.write_msg t.conns.(wi).fd msg
+
+let recv t wi =
+  let m, n = Protocol.read_msg t.conns.(wi).fd in
+  t.wire <- t.wire + n;
+  m
+
+let expect_ack t wi =
+  match recv t wi with
+  | Protocol.Ack -> ()
+  | _ -> failwith (Printf.sprintf "divm_node: worker %d: expected Ack" wi)
+
+let expect_contents t wi =
+  match recv t wi with
+  | Protocol.Map_contents g -> g
+  | _ ->
+      failwith (Printf.sprintf "divm_node: worker %d: expected Map_contents" wi)
+
+let expect_done t wi =
+  match recv t wi with
+  | Protocol.Block_done ops -> ops
+  | _ ->
+      failwith (Printf.sprintf "divm_node: worker %d: expected Block_done" wi)
+
+(* ---- worker process spawning ---- *)
+
+let discover_exe cfg =
+  let candidates =
+    (match cfg.worker_exe with Some p -> [ p ] | None -> [])
+    @ (match Sys.getenv_opt "DIVM_NODE_EXE" with Some p -> [ p ] | None -> [])
+    @
+    let dir = Filename.dirname Sys.executable_name in
+    let sibling_bin = Filename.concat (Filename.dirname dir) "bin" in
+    [
+      Filename.concat dir "divm_node.exe";
+      Filename.concat dir "divm_node";
+      Filename.concat sibling_bin "divm_node.exe";
+      Filename.concat sibling_bin "divm_node";
+    ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let socket_counter = ref 0
+
+let fresh_socket_path cfg =
+  incr socket_counter;
+  let dir =
+    match cfg.socket_dir with
+    | Some d -> d
+    | None -> Filename.get_temp_dir_name ()
+  in
+  Filename.concat dir
+    (Printf.sprintf "divm_node_%d_%d.sock" (Unix.getpid ()) !socket_counter)
+
+(* Exec-based spawning: the primary mechanism. Workers are fresh
+   single-domain processes of the [divm_node] binary, immune to the
+   fork-after-domain-spawn deadlock of OCaml 5 runtimes. *)
+let spawn_exec exe cfg =
+  let path = fresh_socket_path cfg in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec listener;
+  (try Unix.unlink path with _ -> ());
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener cfg.workers;
+  let pids =
+    Array.init cfg.workers (fun wi ->
+        Unix.create_process exe
+          [| exe; "--worker"; "--socket"; path; "--id"; string_of_int wi |]
+          Unix.stdin Unix.stdout Unix.stderr)
+  in
+  let conns = Array.make cfg.workers None in
+  let fail msg =
+    Array.iter (fun pid -> try Unix.kill pid Sys.sigkill with _ -> ()) pids;
+    Array.iter
+      (function Some fd -> ( try Unix.close fd with _ -> ()) | None -> ())
+      conns;
+    (try Unix.close listener with _ -> ());
+    (try Unix.unlink path with _ -> ());
+    failwith ("divm_node: " ^ msg)
+  in
+  for _ = 1 to cfg.workers do
+    (match Unix.select [ listener ] [] [] 30. with
+    | [], _, _ -> fail "worker did not connect within 30s"
+    | _ -> ());
+    let fd, _ = Unix.accept listener in
+    match Protocol.read_msg fd with
+    | Protocol.Hello wid, _ when wid >= 0 && wid < cfg.workers ->
+        if conns.(wid) <> None then
+          fail (Printf.sprintf "worker %d connected twice" wid);
+        conns.(wid) <- Some fd
+    | _ -> fail "bad handshake from worker"
+    | exception e -> fail ("handshake failed: " ^ Printexc.to_string e)
+  done;
+  (try Unix.close listener with _ -> ());
+  (try Unix.unlink path with _ -> ());
+  Array.mapi
+    (fun wi c ->
+      match c with
+      | Some fd -> { fd; pid = Some pids.(wi) }
+      | None -> fail "missing worker connection" (* unreachable *))
+    conns
+
+(* Fork fallback for environments without the worker binary (e.g. a
+   toplevel). Only safe before any Par pool domain exists: forking a
+   multi-domain OCaml 5 process leaves the child's stop-the-world
+   machinery waiting on domains that did not survive the fork. *)
+let spawn_fork cfg =
+  if Par.spawned_domains () > 0 then
+    failwith
+      "divm_node: no divm_node worker executable found and domains are \
+       already spawned (fork unsafe); set DIVM_NODE_EXE or config.worker_exe";
+  let parent_ends = ref [] in
+  Array.init cfg.workers (fun wi ->
+      let parent_fd, child_fd =
+        Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+      in
+      match Unix.fork () with
+      | 0 ->
+          (* Child: drop every parent-side descriptor, serve, hard-exit
+             (no at_exit: the pool shutdown hook is the parent's). *)
+          List.iter (fun fd -> try Unix.close fd with _ -> ()) !parent_ends;
+          (try Unix.close parent_fd with _ -> ());
+          ignore_sigpipe ();
+          let code =
+            try
+              ignore (Protocol.write_msg child_fd (Protocol.Hello wi));
+              serve child_fd;
+              0
+            with e ->
+              prerr_endline ("divm_node worker: " ^ Printexc.to_string e);
+              1
+          in
+          Unix._exit code
+      | pid ->
+          (try Unix.close child_fd with _ -> ());
+          parent_ends := parent_fd :: !parent_ends;
+          { fd = parent_fd; pid = Some pid })
+
+let create ?(config = default_config) (dp : Dprog.t) =
+  if config.workers < 1 then invalid_arg "Node.create: workers must be >= 1";
+  ignore_sigpipe ();
+  let conns =
+    match discover_exe config with
+    | Some exe -> spawn_exec exe config
+    | None -> spawn_fork config
+  in
+  Array.iter
+    (fun c ->
+      (* Bounded coordinator waits: a wedged worker fails the batch
+         instead of hanging a CI job. *)
+      try Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 120. with _ -> ())
+    conns;
+  let t0 =
+    {
+      cfg = config;
+      dprog = dp;
+      driver = Runtime.create ~domains:1 (Dprog.compute_prog dp);
+      conns;
+      plans = [];
+      delta_at_workers = false;
+      wire = 0;
+      alive = true;
+    }
+  in
+  (* Ship the program; workers compile the same statements we do. *)
+  let init = Protocol.Init (Marshal.to_string dp []) in
+  Array.iteri (fun wi _ -> send t0 wi init) conns;
+  Array.iteri (fun wi _ -> expect_ack t0 wi) conns;
+  let compile_block trigger bi nstages (b : Dprog.block) =
+    match b.bmode with
+    | Dprog.MDist ->
+        let label = Printf.sprintf "stage:%d" nstages in
+        BDist (bi, Prof.slot ~trigger ~label)
+    | Dprog.MLocal ->
+        BLocal
+          (List.map
+             (fun d ->
+               match d with
+               | Dprog.Transfer { tname; tkind; key; source } ->
+                   NTransfer
+                     {
+                       tname;
+                       tkind;
+                       key;
+                       source;
+                       tslot = Prof.slot ~trigger ~label:("transfer:" ^ tname);
+                     }
+               | Dprog.Compute s ->
+                   let label = "driver:" ^ s.target in
+                   NDriver
+                     ( label,
+                       Prof.slot ~trigger ~label,
+                       List.hd (Runtime.compile_stmts t0.driver [ s ]) ))
+             b.bstmts)
+  in
+  let plans =
+    List.map
+      (fun (tr : Dprog.dtrigger) ->
+        let nstages = ref 0 in
+        ( tr.drelation,
+          List.mapi
+            (fun bi (b : Dprog.block) ->
+              if b.bmode = Dprog.MDist then incr nstages;
+              compile_block tr.drelation bi !nstages b)
+            tr.blocks ))
+      dp.dtriggers
+  in
+  let delta_at_workers =
+    List.exists
+      (fun (m : Divm_compiler.Prog.map_decl) ->
+        m.mkind = Divm_compiler.Prog.Transient
+        && Divm_calc.Calc.has_deltas m.definition
+        && Loc.find dp.locs m.mname <> Loc.Local)
+      dp.base.maps
+  in
+  Obs.Gauge.set g_workers (float_of_int config.workers);
+  { t0 with plans; delta_at_workers }
+
+(* ---- transfers (star topology through the coordinator) ---- *)
+
+type net = {
+  mutable total_bytes : int;
+  mutable into_node : int array;
+  mutable into_driver : int;
+}
+
+let tuple_bytes = Costmodel.tuple_bytes
+
+(* Pull sources, clear destinations, partition, deliver. The modeled byte
+   accounting is the simulator's exactly — origin = destination moves are
+   free in the model even though the star topology really sends them over
+   two socket hops; the difference is precisely what [wire_bytes] vs
+   [bytes_shuffled] exposes. *)
+let run_transfer t net (tr : transfer) =
+  let src_loc = Loc.find t.dprog.locs tr.source in
+  let dst_loc = Loc.find t.dprog.locs tr.tname in
+  let w = Array.length t.conns in
+  let sources =
+    match src_loc with
+    | Loc.Local -> [ (-1, Runtime.map_contents t.driver tr.source) ]
+    | Loc.Replicated ->
+        send t 0 (Protocol.Pull_map tr.source);
+        [ (-2, expect_contents t 0) ]
+    | Loc.Dist _ | Loc.Random ->
+        Array.iteri (fun wi _ -> send t wi (Protocol.Pull_map tr.source)) t.conns;
+        Array.to_list (Array.init w (fun wi -> (wi, expect_contents t wi)))
+  in
+  (match dst_loc with
+  | Loc.Local -> Runtime.clear_map t.driver tr.tname
+  | _ ->
+      Array.iteri (fun wi _ -> send t wi (Protocol.Clear_map tr.tname)) t.conns;
+      Array.iteri (fun wi _ -> expect_ack t wi) t.conns);
+  (* Per-destination out-buffers: duplicates pre-sum at the coordinator in
+     source-iteration order, so the float each worker finally stores is
+     bit-identical to the simulator's in-order adds into a cleared map. *)
+  let outs = Array.init w (fun _ -> Gmr.create ()) in
+  let deliver_worker origin wi tup m =
+    Gmr.add outs.(wi) tup m;
+    if origin <> wi then begin
+      let b = tuple_bytes tup in
+      net.total_bytes <- net.total_bytes + b;
+      net.into_node.(wi) <- net.into_node.(wi) + b
+    end
+  in
+  let deliver_driver origin tup m =
+    Runtime.add_to_map t.driver tr.tname tup m;
+    if origin <> -1 then begin
+      let b = tuple_bytes tup in
+      net.total_bytes <- net.total_bytes + b;
+      net.into_driver <- net.into_driver + b
+    end
+  in
+  let ser_bytes = ref 0 in
+  List.iter
+    (fun (origin, contents) ->
+      Gmr.iter
+        (fun tup m ->
+          ser_bytes := !ser_bytes + tuple_bytes tup;
+          match tr.tkind with
+          | Dprog.Gather -> deliver_driver origin tup m
+          | Dprog.Scatter | Dprog.Repart ->
+              if Array.length tr.key = 0 then
+                for wi = 0 to w - 1 do
+                  deliver_worker origin wi tup m
+                done
+              else
+                let sub = Divm_ring.Vtuple.project tup tr.key in
+                deliver_worker origin
+                  (Divm_ring.Vtuple.hash sub mod w)
+                  tup m)
+        contents)
+    sources;
+  if dst_loc <> Loc.Local then begin
+    Array.iteri
+      (fun wi _ -> send t wi (Protocol.Deliver (tr.tname, outs.(wi))))
+      t.conns;
+    Array.iteri (fun wi _ -> expect_ack t wi) t.conns
+  end;
+  !ser_bytes
+
+(* ---- batch execution ---- *)
+
+let apply_batch t ~rel batch =
+  if not t.alive then failwith "divm_node: engine is shut down";
+  let w = Array.length t.conns in
+  let batch_wall0 = Unix.gettimeofday () in
+  t.wire <- 0;
+  Obs.span ("node:" ^ rel) @@ fun () ->
+  if t.delta_at_workers then begin
+    let shares = Array.init w (fun _ -> Gmr.create ()) in
+    let i = ref 0 in
+    Gmr.iter
+      (fun tup m ->
+        Gmr.add shares.(!i mod w) tup m;
+        incr i)
+      batch;
+    Array.iteri
+      (fun wi _ -> send t wi (Protocol.Load_batch (rel, shares.(wi))))
+      t.conns;
+    Array.iteri (fun wi _ -> expect_ack t wi) t.conns;
+    Runtime.load_batch t.driver ~rel (Gmr.create ())
+  end
+  else begin
+    Runtime.load_batch t.driver ~rel batch;
+    let empty = Gmr.create () in
+    Array.iteri
+      (fun wi _ -> send t wi (Protocol.Load_batch (rel, empty)))
+      t.conns;
+    Array.iteri (fun wi _ -> expect_ack t wi) t.conns
+  end;
+  let blocks =
+    match List.assoc_opt rel t.plans with
+    | Some b -> b
+    | None -> invalid_arg ("Node.apply_batch: no trigger for " ^ rel)
+  in
+  let net = { total_bytes = 0; into_node = Array.make w 0; into_driver = 0 } in
+  let latency = ref 0. in
+  let stages = ref 0 in
+  let worker_ops = Array.make w 0 in
+  let max_worker_ops = ref 0 in
+  let driver_ops0 = Runtime.ops t.driver in
+  let pending_max_into = ref 0 in
+  let stats = ref [] in
+  List.iter
+    (fun nb ->
+      match nb with
+      | BLocal items ->
+          List.iter
+            (fun it ->
+              match it with
+              | NDriver (lbl, slot, f) ->
+                  Runtime.run_attributed t.driver ~label:lbl ~slot f
+              | NTransfer tr ->
+                  Obs.span ("transfer:" ^ tr.tname) (fun () ->
+                      let wall0 = Unix.gettimeofday () in
+                      let wire0 = t.wire in
+                      let bytes_before = net.total_bytes in
+                      let before_max =
+                        Array.fold_left max net.into_driver net.into_node
+                      in
+                      let ser = run_transfer t net tr in
+                      let wall = Unix.gettimeofday () -. wall0 in
+                      if Prof.enabled () then
+                        Prof.add tr.tslot ~ops:0 ~probes:0 ~misses:0 ~scanned:0
+                          ~bytes:(net.total_bytes - bytes_before)
+                          ~wall;
+                      let after_max =
+                        Array.fold_left max net.into_driver net.into_node
+                      in
+                      pending_max_into :=
+                        max !pending_max_into (after_max - before_max);
+                      let dt =
+                        Costmodel.transfer_latency t.cfg.cost ~ser_bytes:ser
+                          ~max_into:(after_max - before_max)
+                      in
+                      latency := !latency +. dt;
+                      stats :=
+                        {
+                          sname = "transfer:" ^ tr.tname;
+                          predicted = dt;
+                          measured = wall;
+                          sbytes = net.total_bytes - bytes_before;
+                          swire = t.wire - wire0;
+                        }
+                        :: !stats;
+                      if Obs.tracing () then begin
+                        Obs.set_attr "modeled_ms"
+                          (Printf.sprintf "%.6f" (dt *. 1e3));
+                        Obs.set_attr "measured_ms"
+                          (Printf.sprintf "%.6f" (wall *. 1e3));
+                        Obs.set_attr "bytes"
+                          (string_of_int (net.total_bytes - bytes_before))
+                      end))
+            items
+      | BDist (bi, slot) ->
+          incr stages;
+          let lbl = Printf.sprintf "stage:%d" !stages in
+          Obs.span lbl (fun () ->
+              let wall0 = Unix.gettimeofday () in
+              let wire0 = t.wire in
+              (* Broadcast, then barrier on every worker's reply — the
+                 workers execute their partitions genuinely in parallel. *)
+              Array.iteri
+                (fun wi _ -> send t wi (Protocol.Run_block (rel, bi)))
+                t.conns;
+              let deltas = Array.init w (fun wi -> expect_done t wi) in
+              let wall = Unix.gettimeofday () -. wall0 in
+              let max_ops = ref 0 in
+              Array.iteri
+                (fun wi d ->
+                  worker_ops.(wi) <- worker_ops.(wi) + d;
+                  max_ops := max !max_ops d)
+                deltas;
+              max_worker_ops := !max_worker_ops + !max_ops;
+              if Prof.enabled () then
+                Prof.add slot
+                  ~ops:(Array.fold_left ( + ) 0 deltas)
+                  ~probes:0 ~misses:0 ~scanned:0 ~bytes:0 ~wall;
+              let dt =
+                Costmodel.stage_latency t.cfg.cost ~workers:w ~max_ops:!max_ops
+                  ~pending_max_into:!pending_max_into
+              in
+              pending_max_into := 0;
+              latency := !latency +. dt;
+              stats :=
+                {
+                  sname = lbl;
+                  predicted = dt;
+                  measured = wall;
+                  sbytes = 0;
+                  swire = t.wire - wire0;
+                }
+                :: !stats;
+              if Obs.tracing () then begin
+                Obs.set_attr "modeled_ms" (Printf.sprintf "%.6f" (dt *. 1e3));
+                Obs.set_attr "measured_ms" (Printf.sprintf "%.6f" (wall *. 1e3));
+                Obs.set_attr "max_worker_ops" (string_of_int !max_ops);
+                Obs.set_attr "workers" (string_of_int w)
+              end))
+    blocks;
+  let driver_ops = Runtime.ops t.driver - driver_ops0 in
+  let wall = Unix.gettimeofday () -. batch_wall0 in
+  Obs.Counter.add m_bytes_shuffled net.total_bytes;
+  Obs.Counter.add m_wire_bytes t.wire;
+  Obs.Counter.add m_stages !stages;
+  Obs.Counter.incr m_batches;
+  Obs.Counter.add m_worker_ops (Array.fold_left ( + ) 0 worker_ops);
+  Obs.Counter.add m_driver_ops driver_ops;
+  if Obs.tracing () then begin
+    Obs.set_attr "modeled_latency_ms" (Printf.sprintf "%.6f" (!latency *. 1e3));
+    Obs.set_attr "stages" (string_of_int !stages);
+    Obs.set_attr "bytes_shuffled" (string_of_int net.total_bytes);
+    Obs.set_attr "wire_bytes" (string_of_int t.wire)
+  end;
+  {
+    latency = !latency;
+    wall;
+    stages = !stages;
+    bytes_shuffled = net.total_bytes;
+    wire_bytes = t.wire;
+    max_worker_ops = !max_worker_ops;
+    driver_ops;
+    stage_stats = List.rev !stats;
+  }
+
+(* ---- inspection ---- *)
+
+let map_contents t name =
+  if not t.alive then failwith "divm_node: engine is shut down";
+  match Loc.find t.dprog.locs name with
+  | Loc.Local -> Runtime.map_contents t.driver name
+  | Loc.Replicated ->
+      send t 0 (Protocol.Pull_map name);
+      expect_contents t 0
+  | Loc.Dist _ | Loc.Random ->
+      Array.iteri (fun wi _ -> send t wi (Protocol.Pull_map name)) t.conns;
+      let out = Gmr.create () in
+      Array.iteri
+        (fun wi _ -> Gmr.union_into out (expect_contents t wi))
+        t.conns;
+      out
+
+let result t qname =
+  match List.assoc_opt qname t.dprog.base.queries with
+  | Some m -> map_contents t m
+  | None -> invalid_arg ("Node.result: unknown query " ^ qname)
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Array.iter
+      (fun c ->
+        try ignore (Protocol.write_msg c.fd Protocol.Shutdown) with _ -> ())
+      t.conns;
+    Array.iter
+      (fun c -> try ignore (Protocol.read_msg c.fd) with _ -> ())
+      t.conns;
+    Array.iter (fun c -> try Unix.close c.fd with _ -> ()) t.conns;
+    Array.iter
+      (fun c ->
+        match c.pid with
+        | Some pid -> ( try ignore (Unix.waitpid [] pid) with _ -> ())
+        | None -> ())
+      t.conns
+  end

@@ -1,0 +1,108 @@
+(** Multi-process distributed execution: real worker processes instead of
+    the simulator's in-process runtimes.
+
+    A coordinator (this module, in the calling process) spawns [workers]
+    child processes, each owning one partition of every distributed map in
+    its own address space. Children are started by exec-ing the
+    [divm_node] binary in worker mode (fork is used only as a fallback
+    when no worker executable can be found and no {!Divm_par.Par} domains
+    have been spawned — forking a multi-domain OCaml 5 process deadlocks
+    the child). Coordinator and workers speak the framed binary protocol
+    of {!Protocol} over Unix domain sockets; the framing is
+    address-agnostic, so a TCP transport only changes socket setup.
+
+    Execution is driven stage-by-stage from the same
+    {!Divm_dist.Dprog.t} block structure the simulator executes: local
+    blocks run compiled statements on the coordinator's driver runtime,
+    distributed blocks are broadcast as [Run_block] and barrier on every
+    worker's [Block_done], and transfers pull source partitions and
+    deliver re-partitioned shares — through the coordinator, a star
+    topology. Workers compile the identical statements, shard identically
+    and hash-partition identically, so stores are bit-identical to a
+    {!Divm_cluster.Cluster} run of the same program (qcheck-verified in
+    [test_node]).
+
+    The {!Divm_dist.Costmodel} is evaluated over the real per-stage op
+    counts and modeled shuffle bytes — the same formulas, over the same
+    inputs, as the simulator — which makes the model a {e predictor}:
+    {!metrics} reports predicted latency next to measured wall time and
+    actual wire bytes, per batch and per stage. *)
+
+open Divm_storage
+open Divm_dist
+
+type config = {
+  workers : int;
+  cost : Costmodel.t;  (** predictor parameters ({!Costmodel.default}) *)
+  socket_dir : string option;
+      (** where the listening socket lives; default: [TMPDIR] *)
+  worker_exe : string option;
+      (** worker binary; default: [DIVM_NODE_EXE], else a [divm_node]
+          executable next to the running binary (or in a sibling [bin/]
+          directory), else fork fallback *)
+}
+
+val config :
+  ?workers:int ->
+  ?cost:Costmodel.t ->
+  ?socket_dir:string ->
+  ?worker_exe:string ->
+  unit ->
+  config
+(** Defaults: 2 workers (real processes are heavier than simulated
+    nodes), {!Costmodel.default}, [TMPDIR], auto-discovered binary. *)
+
+val default_config : config
+
+(** One distributed stage or transfer of a batch: the cost model's
+    prediction next to what actually happened. *)
+type stage_stat = {
+  sname : string;  (** ["stage:N"] or ["transfer:NAME"] *)
+  predicted : float;  (** modeled seconds ({!Divm_dist.Costmodel}) *)
+  measured : float;  (** wall-clock seconds *)
+  sbytes : int;  (** modeled shuffled payload bytes *)
+  swire : int;  (** actual framed bytes on the sockets *)
+}
+
+type metrics = {
+  latency : float;  (** predicted end-to-end seconds (cost model) *)
+  wall : float;  (** measured end-to-end seconds *)
+  stages : int;
+  bytes_shuffled : int;  (** modeled payload bytes (simulator-comparable) *)
+  wire_bytes : int;  (** actual bytes written to + read from sockets *)
+  max_worker_ops : int;
+  driver_ops : int;
+  stage_stats : stage_stat list;  (** in execution order *)
+}
+
+type t
+
+(** Spawn the worker processes, ship them the marshaled program, and wait
+    for every [Init] acknowledgment. Raises [Failure] when a worker
+    cannot be spawned or dies during the handshake. *)
+val create : ?config:config -> Dprog.t -> t
+
+val workers : t -> int
+
+(** Process one batch through the trigger of [rel]. Same sharding as the
+    simulator: round-robin over workers when the delta pre-aggregations
+    live there, whole batch to the driver otherwise. *)
+val apply_batch : t -> rel:string -> Gmr.t -> metrics
+
+(** Assembled global contents of a map (driver + worker partitions pulled
+    over the wire). *)
+val map_contents : t -> string -> Gmr.t
+
+val result : t -> string -> Gmr.t
+
+(** Orderly teardown: [Shutdown] to every worker, wait for the [Ack],
+    reap the children, remove the socket. Idempotent. *)
+val shutdown : t -> unit
+
+(** {1 Worker mode} *)
+
+(** [worker_main ~socket ~id] is the child's entry point ([divm_node
+    --worker]): connect to the coordinator's socket, identify with
+    [Hello id], and serve requests until [Shutdown]. Returns after the
+    shutdown handshake. *)
+val worker_main : socket:string -> id:int -> unit

@@ -1,0 +1,246 @@
+open Divm_ring
+open Divm_storage
+
+type msg =
+  | Hello of int
+  | Init of string
+  | Load_batch of string * Gmr.t
+  | Run_block of string * int
+  | Block_done of int
+  | Pull_map of string
+  | Map_contents of Gmr.t
+  | Deliver of string * Gmr.t
+  | Clear_map of string
+  | Ack
+  | Shutdown
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let max_frame = 64 * 1024 * 1024
+
+(* -------------------------------------------------------------- *)
+(* Encoding                                                        *)
+(* -------------------------------------------------------------- *)
+
+let add_string b s =
+  let n = String.length s in
+  if n > max_frame then err "string field of %d bytes exceeds max_frame" n;
+  Buffer.add_int32_be b (Int32.of_int n);
+  Buffer.add_string b s
+
+let add_value b (v : Value.t) =
+  match v with
+  | Value.Int i ->
+      Buffer.add_uint8 b 0;
+      Buffer.add_int64_be b (Int64.of_int i)
+  | Value.Float f ->
+      Buffer.add_uint8 b 1;
+      Buffer.add_int64_be b (Int64.bits_of_float f)
+  | Value.String s ->
+      Buffer.add_uint8 b 2;
+      add_string b s
+  | Value.Date d ->
+      Buffer.add_uint8 b 3;
+      Buffer.add_int64_be b (Int64.of_int d)
+
+let add_tuple b (tup : Vtuple.t) =
+  let n = Array.length tup in
+  if n > 0xffff then err "tuple arity %d exceeds encoding limit" n;
+  Buffer.add_uint16_be b n;
+  Array.iter (add_value b) tup
+
+let add_gmr b g =
+  Buffer.add_int32_be b (Int32.of_int (Gmr.cardinal g));
+  Gmr.iter
+    (fun tup m ->
+      add_tuple b tup;
+      Buffer.add_int64_be b (Int64.bits_of_float m))
+    g
+
+let tag_of = function
+  | Hello _ -> 1
+  | Init _ -> 2
+  | Load_batch _ -> 3
+  | Run_block _ -> 4
+  | Block_done _ -> 5
+  | Pull_map _ -> 6
+  | Map_contents _ -> 7
+  | Deliver _ -> 8
+  | Clear_map _ -> 9
+  | Ack -> 10
+  | Shutdown -> 11
+
+let encode m =
+  let b = Buffer.create 256 in
+  Buffer.add_uint8 b (tag_of m);
+  (match m with
+  | Hello wid -> Buffer.add_int32_be b (Int32.of_int wid)
+  | Init s -> add_string b s
+  | Load_batch (rel, g) ->
+      add_string b rel;
+      add_gmr b g
+  | Run_block (rel, bi) ->
+      add_string b rel;
+      Buffer.add_int32_be b (Int32.of_int bi)
+  | Block_done ops -> Buffer.add_int64_be b (Int64.of_int ops)
+  | Pull_map name | Clear_map name -> add_string b name
+  | Map_contents g -> add_gmr b g
+  | Deliver (name, g) ->
+      add_string b name;
+      add_gmr b g
+  | Ack | Shutdown -> ());
+  Buffer.contents b
+
+(* -------------------------------------------------------------- *)
+(* Decoding (strict: every read is bounds-checked)                 *)
+(* -------------------------------------------------------------- *)
+
+type reader = { buf : string; mutable pos : int }
+
+let need r n =
+  if r.pos + n > String.length r.buf then
+    err "truncated payload: need %d bytes at offset %d of %d" n r.pos
+      (String.length r.buf)
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  need r 2;
+  let v = String.get_uint16_be r.buf r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let get_i32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_be r.buf r.pos) in
+  r.pos <- r.pos + 4;
+  v
+
+let get_i64 r =
+  need r 8;
+  let v = String.get_int64_be r.buf r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let get_string r =
+  let n = get_i32 r in
+  if n < 0 || n > max_frame then err "string length %d out of range" n;
+  need r n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_value r : Value.t =
+  match get_u8 r with
+  | 0 -> Value.Int (Int64.to_int (get_i64 r))
+  | 1 -> Value.Float (Int64.float_of_bits (get_i64 r))
+  | 2 -> Value.String (get_string r)
+  | 3 -> Value.Date (Int64.to_int (get_i64 r))
+  | t -> err "unknown value tag %d" t
+
+let get_tuple r : Vtuple.t =
+  let n = get_u16 r in
+  Array.init n (fun _ -> get_value r)
+
+let get_gmr r =
+  let n = get_i32 r in
+  if n < 0 then err "negative entry count %d" n;
+  let g = Gmr.create ~size:(max 16 n) () in
+  for _ = 1 to n do
+    let tup = get_tuple r in
+    let m = Int64.float_of_bits (get_i64 r) in
+    Gmr.add g tup m
+  done;
+  g
+
+let decode s =
+  let r = { buf = s; pos = 0 } in
+  let m =
+    match get_u8 r with
+    | 1 -> Hello (get_i32 r)
+    | 2 -> Init (get_string r)
+    | 3 ->
+        let rel = get_string r in
+        Load_batch (rel, get_gmr r)
+    | 4 ->
+        let rel = get_string r in
+        Run_block (rel, get_i32 r)
+    | 5 -> Block_done (Int64.to_int (get_i64 r))
+    | 6 -> Pull_map (get_string r)
+    | 7 -> Map_contents (get_gmr r)
+    | 8 ->
+        let name = get_string r in
+        Deliver (name, get_gmr r)
+    | 9 -> Clear_map (get_string r)
+    | 10 -> Ack
+    | 11 -> Shutdown
+    | t -> err "unknown message tag %d" t
+  in
+  if r.pos <> String.length s then
+    err "%d trailing bytes after message" (String.length s - r.pos);
+  m
+
+(* -------------------------------------------------------------- *)
+(* Framing                                                         *)
+(* -------------------------------------------------------------- *)
+
+let encode_frame m =
+  let payload = encode m in
+  let n = String.length payload in
+  if n > max_frame then err "frame of %d bytes exceeds max_frame" n;
+  let b = Buffer.create (n + 4) in
+  Buffer.add_int32_be b (Int32.of_int n);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let frame_len s =
+  if String.length s < 4 then err "truncated frame: no length prefix";
+  let n = Int32.to_int (String.get_int32_be s 0) in
+  if n < 1 then err "frame length %d out of range" n;
+  if n > max_frame then err "frame length %d exceeds max_frame" n;
+  n
+
+let decode_frame s =
+  let n = frame_len s in
+  if String.length s < 4 + n then
+    err "truncated frame: length prefix says %d, only %d available" n
+      (String.length s - 4);
+  (decode (String.sub s 4 n), 4 + n)
+
+let write_msg fd m =
+  let frame = encode_frame m in
+  let n = String.length frame in
+  let pos = ref 0 in
+  while !pos < n do
+    match Unix.write_substring fd frame !pos (n - !pos) with
+    | 0 -> err "write returned 0"
+    | k -> pos := !pos + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  n
+
+(* Read exactly [n] bytes. [at_boundary] distinguishes an orderly peer
+   close (End_of_file) from a connection dying mid-frame (Error). *)
+let really_read fd n ~at_boundary =
+  let buf = Bytes.create n in
+  let pos = ref 0 in
+  while !pos < n do
+    match Unix.read fd buf !pos (n - !pos) with
+    | 0 ->
+        if at_boundary && !pos = 0 then raise End_of_file
+        else err "connection closed mid-frame (%d of %d bytes)" !pos n
+    | k -> pos := !pos + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Bytes.unsafe_to_string buf
+
+let read_msg fd =
+  let header = really_read fd 4 ~at_boundary:true in
+  let n = frame_len header in
+  let payload = really_read fd n ~at_boundary:false in
+  (decode payload, 4 + n)

@@ -1,0 +1,68 @@
+(** Wire protocol of the multi-process engine ({!Node}).
+
+    Every message travels in one frame: a 4-byte big-endian payload
+    length, then the payload — one tag byte followed by the body. The
+    framing carries no addresses or version fields; it is the same shape a
+    TCP transport would use, so moving off Unix domain sockets only
+    changes how the file descriptors are obtained.
+
+    The data plane (batches, map contents, shuffle deliveries) is encoded
+    by hand, not [Marshal]: values round-trip exactly (floats by their
+    IEEE-754 bits), so a store filled through the wire is bit-identical
+    to one filled in process — the property the simulator-equivalence
+    qcheck in [test_node] relies on. The one exception is [Init], whose
+    body is a marshaled {!Divm_dist.Dprog.t}: the distributed program is
+    pure data (no closures) and both ends run the same binary.
+
+    Decoding is strict: a frame longer than [max_frame], a payload that
+    ends mid-field, an unknown tag, or trailing bytes after the message
+    all raise {!Error} rather than yielding a partial message. *)
+
+open Divm_storage
+
+type msg =
+  | Hello of int  (** worker id, first message after connecting *)
+  | Init of string
+      (** marshaled {!Divm_dist.Dprog.t}; the worker builds its runtime *)
+  | Load_batch of string * Gmr.t  (** relation, this worker's batch share *)
+  | Run_block of string * int  (** trigger relation, block index *)
+  | Block_done of int  (** record-op delta the block executed *)
+  | Pull_map of string
+  | Map_contents of Gmr.t  (** reply to [Pull_map] *)
+  | Deliver of string * Gmr.t  (** shuffle delivery into a transient map *)
+  | Clear_map of string
+  | Ack
+  | Shutdown
+
+(** Malformed frame or payload (message names the defect). *)
+exception Error of string
+
+(** Frames larger than this are rejected on both ends (64 MiB — far above
+    any TPC-H batch, small enough to stop a corrupt length prefix from
+    allocating the moon). *)
+val max_frame : int
+
+(** [encode m] is [m]'s payload (tag + body, no length prefix). *)
+val encode : msg -> string
+
+(** [decode s] parses a full payload. Raises {!Error} on unknown tags,
+    truncated fields, or trailing bytes. *)
+val decode : string -> msg
+
+(** [encode_frame m] is the complete frame: length prefix + payload. *)
+val encode_frame : msg -> string
+
+(** [decode_frame s] parses one complete frame and returns the message and
+    the number of bytes consumed. Raises {!Error} when [s] is shorter
+    than its own length prefix claims, or when the prefix exceeds
+    [max_frame]. *)
+val decode_frame : string -> msg * int
+
+(** Blocking send of one framed message; returns bytes written (frame
+    size, for wire accounting). *)
+val write_msg : Unix.file_descr -> msg -> int
+
+(** Blocking receive of one framed message; returns the message and bytes
+    read. Raises {!Error} on EOF mid-frame or an oversized length, and
+    [End_of_file] on EOF at a frame boundary (orderly peer exit). *)
+val read_msg : Unix.file_descr -> msg * int

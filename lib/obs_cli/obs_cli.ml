@@ -134,3 +134,151 @@ let scan_argv () =
     | arg :: tl -> go (arg :: acc) tl
   in
   go [] (List.tl (Array.to_list Sys.argv))
+
+(* ---------------- unified engine flags ---------------- *)
+
+module Engine = Divm_engine.Engine
+
+type common = { engine : Engine.config; opts : opts }
+
+(* Re-point the backend variant: a [--backend] name keeps the current
+   backend's parameters when it already is that variant (so [defaults]
+   survive), otherwise starts from that backend's default config;
+   [--workers] re-parameterizes whichever distributed backend won. *)
+let resolve_backend (current : Engine.backend) backend workers =
+  let base =
+    match backend with
+    | None -> current
+    | Some `Local -> Engine.Local
+    | Some `Simulated -> (
+        match current with
+        | Engine.Simulated _ -> current
+        | _ -> Engine.Simulated (Divm_cluster.Cluster.config ()))
+    | Some `Multiprocess -> (
+        match current with
+        | Engine.Multiprocess _ -> current
+        | _ -> Engine.Multiprocess (Divm_node.Node.config ()))
+  in
+  match (workers, base) with
+  | None, b -> b
+  | Some w, Engine.Simulated cc ->
+      Engine.Simulated { cc with Divm_cluster.Cluster.workers = w }
+  | Some w, Engine.Multiprocess nc ->
+      Engine.Multiprocess { nc with Divm_node.Node.workers = w }
+  | Some _, Engine.Local -> Engine.Local
+
+let combine (defaults : Engine.config) backend workers domains batch level opts
+    =
+  let engine =
+    {
+      defaults with
+      Engine.backend = resolve_backend defaults.Engine.backend backend workers;
+      domains =
+        (match domains with Some _ -> domains | None -> defaults.Engine.domains);
+      batch_size = Option.value batch ~default:defaults.Engine.batch_size;
+      opt_level = Option.value level ~default:defaults.Engine.opt_level;
+    }
+  in
+  { engine; opts }
+
+let backend_conv =
+  Arg.enum
+    [ ("local", `Local); ("simulated", `Simulated); ("multiprocess", `Multiprocess) ]
+
+let parse_common ?(defaults = Engine.default_config) () =
+  let backend_t =
+    Arg.(
+      value
+      & opt (some backend_conv) None
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Execution backend: $(b,local) (specialized single-process \
+             runtime), $(b,simulated) (deterministic cluster simulator, \
+             modeled latency), or $(b,multiprocess) (real worker processes \
+             over sockets; the cost model becomes a predictor reported next \
+             to measured wall time).")
+  in
+  let workers_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers"; "w" ] ~docv:"N"
+          ~doc:"Worker count for the simulated or multiprocess backend.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Execution domains (default: $(b,DIVM_DOMAINS) or 1): the local \
+             runtime's batch fan-out, or the simulator's stage fan-out. \
+             Ignored by the multiprocess backend (its parallelism is the \
+             worker processes).")
+  in
+  let batch_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"N" ~doc:"Update batch size.")
+  in
+  let level_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "opt-level" ] ~docv:"L"
+          ~doc:"Distributed optimization level 0\xE2\x80\x933 (Fig. 13).")
+  in
+  Term.(
+    const (combine defaults)
+    $ backend_t $ workers_t $ domains_t $ batch_t $ level_t $ setup)
+
+let scan_common ?(defaults = Engine.default_config) () =
+  let rest = scan_argv () in
+  let backend = ref None
+  and workers = ref None
+  and domains = ref None
+  and batch = ref None
+  and level = ref None in
+  let int_arg flag v =
+    match int_of_string_opt v with
+    | Some i -> i
+    | None -> invalid_arg (flag ^ " expects an integer, got " ^ v)
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--backend" :: v :: tl ->
+        (backend :=
+           match v with
+           | "local" -> Some `Local
+           | "simulated" -> Some `Simulated
+           | "multiprocess" -> Some `Multiprocess
+           | _ -> invalid_arg ("unknown backend " ^ v));
+        go acc tl
+    | ("--workers" | "-w") :: v :: tl ->
+        workers := Some (int_arg "--workers" v);
+        go acc tl
+    | "--domains" :: v :: tl ->
+        domains := Some (int_arg "--domains" v);
+        go acc tl
+    | "--batch" :: v :: tl ->
+        batch := Some (int_arg "--batch" v);
+        go acc tl
+    | "--opt-level" :: v :: tl ->
+        level := Some (int_arg "--opt-level" v);
+        go acc tl
+    | a :: tl -> go (a :: acc) tl
+  in
+  let rest = go [] rest in
+  ( combine defaults !backend !workers !domains !batch !level
+      { explain = false; profile = false },
+    rest )
+
+let activate_engine eng opts =
+  let name = (Engine.workload eng).Divm_workload.Workload.wname in
+  let plan =
+    match Engine.dprog eng with
+    | Some dp -> Profile.explain_dist ~name dp
+    | None -> Profile.explain ~name (Engine.prog eng)
+  in
+  activate ~plan ~storage:(fun () -> Engine.storage_stats eng) opts

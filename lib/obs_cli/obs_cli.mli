@@ -53,3 +53,32 @@ val setup : opts Cmdliner.Term.t
     plan-less at-exit report), and return the remaining arguments
     (excluding [Sys.argv.(0)]). *)
 val scan_argv : unit -> string list
+
+(** {1 Unified engine flags}
+
+    Every front end takes the same engine flags — [--backend
+    local|simulated|multiprocess], [--workers], [--domains], [--batch],
+    [--opt-level] — plus the five observability flags above, and turns
+    them into one {!Divm_engine.Engine.config}. This is the only flag
+    parser the binaries use; none of them constructs a runtime, simulator
+    or node engine by hand anymore. *)
+
+type common = { engine : Divm_engine.Engine.config; opts : opts }
+
+(** Cmdliner term for the engine + observability flags. [defaults] seeds
+    the per-binary defaults (e.g. divm_cluster starts from a [Simulated]
+    backend with 8 workers); flags the user passes override it.
+    [--workers] re-parameterizes whichever distributed backend is
+    selected; [--backend simulated|multiprocess] starts from the default
+    config of that backend when [defaults] named a different one. *)
+val parse_common : ?defaults:Divm_engine.Engine.config -> unit -> common Cmdliner.Term.t
+
+(** Argv-scanning equivalent of {!parse_common} for the bench harness:
+    consumes engine and observability flags from [Sys.argv], returns the
+    parsed {!common} and the remaining arguments. *)
+val scan_common : ?defaults:Divm_engine.Engine.config -> unit -> common * string list
+
+(** [activate_engine eng opts] is {!activate} wired to an engine: the
+    EXPLAIN plan is derived from the engine's compiled (distributed)
+    program and the storage thunk from {!Divm_engine.Engine.storage_stats}. *)
+val activate_engine : Divm_engine.Engine.t -> opts -> unit

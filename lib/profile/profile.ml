@@ -393,7 +393,9 @@ let reconcile ~diff =
       sum (fun r -> r.Prof.r_ops),
       reg "divm_record_ops_total"
       + reg "divm_cluster_driver_ops_total"
-      + reg "divm_cluster_worker_ops_total" );
+      + reg "divm_cluster_worker_ops_total"
+      + reg "divm_node_driver_ops_total"
+      + reg "divm_node_worker_ops_total" );
     ("probes", sum (fun r -> r.Prof.r_probes), reg "divm_index_probes_total");
     ( "misses",
       sum (fun r -> r.Prof.r_misses),
@@ -403,7 +405,8 @@ let reconcile ~diff =
       reg "divm_slice_scanned_total" );
     ( "bytes",
       sum (fun r -> r.Prof.r_bytes),
-      reg "divm_cluster_bytes_shuffled_total" );
+      reg "divm_cluster_bytes_shuffled_total"
+      + reg "divm_node_bytes_shuffled_total" );
   ]
 
 let hist_summary h =

@@ -11,7 +11,16 @@
     - continuation passing avoids intermediate materialization of unions
       and top-level aggregates;
     - a single-tuple fast path binds the update tuple's fields directly,
-      with no batch materialization ([apply_single]). *)
+      with no batch materialization ([apply_single]).
+
+    {b Front ends:} this interface is the [Local] backend behind
+    [Divm.Engine]; binaries and harnesses construct engines through
+    [Engine.create] rather than calling {!create} directly (one config
+    record selects local/simulated/multiprocess execution behind one
+    [apply_batch]/[query] signature). Direct [Runtime] use is for the
+    library layers that {e are} the backends — the cluster simulator, the
+    node engine's driver and workers — and for tests that exercise this
+    runtime specifically. *)
 
 open Divm_ring
 open Divm_storage

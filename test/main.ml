@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "divm"
-    (Test_ring.suites @ Test_calc.suites @ Test_interp.suites @ Test_delta.suites @ Test_compiler.suites @ Test_storage.suites @ Test_runtime.suites @ Test_dist.suites @ Test_tpch.suites @ Test_tpcds.suites @ Test_sql.suites @ Test_misc.suites @ Test_ft.suites @ Test_obs.suites @ Test_par.suites @ Test_profile.suites)
+    (Test_ring.suites @ Test_calc.suites @ Test_interp.suites @ Test_delta.suites @ Test_compiler.suites @ Test_storage.suites @ Test_runtime.suites @ Test_dist.suites @ Test_tpch.suites @ Test_tpcds.suites @ Test_sql.suites @ Test_misc.suites @ Test_ft.suites @ Test_obs.suites @ Test_par.suites @ Test_profile.suites @ Test_node.suites)

@@ -1,0 +1,342 @@
+(* Multi-process engine tests: the wire codec round-trips bit-exactly and
+   rejects malformed frames; a real 2-worker process cluster leaves stores
+   bit-identical to the simulator over random TPC-H streams; the Engine
+   facade gives the same answers through every backend. *)
+
+open Divm_ring
+open Divm_storage
+module Protocol = Divm_node.Protocol
+module Node = Divm_node.Node
+module Cluster = Divm_cluster.Cluster
+module Workload = Divm_workload.Workload
+module Engine = Divm_engine.Engine
+module Tpch = Divm_tpch
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun i -> Value.Int i) int);
+        ( 3,
+          map
+            (fun f -> Value.Float f)
+            (oneof
+               [
+                 float;
+                 oneofl [ 0.0; -0.0; 1e-300; -1e300; 0.1; infinity ];
+               ]) );
+        (2, map (fun s -> Value.String s) (string_size (int_range 0 20)));
+        (1, map (fun d -> Value.Date d) (int_range 19920101 19981231));
+      ])
+
+let gen_tuple = QCheck.Gen.(map Array.of_list (list_size (int_range 0 6) gen_value))
+
+let gen_gmr =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        let g = Gmr.create () in
+        List.iter (fun (t, m) -> Gmr.add g t m) l;
+        g)
+      (list_size (int_range 0 25)
+         (pair gen_tuple (oneof [ float; oneofl [ 1.; -2.; 0.5 ] ]))))
+
+let gen_name =
+  QCheck.Gen.(
+    string_size ~gen:(map (fun i -> Char.chr i) (int_range 97 122))
+      (int_range 1 12))
+
+let gen_msg =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, map (fun i -> Protocol.Hello i) (int_range 0 100));
+        (1, map (fun s -> Protocol.Init s) (string_size (int_range 0 64)));
+        ( 3,
+          map2 (fun r g -> Protocol.Load_batch (r, g)) gen_name gen_gmr );
+        (1, map2 (fun r i -> Protocol.Run_block (r, i)) gen_name (int_range 0 50));
+        (1, map (fun i -> Protocol.Block_done i) (int_range 0 1_000_000));
+        (1, map (fun m -> Protocol.Pull_map m) gen_name);
+        (3, map (fun g -> Protocol.Map_contents g) gen_gmr);
+        (3, map2 (fun m g -> Protocol.Deliver (m, g)) gen_name gen_gmr);
+        (1, map (fun m -> Protocol.Clear_map m) gen_name);
+        (1, return Protocol.Ack);
+        (1, return Protocol.Shutdown);
+      ])
+
+(* Bit-exact multiset equality: same tuples (values compared structurally,
+   which for floats is bit comparison via [compare]) and multiplicities
+   equal as IEEE-754 bit patterns. *)
+let gmr_bits_equal a b =
+  Gmr.cardinal a = Gmr.cardinal b
+  && Gmr.fold
+       (fun t m acc ->
+         acc && Gmr.mem b t
+         && Int64.equal (Int64.bits_of_float m) (Int64.bits_of_float (Gmr.mult b t)))
+       a true
+
+let msg_equal (a : Protocol.msg) (b : Protocol.msg) =
+  match (a, b) with
+  | Protocol.Load_batch (r1, g1), Protocol.Load_batch (r2, g2)
+  | Protocol.Deliver (r1, g1), Protocol.Deliver (r2, g2) ->
+      String.equal r1 r2 && gmr_bits_equal g1 g2
+  | Protocol.Map_contents g1, Protocol.Map_contents g2 -> gmr_bits_equal g1 g2
+  | a, b -> a = b
+
+let qcheck_codec_roundtrip =
+  let arb = QCheck.make ~print:(fun _ -> "<msg>") gen_msg in
+  QCheck.Test.make ~name:"protocol codec round-trips bit-exactly" ~count:500 arb
+    (fun m ->
+      let payload = Protocol.encode m in
+      if not (msg_equal m (Protocol.decode payload)) then
+        Alcotest.fail "decode (encode m) <> m";
+      let frame = Protocol.encode_frame m in
+      let m', consumed = Protocol.decode_frame frame in
+      if consumed <> String.length frame then
+        Alcotest.failf "frame not fully consumed: %d <> %d" consumed
+          (String.length frame);
+      if not (msg_equal m m') then Alcotest.fail "frame round-trip diverged";
+      (* Frames are self-delimiting: a concatenated stream splits back. *)
+      let m'', consumed' = Protocol.decode_frame (frame ^ frame) in
+      msg_equal m m'' && consumed' = String.length frame)
+
+let expect_error name f =
+  match f () with
+  | exception Protocol.Error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Protocol.Error, got %s" name
+        (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: malformed input accepted" name
+
+let qcheck_codec_truncated =
+  let arb = QCheck.make ~print:(fun _ -> "<msg>") gen_msg in
+  QCheck.Test.make ~name:"truncated frames and payloads are rejected" ~count:200
+    arb (fun m ->
+      let frame = Protocol.encode_frame m in
+      let n = String.length frame in
+      (* Any strict prefix must be rejected (or, below 4 header bytes,
+         still rejected — decode_frame never guesses). *)
+      for cut = 1 to n - 1 do
+        expect_error
+          (Printf.sprintf "prefix of %d/%d bytes" cut n)
+          (fun () -> Protocol.decode_frame (String.sub frame 0 cut))
+      done;
+      true)
+
+let test_codec_malformed () =
+  (* Length prefix exceeding max_frame. *)
+  let oversized =
+    let b = Buffer.create 8 in
+    Buffer.add_int32_be b (Int32.of_int (Protocol.max_frame + 1));
+    Buffer.add_string b "xxxx";
+    Buffer.contents b
+  in
+  expect_error "oversized length prefix" (fun () ->
+      Protocol.decode_frame oversized);
+  (* Zero-length payload. *)
+  expect_error "empty payload" (fun () ->
+      Protocol.decode_frame "\x00\x00\x00\x00");
+  (* Unknown tag byte. *)
+  expect_error "unknown tag" (fun () -> Protocol.decode "\xff");
+  (* Trailing garbage after a complete message. *)
+  expect_error "trailing bytes" (fun () ->
+      Protocol.decode (Protocol.encode Protocol.Ack ^ "\x00"));
+  (* Gmr count claiming more entries than the payload holds. *)
+  let lying =
+    let b = Buffer.create 16 in
+    Buffer.add_string b (Protocol.encode (Protocol.Map_contents (Gmr.create ())))
+    ;
+    (* patch the count field (last 4 bytes of the empty-Gmr encoding) *)
+    let s = Bytes.of_string (Buffer.contents b) in
+    Bytes.set s (Bytes.length s - 1) '\xff';
+    Bytes.to_string s
+  in
+  expect_error "lying entry count" (fun () -> Protocol.decode lying)
+
+(* ------------------------------------------------------------------ *)
+(* Simulated vs multiprocess store equivalence                         *)
+(* ------------------------------------------------------------------ *)
+
+let tpch_queries =
+  [ "Q1"; "Q3"; "Q4"; "Q6"; "Q7"; "Q12"; "Q13"; "Q14"; "Q17"; "Q19"; "Q22" ]
+
+let close_rel a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.max a b)
+
+(* The acceptance property of the whole subsystem: a real 2-process
+   cluster replaying a random TPC-H stream leaves every non-transient
+   store bit-identical to the simulator running the same program at the
+   same worker count, and the cost model predicts the same latency and
+   shuffle bytes on both (it sees the same op counts). *)
+let qcheck_node_equiv =
+  let arb =
+    QCheck.(
+      make
+        ~print:(Print.pair Print.int Print.int)
+        Gen.(pair (int_range 0 10_000) (int_range 1 40)))
+  in
+  QCheck.Test.make
+    ~name:"multiprocess stores bit-identical to simulator on TPC-H streams"
+    ~count:3 arb
+    (fun (seed, batch_size) ->
+      let stream = Tpch.Gen.stream { Tpch.Gen.scale = 0.03; seed } ~batch_size in
+      List.iter
+        (fun qn ->
+          let w = Workload.find qn in
+          let prog = Workload.compile w in
+          let dp = Workload.distribute w prog in
+          let sim =
+            Cluster.create ~config:(Cluster.config ~workers:2 ()) ~domains:1 dp
+          in
+          let node = Node.create ~config:(Node.config ~workers:2 ()) dp in
+          Fun.protect
+            ~finally:(fun () -> Node.shutdown node)
+            (fun () ->
+              List.iter
+                (fun (rel, b) ->
+                  let ms = Cluster.apply_batch sim ~rel b in
+                  let mn = Node.apply_batch node ~rel b in
+                  if not (close_rel ms.Cluster.latency mn.Node.latency) then
+                    Alcotest.failf
+                      "%s: predicted latency diverges from simulator: %g vs %g"
+                      qn mn.Node.latency ms.Cluster.latency;
+                  if ms.Cluster.bytes_shuffled <> mn.Node.bytes_shuffled then
+                    Alcotest.failf
+                      "%s: modeled shuffle bytes diverge: %d vs %d" qn
+                      mn.Node.bytes_shuffled ms.Cluster.bytes_shuffled;
+                  if ms.Cluster.stages <> mn.Node.stages then
+                    Alcotest.failf "%s: stage counts diverge: %d vs %d" qn
+                      mn.Node.stages ms.Cluster.stages)
+                stream;
+              List.iter
+                (fun (m : Divm_compiler.Prog.map_decl) ->
+                  if m.mkind <> Divm_compiler.Prog.Transient then
+                    let gs = Cluster.map_contents sim m.mname in
+                    let gn = Node.map_contents node m.mname in
+                    if not (gmr_bits_equal gs gn) then
+                      Alcotest.failf
+                        "%s: store %s differs between simulator and worker \
+                         processes"
+                        qn m.mname)
+                prog.Divm_compiler.Prog.maps))
+        tpch_queries;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Engine facade                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_backends () =
+  let stream =
+    Tpch.Gen.stream { Tpch.Gen.scale = 0.05; seed = 7 } ~batch_size:300
+  in
+  let run backend =
+    let eng =
+      Engine.create ~config:(Engine.config ~backend ~domains:1 ()) (Workload.find "Q3")
+    in
+    Fun.protect
+      ~finally:(fun () -> Engine.shutdown eng)
+      (fun () ->
+        let reports =
+          List.map (fun (rel, b) -> Engine.apply_batch eng ~rel b) stream
+        in
+        (Engine.query eng "Q3", Engine.backend_name eng, reports))
+  in
+  let g_local, n_local, _ = run Engine.Local in
+  let g_sim, n_sim, _ =
+    run (Engine.Simulated (Cluster.config ~workers:2 ()))
+  in
+  let g_proc, n_proc, proc_reports =
+    run (Engine.Multiprocess (Node.config ~workers:2 ()))
+  in
+  Alcotest.(check string) "local name" "local" n_local;
+  Alcotest.(check string) "simulated name" "simulated" n_sim;
+  Alcotest.(check string) "multiprocess name" "multiprocess" n_proc;
+  if not (Gmr.equal ~eps:1e-6 g_local g_sim) then
+    Alcotest.failf "Q3 diverges local vs simulated:@.%a@.vs %a" Gmr.pp g_sim
+      Gmr.pp g_local;
+  if not (gmr_bits_equal g_sim g_proc) then
+    Alcotest.fail "Q3 diverges simulated vs multiprocess";
+  (* Multiprocess reports carry the predictor next to the measurement,
+     and reconcile_json aggregates them into the CI artifact. *)
+  List.iter
+    (fun (r : Engine.report) ->
+      match r.Engine.modeled with
+      | Some l when l >= 0. -> ()
+      | _ -> Alcotest.fail "multiprocess report lacks modeled latency")
+    proc_reports;
+  Alcotest.(check bool) "some batch predicted positive latency" true
+    (List.exists
+       (fun (r : Engine.report) ->
+         match r.Engine.modeled with Some l -> l > 0. | None -> false)
+       proc_reports);
+  Alcotest.(check bool) "some batch carries stage stats" true
+    (List.exists (fun (r : Engine.report) -> r.Engine.stage_stats <> []) proc_reports);
+  let json = Engine.reconcile_json proc_reports in
+  Alcotest.(check bool) "reconcile json has stage rows" true
+    (String.length json > 2
+    && String.sub json 0 1 = "["
+    &&
+    let has s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    has json "\"predicted_ms\"" && has json "\"measured_ms\"")
+
+let test_engine_single_and_load () =
+  (* apply_single on a distributed backend is a one-tuple batch; load on a
+     distributed backend replays entries incrementally. Both must agree
+     with the simulator fed the same tuples. *)
+  let stream =
+    Tpch.Gen.stream { Tpch.Gen.scale = 0.03; seed = 3 } ~batch_size:50
+  in
+  let mk backend = Engine.create ~config:(Engine.config ~backend ()) (Workload.find "Q6") in
+  let a = mk (Engine.Simulated (Cluster.config ~workers:2 ())) in
+  let b = mk (Engine.Simulated (Cluster.config ~workers:2 ())) in
+  List.iter
+    (fun (rel, batch) ->
+      ignore (Engine.apply_batch a ~rel batch);
+      Gmr.iter (fun t m -> ignore (Engine.apply_single b ~rel t m)) batch)
+    stream;
+  if not (Gmr.equal ~eps:1e-6 (Engine.query a "Q6") (Engine.query b "Q6")) then
+    Alcotest.fail "Q6 diverges between batch and single-tuple application"
+
+(* ------------------------------------------------------------------ *)
+(* Cluster config/argument domain precedence                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cluster_domains_contradiction () =
+  let w = Workload.find "Q6" in
+  let dp = Workload.distribute w (Workload.compile w) in
+  (match
+     Cluster.create ~config:(Cluster.config ~workers:2 ~domains:2 ()) ~domains:4
+       dp
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "contradictory domain counts accepted");
+  (* Agreement and one-sided pinning are fine. *)
+  ignore
+    (Cluster.create ~config:(Cluster.config ~workers:2 ~domains:2 ()) ~domains:2
+       dp);
+  ignore (Cluster.create ~config:(Cluster.config ~workers:2 ()) ~domains:1 dp)
+
+let suites =
+  [
+    ( "node",
+      [
+        QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_codec_truncated;
+        Alcotest.test_case "malformed frames rejected" `Quick
+          test_codec_malformed;
+        QCheck_alcotest.to_alcotest qcheck_node_equiv;
+        Alcotest.test_case "engine backends agree" `Quick test_engine_backends;
+        Alcotest.test_case "engine single/load paths" `Quick
+          test_engine_single_and_load;
+        Alcotest.test_case "cluster domains contradiction" `Quick
+          test_cluster_domains_contradiction;
+      ] );
+  ]
