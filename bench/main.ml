@@ -307,6 +307,18 @@ let table2 () =
                  (Tpch.Gen.stream tpch_cfg ~batch_size:bs);
                Runtime.ops rt))
          sizes
+    @ [
+        (* same batched plan on the row-at-a-time (generic) executor:
+           isolates what typed columnar batches buy in locality *)
+        run_mode "B=1000 (generic rows)" (fun () ->
+            let prog = compile_tpch q in
+            let rt = Runtime.create ~columnar:false prog in
+            Runtime.reset_ops rt;
+            List.iter
+              (fun (rel, b) -> ignore (Runtime.apply_batch rt ~rel b))
+              (Tpch.Gen.stream tpch_cfg ~batch_size:1000);
+            Runtime.ops rt);
+      ]
   in
   B.print_table
     ~title:
@@ -894,8 +906,10 @@ let quick () =
          results)
   in
   Printf.printf
-    "QUICK_JSON {\"bench\":\"quick\",\"batch_size\":%d,\"domains\":%d,\"queries\":{%s},\"geomean_tuples_per_s\":%.0f,\"geomean_ops_per_s\":%.0f}\n"
-    bs !used_domains fields g_tps g_ops
+    "QUICK_JSON {\"bench\":\"quick\",\"batch_size\":%d,\"domains\":%d,\"host_cores\":%d,\"queries\":{%s},\"geomean_tuples_per_s\":%.0f,\"geomean_ops_per_s\":%.0f}\n"
+    bs !used_domains
+    (Stdlib.Domain.recommended_domain_count ())
+    fields g_tps g_ops
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)

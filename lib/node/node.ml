@@ -122,6 +122,11 @@ let serve fd =
               Protocol.Map_contents (Runtime.map_contents (st ()).wrt name)
           | Protocol.Deliver (name, g) ->
               let s = st () in
+              (* replay in slot order: the decoded GMR preserves the
+                 sender's buffer order, which is the order the simulator
+                 delivers in. Any reordering here would permute the
+                 transient's slots and perturb downstream float
+                 summation, breaking bit-identity with the simulator. *)
               Gmr.iter (fun tup m -> Runtime.add_to_map s.wrt name tup m) g;
               Protocol.Ack
           | Protocol.Clear_map name ->

@@ -50,13 +50,66 @@ let add_tuple b (tup : Vtuple.t) =
   Buffer.add_uint16_be b n;
   Array.iter (add_value b) tup
 
-let add_gmr b g =
-  Buffer.add_int32_be b (Int32.of_int (Gmr.cardinal g));
+(* Uniform tuple arity of a GMR, or [None] for mixed arities (which must
+   fall back to the row layout). *)
+let gmr_width g =
+  let w = ref (-1) and ok = ref true in
+  Gmr.iter
+    (fun tup _ ->
+      let n = Array.length tup in
+      if !w = -1 then w := n else if n <> !w then ok := false)
+    g;
+  if !ok && !w >= 0 && !w <= 0xffff then Some !w else None
+
+let add_rows b g =
   Gmr.iter
     (fun tup m ->
       add_tuple b tup;
       Buffer.add_int64_be b (Int64.bits_of_float m))
     g
+
+(* GMR payload: entry count, then a layout byte. Layout 1 ships the
+   entries as flat typed columns (u16 width; per column a u8 kind tag and
+   an unboxed payload; then the multiplicities) — one contiguous run per
+   attribute instead of a tag per cell. Layout 0 is the per-row fallback,
+   kept for empty and mixed-arity GMRs. Both layouts preserve the
+   source's slot iteration order, so replaying a decoded GMR rebuilds a
+   bit-identical store. *)
+let add_gmr b g =
+  Buffer.add_int32_be b (Int32.of_int (Gmr.cardinal g));
+  match gmr_width g with
+  | Some w when Gmr.cardinal g > 0 && w > 0 ->
+      Buffer.add_uint8 b 1;
+      Buffer.add_uint16_be b w;
+      let cb = Colbatch.of_gmr ~width:w g in
+      let n = Colbatch.length cb in
+      for c = 0 to w - 1 do
+        match Colbatch.col cb c with
+        | Colbatch.CInt a ->
+            Buffer.add_uint8 b 0;
+            for i = 0 to n - 1 do
+              Buffer.add_int64_be b (Int64.of_int a.(i))
+            done
+        | Colbatch.CFloat a ->
+            Buffer.add_uint8 b 1;
+            for i = 0 to n - 1 do
+              Buffer.add_int64_be b (Int64.bits_of_float a.(i))
+            done
+        | Colbatch.CDate a ->
+            Buffer.add_uint8 b 2;
+            for i = 0 to n - 1 do
+              Buffer.add_int64_be b (Int64.of_int a.(i))
+            done
+        | Colbatch.CBoxed a ->
+            Buffer.add_uint8 b 3;
+            Array.iter (add_value b) a
+      done;
+      Array.iter
+        (fun m -> Buffer.add_int64_be b (Int64.bits_of_float m))
+        (Colbatch.mults cb)
+  | _ ->
+      Buffer.add_uint8 b 0;
+      add_rows b g
 
 let tag_of = function
   | Hello _ -> 1
@@ -150,13 +203,41 @@ let get_tuple r : Vtuple.t =
 let get_gmr r =
   let n = get_i32 r in
   if n < 0 then err "negative entry count %d" n;
-  let g = Gmr.create ~size:(max 16 n) () in
-  for _ = 1 to n do
-    let tup = get_tuple r in
-    let m = Int64.float_of_bits (get_i64 r) in
-    Gmr.add g tup m
-  done;
-  g
+  (* every entry carries at least an 8-byte multiplicity *)
+  if n > max_frame / 8 then err "entry count %d exceeds frame capacity" n;
+  match get_u8 r with
+  | 0 ->
+      let g = Gmr.create ~size:(max 16 n) () in
+      for _ = 1 to n do
+        let tup = get_tuple r in
+        let m = Int64.float_of_bits (get_i64 r) in
+        Gmr.add g tup m
+      done;
+      g
+  | 1 ->
+      let w = get_u16 r in
+      if w = 0 then err "columnar layout with zero width";
+      if n = 0 then err "columnar layout with zero entries";
+      let cols =
+        Array.init w (fun _ ->
+            match get_u8 r with
+            | 0 ->
+                Colbatch.CInt
+                  (Array.init n (fun _ -> Int64.to_int (get_i64 r)))
+            | 1 ->
+                Colbatch.CFloat
+                  (Array.init n (fun _ -> Int64.float_of_bits (get_i64 r)))
+            | 2 ->
+                Colbatch.CDate
+                  (Array.init n (fun _ -> Int64.to_int (get_i64 r)))
+            | 3 -> Colbatch.CBoxed (Array.init n (fun _ -> get_value r))
+            | k -> err "unknown column kind %d" k)
+      in
+      let mults =
+        Array.init n (fun _ -> Int64.float_of_bits (get_i64 r))
+      in
+      Colbatch.to_gmr (Colbatch.of_cols cols ~mults)
+  | l -> err "unknown gmr layout %d" l
 
 let decode s =
   let r = { buf = s; pos = 0 } in

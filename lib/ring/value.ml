@@ -37,13 +37,19 @@ let compare a b =
   | Float x, Int y -> Float.compare x (float_of_int y)
   | _ -> Stdlib.compare (ty_of a) (ty_of b)
 
+(* Numeric comparison with a relative tolerance; the single source of
+   truth for [compare_approx] on numeric operands and for the unboxed
+   comparators the vectorized executor compiles. *)
+let fcompare_approx x y =
+  let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+  if Float.abs (x -. y) <= 1e-9 *. scale then 0 else Float.compare x y
+
 let compare_approx a b =
   match (a, b) with
   | (Int _ | Float _ | Date _), (Int _ | Float _ | Date _) ->
       let x = (match a with Int i -> float_of_int i | Float f -> f | Date d -> float_of_int d | _ -> 0.)
       and y = (match b with Int i -> float_of_int i | Float f -> f | Date d -> float_of_int d | _ -> 0.) in
-      let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
-      if Float.abs (x -. y) <= 1e-9 *. scale then 0 else Float.compare x y
+      fcompare_approx x y
   | _ -> compare a b
 
 let hash = function

@@ -26,6 +26,11 @@ val compare : t -> t -> int
     [compare]. *)
 val compare_approx : t -> t -> int
 
+(** The numeric core of [compare_approx], on raw floats — for unboxed
+    comparators compiled by the vectorized executor. Agrees with
+    [compare_approx] on every numeric operand pair. *)
+val fcompare_approx : float -> float -> int
+
 val hash : t -> int
 
 (** Numeric view of a value; [String] raises [Invalid_argument]. *)

@@ -779,7 +779,7 @@ let route_label_of_group (ps : vplan list) =
    closure reads the current row through this record, so one binding
    serves every batch. *)
 type vctx = {
-  mutable vc_cols : Value.t array array; (* group column layout *)
+  mutable vc_cols : Colbatch.col array; (* group column layout, typed *)
   mutable vc_mults : float array;
   mutable vc_counts : float array; (* source rows merged per compacted row *)
   mutable vc_row : int;
@@ -865,6 +865,9 @@ type ginst = {
   gi_gslices : gslice array;
   gi_bufs : (Pool.t * Gmr.t) array; (* per member, only when buffered *)
   gi_clears : Pool.t list; (* Assign targets, cleared before any run *)
+  gi_boxed : int array;
+      (* column slots read as boxed [Value]s by some per-row reader;
+         batch prep pre-boxes these (see [box_reads]) *)
 }
 
 let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
@@ -921,6 +924,10 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
   in
   let ops = rt.ops in
   let bufs = ref [] in
+  (* compacted columns some bound reader reads as boxed [Value]s, row by
+     row — the batch prep pre-boxes exactly these once per batch so the
+     hot loops chase one pointer instead of allocating per read *)
+  let boxed_cols : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let bind_member (p : vplan) =
     let accs =
       Array.of_list
@@ -961,7 +968,8 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
     let reader_of = function
       | VSrc c ->
           let cc = cpos.(c) in
-          fun () -> ctx.vc_cols.(cc).(ctx.vc_row)
+          Hashtbl.replace boxed_cols cc ();
+          fun () -> Colbatch.get ctx.vc_cols.(cc) ctx.vc_row
       | VAux n ->
           let i = aux_slot n in
           fun () -> aux_arr.(i)
@@ -1001,6 +1009,60 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
       let ca = compile_ve a and cb = compile_ve b in
       fun () -> op (ca ()) (cb ())
     in
+    (* Float-specialized compilation: statically numeric expressions
+       evaluate as raw floats, so hot filters and weights never box a
+       [Value] per row (typed columns otherwise allocate on every read).
+       The bool tracks possible [Date] operands, whose ordering under
+       [Value.compare] (Min/Max) and [Value.neg] differ from plain
+       numerics — those shapes fall back to the boxed evaluator. *)
+    let rec compile_vf (ve : Vexpr.t) : ((unit -> float) * bool) option =
+      match ve with
+      | Vexpr.Const (Value.Int i) ->
+          let f = float_of_int i in
+          Some ((fun () -> f), false)
+      | Vexpr.Const (Value.Float f) -> Some ((fun () -> f), false)
+      | Vexpr.Const (Value.Date d) ->
+          let f = float_of_int d in
+          Some ((fun () -> f), true)
+      | Vexpr.Const (Value.String _) -> None
+      | Vexpr.Var x -> (
+          if x.ty = Value.TString then None
+          else
+            let dateish = x.ty = Value.TDate in
+            match pos_of x.name with
+            | Some c ->
+                let cc = cpos.(c) in
+                Some
+                  ( (fun () -> Colbatch.float_get ctx.vc_cols.(cc) ctx.vc_row),
+                    dateish )
+            | None ->
+                let i = aux_slot x.name in
+                Some ((fun () -> Value.to_float aux_arr.(i)), dateish))
+      | Vexpr.Add (a, b) -> fbin ( +. ) a b
+      | Vexpr.Sub (a, b) -> fbin ( -. ) a b
+      | Vexpr.Mul (a, b) -> fbin ( *. ) a b
+      | Vexpr.Div (a, b) -> fbin ( /. ) a b
+      | Vexpr.Neg a -> (
+          match compile_vf a with
+          | Some (fa, false) -> Some ((fun () -> -.fa ()), false)
+          | _ -> None)
+      | Vexpr.Floor a -> (
+          match compile_vf a with
+          | Some (fa, d) -> Some ((fun () -> Float.floor (fa ())), d)
+          | None -> None)
+      | Vexpr.Min (a, b) -> fminmax Float.min a b
+      | Vexpr.Max (a, b) -> fminmax Float.max a b
+    and fbin op a b =
+      match (compile_vf a, compile_vf b) with
+      | Some (fa, da), Some (fb, db) ->
+          Some ((fun () -> op (fa ()) (fb ())), da || db)
+      | _ -> None
+    and fminmax op a b =
+      match (compile_vf a, compile_vf b) with
+      | Some (fa, false), Some (fb, false) ->
+          Some ((fun () -> op (fa ()) (fb ())), false)
+      | _ -> None
+    in
     (* account member references for the probes-saved model *)
     List.iter
       (function
@@ -1010,25 +1072,58 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
         | _ -> ())
       p.vp_steps;
     let target = pool rt p.vp_stmt.target in
-    let tk = Array.of_list (List.map reader_of p.vp_tkey) in
-    let tw = Array.length tk in
-    let scratch = Array.make tw (Value.Int 0) in
+    (* An all-source target key emits through the columnar bulk path:
+       hash and compare typed cells in place ([Colbatch.row_hash] is
+       bit-compatible with [Oaidx.hash]), materializing the key tuple
+       only when the record is first inserted. Keys involving lift/slice
+       outputs fall back to the scratch-tuple path. *)
+    let src_tkey =
+      let rec go acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | VSrc c :: tl -> go (cpos.(c) :: acc) tl
+        | VAux _ :: _ -> None
+      in
+      go [] p.vp_tkey
+    in
     let emit =
-      if buffered then begin
-        let buf = Gmr.create () in
-        bufs := (target, buf) :: !bufs;
-        fun m ->
-          for j = 0 to tw - 1 do
-            Array.unsafe_set scratch j ((Array.unsafe_get tk j) ())
-          done;
-          Gmr.add_borrow buf scratch m
-      end
-      else
-        fun m ->
-          for j = 0 to tw - 1 do
-            Array.unsafe_set scratch j ((Array.unsafe_get tk j) ())
-          done;
-          Pool.add_borrow target scratch m
+      match src_tkey with
+      | Some tkc ->
+          let eq (key : Vtuple.t) =
+            Colbatch.row_eq ctx.vc_cols tkc ctx.vc_row key
+          in
+          let make () = Colbatch.row_tuple ctx.vc_cols tkc ctx.vc_row in
+          if buffered then begin
+            let buf = Gmr.create () in
+            bufs := (target, buf) :: !bufs;
+            fun m ->
+              Gmr.add_by buf
+                ~hash:(Colbatch.row_hash ctx.vc_cols tkc ctx.vc_row)
+                ~eq ~make m
+          end
+          else
+            fun m ->
+              Pool.add_by target
+                ~hash:(Colbatch.row_hash ctx.vc_cols tkc ctx.vc_row)
+                ~eq ~make m
+      | None ->
+          let tk = Array.of_list (List.map reader_of p.vp_tkey) in
+          let tw = Array.length tk in
+          let scratch = Array.make tw (Value.Int 0) in
+          if buffered then begin
+            let buf = Gmr.create () in
+            bufs := (target, buf) :: !bufs;
+            fun m ->
+              for j = 0 to tw - 1 do
+                Array.unsafe_set scratch j ((Array.unsafe_get tk j) ())
+              done;
+              Gmr.add_borrow buf scratch m
+          end
+          else
+            fun m ->
+              for j = 0 to tw - 1 do
+                Array.unsafe_set scratch j ((Array.unsafe_get tk j) ())
+              done;
+              Pool.add_borrow target scratch m
     in
     let rec chain steps (k : float -> unit) : float -> unit =
       match steps with
@@ -1050,14 +1145,37 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
             Array.iter (fun a -> t := !t +. a.ga_val) terms;
             aux_arr.(s) <- Value.Float !t;
             next m
-      | VFilter (op, a, b) :: tl ->
-          let ca = compile_ve a and cb = compile_ve b and next = chain tl k in
-          fun m -> if Calc.eval_cmp op (ca ()) (cb ()) then next m
-      | VWeight ve :: tl ->
-          let cv = compile_ve ve and next = chain tl k in
-          fun m ->
-            let x = Value.to_float (cv ()) in
-            if x <> 0. then next (m *. x)
+      | VFilter (op, a, b) :: tl -> (
+          let next = chain tl k in
+          match (compile_vf a, compile_vf b) with
+          | Some (fa, _), Some (fb, _) ->
+              (* unboxed comparison; [Value.fcompare_approx] is exactly
+                 the numeric branch of [Value.compare_approx] *)
+              let test =
+                match op with
+                | Calc.Eq -> fun x y -> Value.fcompare_approx x y = 0
+                | Calc.Neq -> fun x y -> Value.fcompare_approx x y <> 0
+                | Calc.Lt -> fun x y -> Value.fcompare_approx x y < 0
+                | Calc.Lte -> fun x y -> Value.fcompare_approx x y <= 0
+                | Calc.Gt -> fun x y -> Value.fcompare_approx x y > 0
+                | Calc.Gte -> fun x y -> Value.fcompare_approx x y >= 0
+              in
+              fun m -> if test (fa ()) (fb ()) then next m
+          | _ ->
+              let ca = compile_ve a and cb = compile_ve b in
+              fun m -> if Calc.eval_cmp op (ca ()) (cb ()) then next m)
+      | VWeight ve :: tl -> (
+          let next = chain tl k in
+          match compile_vf ve with
+          | Some (fv, _) ->
+              fun m ->
+                let x = fv () in
+                if x <> 0. then next (m *. x)
+          | None ->
+              let cv = compile_ve ve in
+              fun m ->
+                let x = Value.to_float (cv ()) in
+                if x <> 0. then next (m *. x))
       | VSlice _ :: _ -> assert false
     in
     let pre, sliced =
@@ -1115,6 +1233,9 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
     gi_gslices = Array.of_list !gslices;
     gi_bufs = Array.of_list (List.rev !bufs);
     gi_clears = List.filter_map fst members;
+    gi_boxed =
+      (let cs = Hashtbl.fold (fun c () acc -> c :: acc) boxed_cols [] in
+       Array.of_list (List.sort compare cs));
   }
 
 let resolve_slice ctx gs =
@@ -1134,7 +1255,7 @@ let resolve_slice ctx gs =
     in
     let bw = Array.length gs.gs_bcols in
     for j = 0 to bw - 1 do
-      gs.gs_sub.(j) <- ctx.vc_cols.(gs.gs_bcols.(j)).(ctx.vc_row)
+      gs.gs_sub.(j) <- Colbatch.get ctx.vc_cols.(gs.gs_bcols.(j)) ctx.vc_row
     done;
     match gs.gs_index with
     | Some index -> Pool.slice gs.gs_pool ~index gs.gs_sub push
@@ -1182,7 +1303,7 @@ let run_groups (inst : ginst) starts (counts : float array) glo ghi =
       (fun a ->
         let kw = Array.length a.ga_key in
         for j = 0 to kw - 1 do
-          a.ga_scratch.(j) <- ctx.vc_cols.(a.ga_key.(j)).(lo)
+          a.ga_scratch.(j) <- Colbatch.get ctx.vc_cols.(a.ga_key.(j)) lo
         done;
         a.ga_val <- Pool.get a.ga_pool a.ga_scratch;
         saved := !saved + (a.ga_uses * orig) - 1)
@@ -1208,8 +1329,39 @@ let source_colbatch rt (shape : gshape) raw =
     Colbatch.of_iter ~width:shape.sh_width ~count:(Pool.cardinal p) (fun f ->
         Pool.foreach p f)
 
+(* Merged batch rows whose multiplicity cancelled to ~0 can be dropped
+   before execution when every member weights rows by multiplicity; an
+   Exists-wrapped source reads support counts instead, and a cancelled
+   row still has support. *)
+let group_drop_cancelled (ps : vplan list) =
+  List.for_all (fun (p : vplan) -> not p.vp_source.vs_exists) ps
+
+(* Whether any member resolves store accessors per group (probes or
+   slices) — the grouped driver only pays for compaction when it does. *)
+(* Pre-box the columns in [boxed] (compacted slot numbers): per-row
+   boxed readers then return an existing heap value instead of
+   allocating a fresh [Value] on every read. Columns only read through
+   unboxed paths (float-compiled filters/weights, [row_hash]) keep
+   their typed representation. *)
+let box_reads (cols : Colbatch.col array) n (boxed : int array) =
+  Array.iter
+    (fun c ->
+      match cols.(c) with
+      | Colbatch.CBoxed _ -> ()
+      | col -> cols.(c) <- Colbatch.CBoxed (Array.init n (Colbatch.get col)))
+    boxed
+
+let plans_have_access (ps : vplan list) =
+  List.exists
+    (fun (p : vplan) ->
+      p.vp_probes <> []
+      || List.exists (function VSlice _ -> true | _ -> false) p.vp_steps)
+    ps
+
 let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
   let shape = group_shape ps in
+  let drop_cancelled = group_drop_cancelled ps in
+  let has_access = plans_have_access ps in
   let inst = bind_instance rt ~shape ~buffered:false ps in
   let ctx = inst.gi_ctx in
   let clears = inst.gi_clears in
@@ -1217,7 +1369,7 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
      sort-based compaction and run the members straight over the batch
      rows (each batch/pool row is a distinct tuple, so per-row support
      counts are 1). *)
-  let no_access = inst.gi_gaccs = [||] && inst.gi_gslices = [||] in
+  let no_access = not has_access in
   let ones = ref [||] in
   let ones_of n =
     if Array.length !ones < n then ones := Array.make (max n 1024) 1.;
@@ -1227,7 +1379,8 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
     let cb = source_colbatch rt shape raw in
     List.iter Pool.clear clears;
     let n = Colbatch.length cb in
-    ctx.vc_cols <- Array.map (fun c -> Colbatch.column cb c) shape.sh_sel;
+    ctx.vc_cols <- Array.map (Colbatch.col cb) shape.sh_sel;
+    box_reads ctx.vc_cols n inst.gi_boxed;
     ctx.vc_mults <- Colbatch.mults cb;
     ctx.vc_counts <- ones_of n;
     run_rows inst 0 n;
@@ -1241,12 +1394,13 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
     let cb = source_colbatch rt shape raw in
     List.iter Pool.clear clears;
     let comp, starts, counts =
-      Colbatch.compact_group cb ~key:shape.sh_sk ~rest:shape.sh_rest
+      Colbatch.compact_group ~drop_cancelled cb ~key:shape.sh_sk
+        ~rest:shape.sh_rest
     in
     Obs.Counter.add m_rows_compacted
       (Colbatch.length cb - Colbatch.length comp);
-    ctx.vc_cols <-
-      Array.init (Array.length shape.sh_sel) (Colbatch.column comp);
+    ctx.vc_cols <- Array.init (Array.length shape.sh_sel) (Colbatch.col comp);
+    box_reads ctx.vc_cols (Colbatch.length comp) inst.gi_boxed;
     ctx.vc_mults <- Colbatch.mults comp;
     ctx.vc_counts <- counts;
     let saved = run_groups inst starts counts 0 (Array.length starts - 1) in
@@ -1267,19 +1421,23 @@ let bind_group_par (rt : t) (pl : Par.Pool.t) (ps : vplan list) :
     Colbatch.t Lazy.t -> unit =
   let d = rt.domains in
   let shape = group_shape ps in
+  let drop_cancelled = group_drop_cancelled ps in
+  let has_access = plans_have_access ps in
   let insts =
     Array.init d (fun _ -> bind_instance rt ~shape ~buffered:true ps)
   in
   let inst0 = insts.(0) in
   (* Assign targets are shared pools: every instance lists the same ones *)
   let clears = inst0.gi_clears in
-  let no_access = inst0.gi_gaccs = [||] && inst0.gi_gslices = [||] in
+  let no_access = not has_access in
   let merge () =
     Array.iter
       (fun inst ->
         Array.iter
           (fun (target, buf) ->
-            Gmr.iter (fun key m -> Pool.add target key m) buf;
+            (* bulk merge replaying the buffer's cached hashes; keys are
+               transferred (the buffer is cleared immediately after) *)
+            Pool.merge_gmr target buf;
             Gmr.clear buf)
           inst.gi_bufs)
       insts
@@ -1293,7 +1451,8 @@ let bind_group_par (rt : t) (pl : Par.Pool.t) (ps : vplan list) :
     let cb = source_colbatch rt shape raw in
     List.iter Pool.clear clears;
     let n = Colbatch.length cb in
-    let cols = Array.map (fun c -> Colbatch.column cb c) shape.sh_sel in
+    let cols = Array.map (Colbatch.col cb) shape.sh_sel in
+    box_reads cols n inst0.gi_boxed;
     let mults = Colbatch.mults cb in
     let counts = ones_of n in
     let tasks =
@@ -1316,11 +1475,13 @@ let bind_group_par (rt : t) (pl : Par.Pool.t) (ps : vplan list) :
     let cb = source_colbatch rt shape raw in
     List.iter Pool.clear clears;
     let comp, starts, counts =
-      Colbatch.compact_group cb ~key:shape.sh_sk ~rest:shape.sh_rest
+      Colbatch.compact_group ~drop_cancelled cb ~key:shape.sh_sk
+        ~rest:shape.sh_rest
     in
     Obs.Counter.add m_rows_compacted
       (Colbatch.length cb - Colbatch.length comp);
-    let cols = Array.init (Array.length shape.sh_sel) (Colbatch.column comp) in
+    let cols = Array.init (Array.length shape.sh_sel) (Colbatch.col comp) in
+    box_reads cols (Colbatch.length comp) inst0.gi_boxed;
     let mults = Colbatch.mults comp in
     let ng = Array.length starts - 1 in
     (* contiguous group ranges, balanced by compacted row count (group

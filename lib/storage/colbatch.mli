@@ -1,14 +1,31 @@
-(** Column-oriented update batches (§5.2.2).
+(** Column-oriented update batches (§5.2.2), v2: typed unboxed columns.
 
     Input batches and shuffled view contents travel in columnar form: one
-    value array per attribute plus a multiplicity array. Filtering and
-    projection scan single columns (cache-friendly); row transformers
-    convert to and from row-oriented GMRs/pools. [compact_group] is the
-    workhorse of the vectorized batched-join executor: it coalesces
-    duplicate keys and sort-groups the survivors so downstream probes run
-    once per distinct key, not once per row. *)
+    array per attribute plus a multiplicity array. Each column commits to
+    an unboxed physical representation ([int array] for Int and Date,
+    [float array] for Float) chosen from its first row at construction
+    time; a column falls back to boxed [Value.t] cells only when it holds
+    strings or genuinely mixed types. Scans touch flat arrays
+    (cache-friendly, no per-cell pointer chase); row transformers convert
+    to and from row-oriented GMRs/pools.
+
+    [compact_group] is the workhorse of the vectorized batched-join
+    executor: it coalesces duplicate rows and groups the survivors by key
+    so downstream probes run once per distinct key, not once per row.
+    Since v2 it orders rows by cached hashes (two stable counting
+    passes — no comparison sort); cell values are compared only between
+    hash-equal neighbours. *)
 
 open Divm_ring
+
+(** The physical representation of one column. Read-only: the arrays are
+    owned by the batch. [CInt]/[CDate]/[CFloat] are the unboxed fast
+    paths; [CBoxed] is the fallback for strings and mixed-type columns. *)
+type col =
+  | CInt of int array
+  | CDate of int array
+  | CFloat of float array
+  | CBoxed of Value.t array
 
 type t
 
@@ -26,10 +43,26 @@ val of_gmr : width:int -> Gmr.t -> t
 val of_iter :
   width:int -> count:int -> ((Vtuple.t -> float -> unit) -> unit) -> t
 
-(** Column-to-row transformer. *)
+(** Wrap pre-built columns (all the same length as [mults]). Used by the
+    wire codec, which ships columns as flat arrays. *)
+val of_cols : col array -> mults:float array -> t
+
+(** Column-to-row transformer; adds rows in row order (so replaying a
+    decoded batch is deterministic). *)
 val to_gmr : t -> Gmr.t
 
+(** Typed physical column [c]. *)
+val col : t -> int -> col
+
+(** Boxed read of one cell. *)
+val get : col -> int -> Value.t
+
+(** Unboxed numeric read ([Value.to_float] semantics). *)
+val float_get : col -> int -> float
+
+(** Materialize column [c] as boxed values (copies; test/debug aid). *)
 val column : t -> int -> Value.t array
+
 val mults : t -> float array
 
 (** [iter_rows b f] calls [f tuple mult] per row. The tuple array is a
@@ -50,10 +83,24 @@ val project : t -> int array -> t
     output is the pre-aggregated batch). *)
 val aggregate : t -> Gmr.t
 
-(** [compact_group b ~key ~rest] sorts the batch on the selected columns
-    [key @ rest] (original column positions), merges rows that agree on
-    every selected column (summing multiplicities), and returns
-    [(compacted, starts, counts)]:
+(** {2 Row hashing for bulk merges}
+
+    These fold typed cells directly — no per-cell boxing — and are
+    bit-compatible with the row-oriented stores: [row_hash cols sel i]
+    equals [Oaidx.hash] of the materialized sub-tuple, [row_eq] matches
+    [Vtuple.equal], and [row_tuple] materializes the sub-tuple (only
+    needed on first insert). Together with [Pool.add_by]/[Gmr.add_by]
+    they let the executor's ring-(+) merge apply compacted rows without
+    building a [Vtuple] per row. *)
+
+val row_hash : col array -> int array -> int -> int
+val row_eq : col array -> int array -> int -> Vtuple.t -> bool
+val row_tuple : col array -> int array -> int -> Vtuple.t
+
+(** [compact_group b ~key ~rest] merges rows that agree on every selected
+    column [key @ rest] (original column positions, summing
+    multiplicities), groups the survivors by the [key] columns, and
+    returns [(compacted, starts, counts)]:
 
     - [compacted] has exactly the columns [key @ rest] in that order and
       one row per distinct selected-column combination;
@@ -64,9 +111,42 @@ val aggregate : t -> Gmr.t
       (needed by Exists-style consumers that count support rather than
       summing multiplicities).
 
-    Merged multiplicities may cancel to ~0; rows are kept regardless, so
-    consumers decide between mult- and count-based semantics. *)
-val compact_group : t -> key:int array -> rest:int array -> t * int array * float array
+    Rows are ordered by cached 64-bit hashes (radix-style stable counting
+    partitions), not sorted by value: duplicate rows always share hashes
+    and therefore always merge, but in the (vanishingly rare) event of a
+    hash collision a key group may be emitted split across two ranges of
+    [starts]. Consumers must treat groups as "runs of equal keys", not
+    "all rows of that key" — the executor's per-group accessor resolution
+    is correct either way, it merely amortizes slightly less on a split.
 
-(** Serialized size in bytes. *)
+    With [~drop_cancelled:true], merged rows whose multiplicity cancels
+    to ~0 ([Mult.zero_eps]) are dropped and counted in
+    [divm_batch_rows_cancelled_total]. Only sound when every consumer
+    weights rows by multiplicity; count/Exists-style consumers (which
+    read [counts]) must keep cancelled rows. *)
+val compact_group :
+  ?drop_cancelled:bool ->
+  t ->
+  key:int array ->
+  rest:int array ->
+  t * int array * float array
+
+(** The PR 4 sort-based compaction (comparison sort over boxed cells).
+    Reference implementation: slower, but its output satisfies the same
+    contract with perfect grouping. Kept as the qcheck oracle for the
+    radix path. *)
+val compact_group_sorted :
+  ?drop_cancelled:bool ->
+  t ->
+  key:int array ->
+  rest:int array ->
+  t * int array * float array
+
+(** Test hook for the radix path: when [Some b], per-cell compaction
+    hashes keep only their low [b] bits, forcing distinct values to
+    collide. Reset to [None] after use. *)
+val hash_bits_for_tests : int option ref
+
+(** Serialized size in bytes. O(width) arithmetic on typed columns (boxed
+    columns are scanned once and the result is memoized). *)
 val byte_size : t -> int

@@ -3,6 +3,7 @@ open Divm_ring
 type t = {
   mutable keys : Vtuple.t array;
   mutable mults : float array; (* 0. marks a dead slot: live ones are >= eps *)
+  mutable hs : int array; (* per-slot cached index hash, for bulk merges *)
   mutable hwm : int; (* high-water mark *)
   mutable count : int;
   free : Intvec.t;
@@ -17,6 +18,7 @@ let create ?(size = 16) () =
   {
     keys = Array.make cap Vtuple.empty;
     mults = Array.make cap 0.;
+    hs = Array.make cap 0;
     hwm = 0;
     count = 0;
     free = Intvec.create ();
@@ -32,8 +34,11 @@ let grow r =
   Array.blit r.keys 0 nk 0 cap;
   let nm = Array.make (2 * cap) 0. in
   Array.blit r.mults 0 nm 0 cap;
+  let nh = Array.make (2 * cap) 0 in
+  Array.blit r.hs 0 nh 0 cap;
   r.keys <- nk;
-  r.mults <- nm
+  r.mults <- nm;
+  r.hs <- nh
 
 let alloc_slot r =
   if Intvec.is_empty r.free then begin
@@ -54,9 +59,8 @@ let drop_slot r s =
 (* Single-probe upsert. [copy] implements the scratch-key protocol: a
    borrowed key buffer is only duplicated when it must be retained, i.e.
    on first insert of that key. *)
-let upsert ~copy r tup m =
+let upsert_h ~copy r h tup m =
   if not (is_zero m) then begin
-    let h = Oaidx.hash tup in
     let s = Oaidx.find_latched r.idx r.keys h tup in
     if s >= 0 then begin
       let m' = r.mults.(s) +. m in
@@ -66,13 +70,49 @@ let upsert ~copy r tup m =
       let s = alloc_slot r in
       r.keys.(s) <- (if copy then Array.copy tup else tup);
       r.mults.(s) <- m;
+      r.hs.(s) <- h;
       Oaidx.add_latched r.idx h s;
       r.count <- r.count + 1
     end
   end
 
+let upsert ~copy r tup m = upsert_h ~copy r (Oaidx.hash tup) tup m
 let add r tup m = upsert ~copy:false r tup m
 let add_borrow r tup m = upsert ~copy:true r tup m
+let add_hashed r h tup m = upsert_h ~copy:false r h tup m
+
+(* Columnar upsert: the key exists only as typed cells on the producer's
+   side. [eq] compares those cells against a stored tuple; [make]
+   materializes the tuple, called only when this is the first insert. *)
+let add_by r ~hash ~eq ~make m =
+  if not (is_zero m) then begin
+    let s = Oaidx.find_pred_latched r.idx r.keys hash eq in
+    if s >= 0 then begin
+      let m' = r.mults.(s) +. m in
+      if is_zero m' then drop_slot r s else r.mults.(s) <- m'
+    end
+    else begin
+      let s = alloc_slot r in
+      r.keys.(s) <- make ();
+      r.mults.(s) <- m;
+      r.hs.(s) <- hash;
+      Oaidx.add_latched r.idx hash s;
+      r.count <- r.count + 1
+    end
+  end
+
+(* Visit entries together with their cached hashes, in slot order — the
+   same order as [iter]. Bulk merges into another hash-indexed store skip
+   re-hashing, and because slot order is insertion order, replaying a
+   merge assigns destination slots deterministically (the serial and
+   domain-parallel executors must converge on bit-identical stores). *)
+let iter_hashed f r =
+  let keys = r.keys and mults = r.mults and hs = r.hs in
+  for s = 0 to r.hwm - 1 do
+    let m = Array.unsafe_get mults s in
+    if m <> 0. then
+      f (Array.unsafe_get keys s) m (Array.unsafe_get hs s)
+  done
 
 let set r tup m =
   let h = Oaidx.hash tup in
@@ -84,6 +124,7 @@ let set r tup m =
     let s = alloc_slot r in
     r.keys.(s) <- tup;
     r.mults.(s) <- m;
+    r.hs.(s) <- h;
     Oaidx.add_latched r.idx h s;
     r.count <- r.count + 1
   end
@@ -109,6 +150,7 @@ let copy r =
   {
     keys = Array.copy r.keys;
     mults = Array.copy r.mults;
+    hs = Array.copy r.hs;
     hwm = r.hwm;
     count = r.count;
     free = Intvec.copy r.free;

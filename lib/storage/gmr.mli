@@ -28,6 +28,27 @@ val add : t -> Vtuple.t -> float -> unit
     when this is its first insertion. *)
 val add_borrow : t -> Vtuple.t -> float -> unit
 
+(** [add_hashed r h tup m]: [add] with the finalized [Oaidx.hash] already
+    in hand (e.g. replayed from another table via {!iter_hashed}). [tup]
+    is retained by reference. *)
+val add_hashed : t -> int -> Vtuple.t -> float -> unit
+
+(** Columnar upsert: probe with a precomputed [hash] and a cell-level
+    [eq] against stored tuples; [make] materializes the key tuple and is
+    called only on first insert. Lets columnar producers merge rows
+    without building a [Vtuple] per row (see [Colbatch.row_hash]). *)
+val add_by :
+  t -> hash:int -> eq:(Vtuple.t -> bool) -> make:(unit -> Vtuple.t) ->
+  float -> unit
+
+(** [iter_hashed f r] calls [f tup m h] per entry with its cached
+    finalized hash, in slot (= insertion) order, same as {!iter}. Slot
+    order matters: bulk merges that replay a buffer into a destination
+    store assign destination slots in a deterministic order, which keeps
+    later float summation orders — and so whole stores — bit-identical
+    across serial and parallel execution. *)
+val iter_hashed : (Vtuple.t -> float -> int -> unit) -> t -> unit
+
 (** [set r tup m] overwrites the multiplicity (removing on zero). *)
 val set : t -> Vtuple.t -> float -> unit
 

@@ -27,12 +27,20 @@ let cardinal t = t.count
    every key field. The multiplier is the xorshift* constant, the largest
    odd mixing constant that fits in a 63-bit OCaml int. Never returns 0,
    which is reserved for empty buckets. *)
-let hash (k : Vtuple.t) =
-  let h = Vtuple.hash k in
+let finalize h =
   let h = h lxor (h lsr 31) in
   let h = h * 0x2545F4914F6CDD1D in
   let h = h lxor (h lsr 29) in
   if h = 0 then 0x2545F491 else h
+
+let hash (k : Vtuple.t) = finalize (Vtuple.hash k)
+
+(* Visit every (cached hash, slot) pair, in bucket order. *)
+let iter t f =
+  for i = 0 to t.mask do
+    let h = Array.unsafe_get t.hashes i in
+    if h <> 0 then f h (Array.unsafe_get t.slots i)
+  done
 
 (* Side-effect-free probe: safe for concurrent readers of a shared table
    (the parallel batch executor probes store pools from many domains).
@@ -65,6 +73,25 @@ let find_latched t (keys : Vtuple.t array) h (k : Vtuple.t) =
     else if
       hb = h
       && Vtuple.equal (Array.unsafe_get keys (Array.unsafe_get slots !i)) k
+    then res := Array.unsafe_get slots !i
+    else i := (!i + 1) land mask
+  done;
+  t.last <- !i;
+  !res
+
+(* [find_latched] with a caller-supplied equality on the stored key —
+   lets columnar producers compare typed cells against stored tuples
+   without materializing the probe key. *)
+let find_pred_latched t (keys : Vtuple.t array) h eq =
+  let mask = t.mask in
+  let hashes = t.hashes and slots = t.slots in
+  let i = ref (h land mask) in
+  let res = ref (-2) in
+  while !res = -2 do
+    let hb = Array.unsafe_get hashes !i in
+    if hb = 0 then res := -1
+    else if
+      hb = h && eq (Array.unsafe_get keys (Array.unsafe_get slots !i))
     then res := Array.unsafe_get slots !i
     else i := (!i + 1) land mask
   done;

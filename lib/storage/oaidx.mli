@@ -40,6 +40,15 @@ val cardinal : t -> int
     takes it instead of recomputing. *)
 val hash : Vtuple.t -> int
 
+(** Finalize a raw [Vtuple.hash]-style fold into the cached-hash domain
+    ([hash k = finalize (Vtuple.hash k)]). Columnar producers that fold
+    hashes over typed cells use this to stay bit-compatible. *)
+val finalize : int -> int
+
+(** [iter t f] calls [f hash slot] for every entry, in bucket order. The
+    cached hashes let bulk merges into another table skip re-hashing. *)
+val iter : t -> (int -> int -> unit) -> unit
+
 (** [find t keys h k] returns the slot mapped to [k] (compared via
     [keys.(slot)]), or [-1]. Pure probe: no latch, safe for concurrent
     readers. *)
@@ -49,6 +58,12 @@ val find : t -> Vtuple.t array -> int -> Vtuple.t -> int
     immediately-following {!add_latched}/{!remove_latched}. Single-owner
     write paths only. *)
 val find_latched : t -> Vtuple.t array -> int -> Vtuple.t -> int
+
+(** [find_pred_latched t keys h eq]: {!find_latched} with a caller-supplied
+    equality predicate on the stored key. [eq] must agree with the notion
+    of equality under which [h] was computed (hash-equal keys that are
+    [eq]-unequal are probed past, as usual). *)
+val find_pred_latched : t -> Vtuple.t array -> int -> (Vtuple.t -> bool) -> int
 
 (** Insert at the bucket latched by a missing [find]. Grows (and
     re-probes internally) when the load factor would exceed 1/2. *)

@@ -216,9 +216,8 @@ let insert_latched ~copy t h key m =
 (* Single-probe upsert (one hash, one probe sequence); [copy] is the
    scratch-key protocol: borrowed key buffers are duplicated only when the
    record is first inserted. *)
-let upsert ~copy t key m =
+let upsert_h ~copy t h key m =
   if Float.abs m >= Mult.zero_eps then begin
-    let h = Oaidx.hash key in
     if Trace.enabled () then
       Trace.emit (t.unique_base + ((h land 0xffff) * 8)) Trace.Read;
     let slot = Oaidx.find_latched t.unique t.keys h key in
@@ -231,8 +230,36 @@ let upsert ~copy t key m =
     end
   end
 
+let upsert ~copy t key m = upsert_h ~copy t (Oaidx.hash key) key m
 let add t key m = upsert ~copy:false t key m
 let add_borrow t key m = upsert ~copy:true t key m
+let add_hashed t h key m = upsert_h ~copy:false t h key m
+
+(* Columnar upsert: probe with a precomputed hash and a cell-level
+   equality; the key tuple is materialized by [make] only on first
+   insert (secondary indexes need it then). *)
+let add_by t ~hash:h ~eq ~make m =
+  if Float.abs m >= Mult.zero_eps then begin
+    if Trace.enabled () then
+      Trace.emit (t.unique_base + ((h land 0xffff) * 8)) Trace.Read;
+    let slot = Oaidx.find_pred_latched t.unique t.keys h eq in
+    if slot < 0 then insert_latched ~copy:false t h (make ()) m
+    else begin
+      let v = t.values.(slot) +. m in
+      if Trace.enabled () then Trace.emit (addr t slot) Trace.Write;
+      if Float.abs v < Mult.zero_eps then remove_slot_latched t slot
+      else t.values.(slot) <- v
+    end
+  end
+
+(* Ring-(+) bulk merge of a GMR buffer: replays the buffer's cached
+   index hashes instead of re-hashing every key, in the buffer's slot
+   (= insertion) order so destination slots are assigned
+   deterministically — serial and domain-parallel execution must leave
+   bit-identical stores. Keys are retained by reference — the caller
+   transfers ownership (the executor's private per-member buffers are
+   cleared right after). *)
+let merge_gmr t g = Gmr.iter_hashed (fun key m h -> add_hashed t h key m) g
 
 let set t key m =
   let h = Oaidx.hash key in

@@ -39,6 +39,27 @@ val add : t -> Vtuple.t -> float -> unit
     when the record is first inserted. *)
 val add_borrow : t -> Vtuple.t -> float -> unit
 
+(** [add_hashed pool h key m]: [add] with the finalized [Oaidx.hash]
+    already in hand (e.g. replayed from a GMR via [Gmr.iter_hashed]).
+    [key] is retained by reference on insert. *)
+val add_hashed : t -> int -> Vtuple.t -> float -> unit
+
+(** Columnar upsert: probe with a precomputed [hash] and a cell-level
+    [eq] against stored keys; [make] materializes the key tuple and is
+    called only on first insert. Lets columnar producers apply compacted
+    batch rows without building a [Vtuple] per row (see
+    [Colbatch.row_hash]/[row_eq]/[row_tuple]). *)
+val add_by :
+  t -> hash:int -> eq:(Vtuple.t -> bool) -> make:(unit -> Vtuple.t) ->
+  float -> unit
+
+(** Ring-(+) bulk merge of a GMR buffer into the pool, replaying the
+    buffer's cached hashes instead of re-hashing, in the buffer's slot
+    order (deterministic destination slot assignment). Keys are retained
+    by reference: the caller transfers ownership (clear the buffer
+    after). *)
+val merge_gmr : t -> Gmr.t -> unit
+
 (** [set pool key m] overwrites (removing on zero). *)
 val set : t -> Vtuple.t -> float -> unit
 

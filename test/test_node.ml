@@ -287,6 +287,64 @@ let test_engine_backends () =
     in
     has json "\"predicted_ms\"" && has json "\"measured_ms\"")
 
+(* Boxed-vs-unboxed equivalence through the Engine facade: every
+   non-transient store reaches the same state whether the Local executor
+   runs typed columnar batches or generic rows, on all three backends.
+   For the distributed backends the [columnar] knob is a no-op on
+   execution, but both runs cross the new columnar wire layout (and its
+   row-layout fallback on mixed-type columns), so the comparison pins the
+   codec too. *)
+let test_columnar_backend_equiv () =
+  let stream =
+    Tpch.Gen.stream { Tpch.Gen.scale = 0.02; seed = 13 } ~batch_size:500
+  in
+  let backends =
+    [
+      ("local", fun () -> Engine.Local);
+      ("simulated", fun () -> Engine.Simulated (Cluster.config ~workers:2 ()));
+      ( "multiprocess",
+        fun () -> Engine.Multiprocess (Node.config ~workers:2 ()) );
+    ]
+  in
+  List.iter
+    (fun qn ->
+      let w = Workload.find qn in
+      let run backend columnar =
+        let eng =
+          Engine.create
+            ~config:(Engine.config ~backend ~domains:1 ~columnar ())
+            w
+        in
+        Fun.protect
+          ~finally:(fun () -> Engine.shutdown eng)
+          (fun () ->
+            List.iter
+              (fun (rel, b) -> ignore (Engine.apply_batch eng ~rel b))
+              stream;
+            List.filter_map
+              (fun (m : Divm_compiler.Prog.map_decl) ->
+                if m.mkind <> Divm_compiler.Prog.Transient then
+                  Some (m.mname, Engine.map_contents eng m.mname)
+                else None)
+              (Engine.prog eng).Divm_compiler.Prog.maps)
+      in
+      List.iter
+        (fun (bname, mk) ->
+          let unboxed = run (mk ()) true and boxed = run (mk ()) false in
+          List.iter2
+            (fun (n1, g1) (n2, g2) ->
+              Alcotest.(check string) "same map order" n1 n2;
+              (* same computation replayed in a different merge order:
+                 equal within summation-order epsilon *)
+              if not (Gmr.equal ~eps:1e-6 g1 g2) then
+                Alcotest.failf
+                  "%s/%s: store %s differs between columnar and generic \
+                   storage"
+                  qn bname n1)
+            unboxed boxed)
+        backends)
+    tpch_queries
+
 let test_engine_single_and_load () =
   (* apply_single on a distributed backend is a one-tuple batch; load on a
      distributed backend replays entries incrementally. Both must agree
@@ -334,6 +392,8 @@ let suites =
           test_codec_malformed;
         QCheck_alcotest.to_alcotest qcheck_node_equiv;
         Alcotest.test_case "engine backends agree" `Quick test_engine_backends;
+        Alcotest.test_case "columnar on/off stores agree on every backend"
+          `Slow test_columnar_backend_equiv;
         Alcotest.test_case "engine single/load paths" `Quick
           test_engine_single_and_load;
         Alcotest.test_case "cluster domains contradiction" `Quick

@@ -1,5 +1,6 @@
 open Divm_ring
 open Divm_storage
+module Obs = Divm_obs.Obs
 
 let i x = Value.Int x
 let t2 a b = [| i a; i b |]
@@ -300,6 +301,177 @@ let qcheck_pool_churn =
       ok_card && ok_get && !ok_foreach && !seen = List.length !model
       && ok_slice)
 
+(* ------------------------------------------------------------------ *)
+(* Radix compaction vs the sort-based oracle                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A compacted batch's linear content: rows (over all its columns) summed
+   into a GMR. Both compaction paths must agree on this even when a hash
+   collision leaves the radix output with a duplicate row or a split
+   group — the duplicate's multiplicities sum right back together. *)
+let compact_rows_gmr cb weights =
+  let g = Gmr.create () in
+  let w = Colbatch.width cb in
+  for r = 0 to Colbatch.length cb - 1 do
+    let tup = Array.init w (fun c -> Colbatch.get (Colbatch.col cb c) r) in
+    Gmr.add g tup weights.(r)
+  done;
+  g
+
+let check_starts cb starts =
+  let n = Colbatch.length cb in
+  let k = Array.length starts in
+  Alcotest.(check int) "starts begins at 0" 0 starts.(0);
+  Alcotest.(check int) "starts ends at length" n starts.(k - 1);
+  for gi = 0 to k - 2 do
+    if starts.(gi) >= starts.(gi + 1) then
+      Alcotest.failf "starts not strictly increasing at %d" gi
+  done
+
+let check_groups_key_constant cb starts nk =
+  for gi = 0 to Array.length starts - 2 do
+    for r = starts.(gi) + 1 to starts.(gi + 1) - 1 do
+      for c = 0 to nk - 1 do
+        let col = Colbatch.col cb c in
+        if not (Value.equal (Colbatch.get col starts.(gi)) (Colbatch.get col r))
+        then Alcotest.failf "group %d not key-constant at row %d col %d" gi r c
+      done
+    done
+  done
+
+(* Cell domain small enough that duplicate rows, shared keys and
+   canceling multiplicities all occur; Int/Float cross-equal forms and
+   strings force mixed (boxed) columns. *)
+let gen_cell =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun x -> Value.Int x) (int_range 0 3));
+        (2, map (fun x -> Value.Float (float_of_int x)) (int_range 0 3));
+        (1, map (fun x -> Value.Float (float_of_int x +. 0.5)) (int_range 0 3));
+        (1, map (fun x -> Value.Date x) (int_range 0 3));
+        ( 1,
+          map
+            (fun x -> Value.String (String.make 1 (Char.chr (65 + x))))
+            (int_range 0 3) );
+      ])
+
+let gen_compact_case =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun w ->
+  list_size (int_range 0 50)
+    (pair (array_repeat w gen_cell)
+       (map float_of_int (oneofl [ -2; -1; 1; 2 ])))
+  >>= fun rows ->
+  (* a random permutation of the columns, split into selected key/rest *)
+  list_repeat w (int_bound 10_000) >>= fun ks ->
+  let perm =
+    List.map snd (List.sort compare (List.combine ks (List.init w Fun.id)))
+  in
+  int_bound w >>= fun s ->
+  int_bound s >>= fun nk ->
+  let sel = List.filteri (fun i _ -> i < s) perm in
+  let key = Array.of_list (List.filteri (fun i _ -> i < nk) sel) in
+  let rest = Array.of_list (List.filteri (fun i _ -> i >= nk) sel) in
+  return (w, rows, key, rest)
+
+let show_compact_case (w, rows, key, rest) =
+  Printf.sprintf "w=%d key=[%s] rest=[%s] rows=[%s]" w
+    (String.concat ";" (Array.to_list (Array.map string_of_int key)))
+    (String.concat ";" (Array.to_list (Array.map string_of_int rest)))
+    (String.concat "; "
+       (List.map
+          (fun (t, m) ->
+            Printf.sprintf "%s*%g"
+              (String.concat ","
+                 (Array.to_list (Array.map Value.to_string t)))
+              m)
+          rows))
+
+(* The radix path (cached-hash counting passes) against the PR 4
+   comparison sort, on the same batch: identical linear content (rows ×
+   mults and rows × source counts as GMRs), valid group structure, and
+   with [drop_cancelled] no surviving ~0 rows. The second round masks
+   compaction hashes to 2 bits so distinct values collide constantly —
+   the radix output may then split groups or leave duplicates unmerged,
+   but never change what the batch sums to. *)
+let qcheck_compact_radix_vs_sorted =
+  let arb = QCheck.make ~print:show_compact_case gen_compact_case in
+  QCheck.Test.make ~name:"radix compact_group = sorted oracle" ~count:300 arb
+    (fun (w, rows, key, rest) ->
+      let b =
+        Colbatch.of_iter ~width:w ~count:(List.length rows) (fun emit ->
+            List.iter (fun (t, m) -> emit t m) rows)
+      in
+      let nk = Array.length key in
+      List.iter
+        (fun bits ->
+          Colbatch.hash_bits_for_tests := bits;
+          Fun.protect
+            ~finally:(fun () -> Colbatch.hash_bits_for_tests := None)
+            (fun () ->
+              List.iter
+                (fun drop ->
+                  let cr, sr, nr =
+                    Colbatch.compact_group ~drop_cancelled:drop b ~key ~rest
+                  in
+                  let cs, ss, ns =
+                    Colbatch.compact_group_sorted ~drop_cancelled:drop b ~key
+                      ~rest
+                  in
+                  if
+                    not
+                      (Gmr.equal ~eps:1e-9
+                         (compact_rows_gmr cr (Colbatch.mults cr))
+                         (compact_rows_gmr cs (Colbatch.mults cs)))
+                  then
+                    Alcotest.failf "row/mult content diverges (drop=%b)" drop;
+                  (* counts only matter to consumers that keep cancelled
+                     rows, so compare them in the keep-everything mode *)
+                  if
+                    (not drop)
+                    && not
+                         (Gmr.equal ~eps:1e-9 (compact_rows_gmr cr nr)
+                            (compact_rows_gmr cs ns))
+                  then Alcotest.fail "source-count content diverges";
+                  check_starts cr sr;
+                  check_starts cs ss;
+                  check_groups_key_constant cr sr nk;
+                  check_groups_key_constant cs ss nk;
+                  if drop then
+                    Array.iter
+                      (fun m ->
+                        if Float.abs m < Gmr.zero_eps then
+                          Alcotest.fail "cancelled row survived drop")
+                      (Colbatch.mults cr))
+                [ false; true ]))
+        [ None; Some 2 ];
+      true)
+
+(* Exact cancellation is dropped (and counted) only when asked to. *)
+let test_compact_drop_cancelled () =
+  let g0 = Obs.snapshot () in
+  let b =
+    Colbatch.of_iter ~width:2 ~count:4 (fun emit ->
+        emit (t2 1 10) 2.;
+        emit (t2 2 20) 1.;
+        emit (t2 1 10) (-2.);
+        emit (t2 2 20) 1.)
+  in
+  let keep, _, _ = Colbatch.compact_group b ~key:[| 0 |] ~rest:[| 1 |] in
+  Alcotest.(check int) "kept without flag" 2 (Colbatch.length keep);
+  let dropped, _, _ =
+    Colbatch.compact_group ~drop_cancelled:true b ~key:[| 0 |] ~rest:[| 1 |]
+  in
+  Alcotest.(check int) "cancelled row dropped" 1 (Colbatch.length dropped);
+  let cancelled =
+    Obs.counter_value
+      (Obs.diff ~later:(Obs.snapshot ()) ~earlier:g0)
+      "divm_batch_rows_cancelled_total"
+  in
+  (* the counter tallies cancelled *source* rows: both the +2 and the -2 *)
+  Alcotest.(check int) "counter incremented" 2 cancelled
+
 (* Same churn programs against Gmr: mult/iter/cardinal agreement. *)
 let qcheck_gmr_churn =
   QCheck.Test.make ~name:"gmr = assoc-list model under churn" ~count:150
@@ -358,6 +530,9 @@ let suites =
         Alcotest.test_case "colbatch filter/project" `Quick
           test_colbatch_filter_project;
         Alcotest.test_case "trace hooks" `Quick test_trace_hooks;
+        Alcotest.test_case "compact_group drop_cancelled" `Quick
+          test_compact_drop_cancelled;
+        QCheck_alcotest.to_alcotest qcheck_compact_radix_vs_sorted;
         QCheck_alcotest.to_alcotest qcheck_pool_model;
         QCheck_alcotest.to_alcotest qcheck_pool_churn;
         QCheck_alcotest.to_alcotest qcheck_gmr_churn;
