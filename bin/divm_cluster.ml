@@ -16,7 +16,7 @@ open Divm
 open Cmdliner
 module Obs_cli = Divm_obs_cli.Obs_cli
 
-let run query scale stage_json (common : Obs_cli.common) =
+let run query scale repeat stage_json (common : Obs_cli.common) =
   let cfg = common.engine in
   let eng = Engine.create ~config:cfg (Workload.find query) in
   Obs_cli.activate_engine eng common.opts;
@@ -36,16 +36,24 @@ let run query scale stage_json (common : Obs_cli.common) =
     w.Workload.wname workers (Engine.backend_name eng) cfg.opt_level
     cfg.batch_size "relation" "tuples" "modeled" "wall" "shuffle" "stages";
   let reports = ref [] in
-  List.iter
-    (fun (rel, b) ->
-      let r = Engine.apply_batch eng ~rel b in
-      reports := r :: !reports;
-      Printf.printf "%-10s %8d %8.1fms %8.1fms %7dKB %7d\n" rel r.Engine.tuples
-        (Option.value r.Engine.modeled ~default:0. *. 1000.)
-        (r.Engine.wall *. 1000.)
-        (r.Engine.bytes_shuffled / 1024)
-        r.Engine.stages)
-    stream;
+  (* --repeat replays the stream: a load loop for watching the live
+     --listen endpoint or soaking the telemetry path. Only the first
+     pass prints per-batch rows; multiplicities accumulate across
+     passes, which the per-batch reporting does not care about. *)
+  for pass = 1 to max 1 repeat do
+    List.iter
+      (fun (rel, b) ->
+        let r = Engine.apply_batch eng ~rel b in
+        reports := r :: !reports;
+        if pass = 1 then
+          Printf.printf "%-10s %8d %8.1fms %8.1fms %7dKB %7d\n" rel
+            r.Engine.tuples
+            (Option.value r.Engine.modeled ~default:0. *. 1000.)
+            (r.Engine.wall *. 1000.)
+            (r.Engine.bytes_shuffled / 1024)
+            r.Engine.stages)
+      stream
+  done;
   List.iter
     (fun (mname, _) ->
       Printf.printf "%s: %d result tuples\n" mname
@@ -62,6 +70,14 @@ let run query scale stage_json (common : Obs_cli.common) =
 
 let query_t = Arg.(value & pos 0 string "Q3" & info [] ~docv:"QUERY")
 let scale_t = Arg.(value & opt float 2.0 & info [ "scale" ] ~doc:"Stream scale")
+
+let repeat_t =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"N"
+        ~doc:
+          "Replay the update stream $(docv) times (a load loop for \
+           watching $(b,--listen) live or soaking the telemetry path).")
 
 let stage_json_t =
   Arg.(
@@ -86,7 +102,7 @@ let cmd =
          "Distributed incremental view maintenance on the simulated or \
           multi-process cluster")
     Term.(
-      const run $ query_t $ scale_t $ stage_json_t
+      const run $ query_t $ scale_t $ repeat_t $ stage_json_t
       $ Obs_cli.parse_common ~defaults ())
 
 let () = exit (Cmd.eval cmd)

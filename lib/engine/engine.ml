@@ -171,7 +171,9 @@ let storage_stats t =
 let shutdown t = match t.impl with IProc n -> Node.shutdown n | _ -> ()
 
 (* Reconciliation artifact: per stage name, how the predictor did against
-   the measurement, summed over the batches. *)
+   the measurement, summed over the batches. Distributed stages also
+   aggregate the workers' self-measured walls, attributing the slowest
+   worker and its straggler ratio (max/median over the summed walls). *)
 let reconcile_json reports =
   let order = ref [] in
   let tbl = Hashtbl.create 16 in
@@ -183,31 +185,63 @@ let reconcile_json reports =
             match Hashtbl.find_opt tbl s.Node.sname with
             | Some row -> row
             | None ->
-                let row = ref (0, 0., 0., 0, 0) in
+                let row = ref (0, 0., 0., 0, 0, [||]) in
                 Hashtbl.add tbl s.Node.sname row;
                 order := s.Node.sname :: !order;
                 row
           in
-          let n, p, m, b, wb = !row in
+          let n, p, m, b, wb, ws = !row in
+          let ws =
+            if Array.length s.Node.swalls = 0 then ws
+            else if Array.length ws = Array.length s.Node.swalls then
+              Array.mapi (fun i w -> w +. s.Node.swalls.(i)) ws
+            else Array.copy s.Node.swalls
+          in
           row :=
             ( n + 1,
               p +. s.Node.predicted,
               m +. s.Node.measured,
               b + s.Node.sbytes,
-              wb + s.Node.swire ))
+              wb + s.Node.swire,
+              ws ))
         r.stage_stats)
     reports;
   let buf = Buffer.create 256 in
   Buffer.add_string buf "[";
   List.iteri
     (fun i name ->
-      let n, p, m, b, wb = !(Hashtbl.find tbl name) in
+      let n, p, m, b, wb, ws = !(Hashtbl.find tbl name) in
       if i > 0 then Buffer.add_string buf ",";
       Buffer.add_string buf
         (Printf.sprintf
            "\n  {\"name\": %S, \"batches\": %d, \"predicted_ms\": %.6f, \
-            \"measured_ms\": %.6f, \"bytes\": %d, \"wire_bytes\": %d}"
-           name n (p *. 1e3) (m *. 1e3) b wb))
+            \"measured_ms\": %.6f, \"bytes\": %d, \"wire_bytes\": %d"
+           name n (p *. 1e3) (m *. 1e3) b wb);
+      let w = Array.length ws in
+      if w > 0 then begin
+        Buffer.add_string buf ", \"worker_walls_ms\": [";
+        Array.iteri
+          (fun j x ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "%.6f" (x *. 1e3)))
+          ws;
+        Buffer.add_string buf "]";
+        let slowest = ref 0 in
+        Array.iteri (fun j x -> if x > ws.(!slowest) then slowest := j) ws;
+        let sorted = Array.copy ws in
+        Array.sort compare sorted;
+        let median =
+          if w land 1 = 1 then sorted.(w / 2)
+          else (sorted.((w / 2) - 1) +. sorted.(w / 2)) /. 2.
+        in
+        Buffer.add_string buf
+          (Printf.sprintf ", \"slowest_worker\": %d" !slowest);
+        if median > 0. then
+          Buffer.add_string buf
+            (Printf.sprintf ", \"straggler_ratio\": %.4f"
+               (sorted.(w - 1) /. median))
+      end;
+      Buffer.add_string buf "}")
     (List.rev !order);
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf

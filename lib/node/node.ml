@@ -15,6 +15,23 @@ let m_worker_ops = Obs.Counter.make "divm_node_worker_ops_total"
 let m_driver_ops = Obs.Counter.make "divm_node_driver_ops_total"
 let g_workers = Obs.Gauge.make "divm_node_workers"
 
+(* Straggler detector: max/median worker wall per distributed stage. A
+   perfectly balanced stage lands in the first bucket; the tail buckets
+   say one worker ran several times longer than the typical one. *)
+let h_straggler =
+  Obs.Histogram.make
+    ~buckets:[| 1.0; 1.05; 1.1; 1.25; 1.5; 2.0; 3.0; 5.0; 10.0 |]
+    "divm_stage_straggler_ratio"
+
+(* The worker side's share of [divm_record_ops_total] ([Counter.make] is
+   idempotent per name, so in-process this is the runtime's own
+   instrument). Workers fold their op deltas in explicitly — they run
+   compiled block closures directly, never [Runtime.apply_batch] — which
+   keeps the profiler invariant (slot sums = registry deltas) intact on
+   the worker's own registry, and therefore on the coordinator's after
+   the labeled merge. *)
+let w_record_ops = Obs.Counter.make "divm_record_ops_total"
+
 type config = {
   workers : int;
   cost : Costmodel.t;
@@ -34,6 +51,7 @@ type stage_stat = {
   measured : float;
   sbytes : int;
   swire : int;
+  swalls : float array;
 }
 
 type metrics = {
@@ -56,7 +74,13 @@ let ignore_sigpipe () =
 (* Worker side                                                     *)
 (* -------------------------------------------------------------- *)
 
-type wstate = { wrt : Runtime.t; wplans : (string * (unit -> unit) list array) list }
+(* Per-statement worker plans carry the profiler label and slot resolved
+   at compile time, like the runtime's own executor lists: the firing
+   path under an enabled profiler pays array additions, not lookups. *)
+type wstate = {
+  wrt : Runtime.t;
+  wplans : (string * (string * int * (unit -> unit)) list array) list;
+}
 
 let build_wstate (dp : Dprog.t) =
   (* Same compilation path as the simulator's nodes: one serial runtime
@@ -79,12 +103,63 @@ let build_wstate (dp : Dprog.t) =
                          match d with
                          | Dprog.Transfer _ -> None
                          | Dprog.Compute s ->
-                             Some (List.hd (Runtime.compile_stmts rt [ s ])))
+                             let label = "stmt:" ^ s.target in
+                             Some
+                               ( label,
+                                 Prof.slot ~trigger:tr.drelation ~label,
+                                 List.hd (Runtime.compile_stmts rt [ s ]) ))
                        b.bstmts)
                tr.blocks) ))
       dp.dtriggers
   in
   { wrt = rt; wplans }
+
+(* Baseline registry snapshot for the worker's telemetry deltas: each
+   [Pull_telemetry] ships [diff] against this and advances it. *)
+let w_last_snap = ref []
+
+(* Run one distributed statement under whatever observers the
+   coordinator enabled. With the profiler on, the firing is attributed
+   to its slot AND its op delta is folded into the worker's registered
+   [divm_record_ops_total] — symmetric accounting, so the shipped slot
+   rows reconcile exactly against the shipped registry delta. Telemetry
+   off costs one flag check ([Obs.span] with tracing disabled invokes
+   [f] directly). *)
+let wexec s ~label ~slot f =
+  if Prof.enabled () then begin
+    let o0 = Runtime.ops s.wrt in
+    Runtime.run_attributed s.wrt ~label ~slot f;
+    Obs.Counter.add w_record_ops (Runtime.ops s.wrt - o0)
+  end
+  else Obs.span label f
+
+(* Everything observed since the last pull: registry delta (zero entries
+   dropped — a worker registers instruments it never touches), nonzero
+   profiler slots, completed spans. Slots and spans reset so the next
+   pull starts clean; the snapshot baseline advances. *)
+let collect_telemetry () =
+  let now = Unix.gettimeofday () in
+  let later = Obs.snapshot () in
+  let delta = Obs.diff ~later ~earlier:!w_last_snap in
+  w_last_snap := later;
+  let interesting (_, v) =
+    match (v : Obs.value) with
+    | Obs.VCounter c -> c <> 0
+    | Obs.VGauge g -> g <> 0.
+    | Obs.VHistogram h -> h.count <> 0
+  in
+  let slots =
+    List.filter (fun (r : Prof.row) -> r.r_firings <> 0) (Prof.rows ())
+  in
+  Prof.reset ();
+  let spans = Obs.events () in
+  Obs.clear_events ();
+  {
+    Protocol.t_now = now;
+    t_snap = List.filter interesting delta;
+    t_slots = slots;
+    t_spans = spans;
+  }
 
 let serve fd =
   let state = ref None in
@@ -110,14 +185,18 @@ let serve fd =
           | Protocol.Run_block (rel, bi) ->
               let s = st () in
               let o0 = Runtime.ops s.wrt in
+              let wall0 = Unix.gettimeofday () in
               (match List.assoc_opt rel s.wplans with
               | Some blocks when bi >= 0 && bi < Array.length blocks ->
-                  List.iter (fun f -> f ()) blocks.(bi)
+                  List.iter
+                    (fun (label, slot, f) -> wexec s ~label ~slot f)
+                    blocks.(bi)
               | _ ->
                   failwith
                     (Printf.sprintf "divm_node worker: no block %d for %s" bi
                        rel));
-              Protocol.Block_done (Runtime.ops s.wrt - o0)
+              Protocol.Block_done
+                (Runtime.ops s.wrt - o0, Unix.gettimeofday () -. wall0)
           | Protocol.Pull_map name ->
               Protocol.Map_contents (Runtime.map_contents (st ()).wrt name)
           | Protocol.Deliver (name, g) ->
@@ -132,11 +211,18 @@ let serve fd =
           | Protocol.Clear_map name ->
               Runtime.clear_map (st ()).wrt name;
               Protocol.Ack
+          | Protocol.Start_telemetry (profile, trace) ->
+              Prof.set_enabled profile;
+              Obs.set_tracing trace;
+              w_last_snap := Obs.snapshot ();
+              Protocol.Ack
+          | Protocol.Pull_telemetry ->
+              Protocol.Telemetry (collect_telemetry ())
           | Protocol.Shutdown ->
               running := false;
               Protocol.Ack
           | Protocol.Hello _ | Protocol.Ack | Protocol.Block_done _
-          | Protocol.Map_contents _ ->
+          | Protocol.Map_contents _ | Protocol.Telemetry _ ->
               failwith "divm_node worker: unexpected coordinator message"
         in
         ignore (Protocol.write_msg fd reply)
@@ -188,16 +274,60 @@ type t = {
   delta_at_workers : bool;
   mutable wire : int; (* actual socket bytes, current batch *)
   mutable alive : bool;
+  mutable telem_started : bool; (* Start_telemetry sent to every worker *)
+  offsets : float array; (* estimated worker clock minus ours, seconds *)
+  rtts : float array; (* best pull round-trip so far, per worker *)
+  wops : Obs.Counter.t array; (* divm_node_worker_ops_total{worker=i} *)
+  wstage : Obs.Histogram.t array; (* divm_node_stage_seconds{worker=i} *)
 }
 
 let workers t = t.cfg.workers
+let worker_pids t = Array.to_list (Array.map (fun c -> c.pid) t.conns)
 
-let send t wi msg = t.wire <- t.wire + Protocol.write_msg t.conns.(wi).fd msg
+(* A dead socket alone is an opaque decode/EOF failure; the child's exit
+   status says *why*. Poll briefly with WNOHANG — the SIGKILL/exit that
+   killed the socket races our read of it. *)
+let worker_fate t wi =
+  match t.conns.(wi).pid with
+  | None -> None
+  | Some pid ->
+      let rec poll tries =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+            if tries <= 0 then None
+            else begin
+              Unix.sleepf 0.05;
+              poll (tries - 1)
+            end
+        | _, Unix.WEXITED n -> Some (Printf.sprintf "exited %d" n)
+        | _, Unix.WSIGNALED n -> Some (Printf.sprintf "signaled %d" n)
+        | _, Unix.WSTOPPED n -> Some (Printf.sprintf "stopped %d" n)
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+      in
+      poll 10
+
+let fail_worker t wi exn =
+  let fate =
+    match worker_fate t wi with
+    | Some f -> Printf.sprintf "(worker %d, %s)" wi f
+    | None -> Printf.sprintf "(worker %d, still running)" wi
+  in
+  failwith
+    (Printf.sprintf "divm_node: %s connection failed mid-batch: %s" fate
+       (Printexc.to_string exn))
+
+let send t wi msg =
+  try t.wire <- t.wire + Protocol.write_msg t.conns.(wi).fd msg with
+  | (Protocol.Error _ | Unix.Unix_error _ | End_of_file) as e ->
+      fail_worker t wi e
 
 let recv t wi =
-  let m, n = Protocol.read_msg t.conns.(wi).fd in
-  t.wire <- t.wire + n;
-  m
+  match Protocol.read_msg t.conns.(wi).fd with
+  | m, n ->
+      t.wire <- t.wire + n;
+      m
+  | exception ((Protocol.Error _ | Unix.Unix_error _ | End_of_file) as e) ->
+      fail_worker t wi e
 
 let expect_ack t wi =
   match recv t wi with
@@ -212,7 +342,7 @@ let expect_contents t wi =
 
 let expect_done t wi =
   match recv t wi with
-  | Protocol.Block_done ops -> ops
+  | Protocol.Block_done (ops, wall) -> (ops, wall)
   | _ ->
       failwith (Printf.sprintf "divm_node: worker %d: expected Block_done" wi)
 
@@ -354,6 +484,21 @@ let create ?(config = default_config) (dp : Dprog.t) =
       delta_at_workers = false;
       wire = 0;
       alive = true;
+      telem_started = false;
+      offsets = Array.make config.workers 0.;
+      rtts = Array.make config.workers infinity;
+      (* Per-worker labeled instruments, registered up front so a scrape
+         of /metrics shows every worker from the first batch on. *)
+      wops =
+        Array.init config.workers (fun wi ->
+            Obs.Counter.make
+              (Obs.with_labels "divm_node_worker_ops_total"
+                 [ ("worker", string_of_int wi) ]));
+      wstage =
+        Array.init config.workers (fun wi ->
+            Obs.Histogram.make
+              (Obs.with_labels "divm_node_stage_seconds"
+                 [ ("worker", string_of_int wi) ]));
     }
   in
   (* Ship the program; workers compile the same statements we do. *)
@@ -492,6 +637,56 @@ let run_transfer t net (tr : transfer) =
   end;
   !ser_bytes
 
+(* ---- telemetry plane (coordinator side) ---- *)
+
+(* Lazily arm the workers' observers: collection can be switched on by
+   the CLI layer after [create] (profile/trace activation happens once
+   the engine exists), so the first batch that runs under an armed
+   collector ships [Start_telemetry] with whatever is enabled then. *)
+let maybe_start_telemetry t =
+  if (not t.telem_started) && Obs.collection () then begin
+    t.telem_started <- true;
+    let m = Protocol.Start_telemetry (Prof.enabled (), Obs.tracing ()) in
+    Array.iteri (fun wi _ -> send t wi m) t.conns;
+    Array.iteri (fun wi _ -> expect_ack t wi) t.conns
+  end
+
+(* One pull per worker, sequentially: the request/reply timestamps double
+   as a clock-offset probe (offset = worker_now - midpoint), and the
+   estimate from the smallest round-trip seen so far wins — the classic
+   NTP bound: the error is at most rtt/2. The offset is stored per pid
+   and applied uniformly at export, so refining it between pulls can
+   shift but never reorder a worker's own timeline. *)
+let pull_telemetry t =
+  Array.iteri
+    (fun wi _ ->
+      let t0 = Unix.gettimeofday () in
+      send t wi Protocol.Pull_telemetry;
+      match recv t wi with
+      | Protocol.Telemetry tm ->
+          let t1 = Unix.gettimeofday () in
+          let rtt = t1 -. t0 in
+          if rtt < t.rtts.(wi) then begin
+            t.rtts.(wi) <- rtt;
+            t.offsets.(wi) <- tm.Protocol.t_now -. ((t0 +. t1) /. 2.)
+          end;
+          let wl = [ ("worker", string_of_int wi) ] in
+          Obs.ingest ~labels:wl tm.Protocol.t_snap;
+          List.iter
+            (fun (r : Prof.row) ->
+              Prof.merge ~trigger:r.r_trigger
+                ~label:(Printf.sprintf "%s@w%d" r.r_label wi)
+                r)
+            tm.Protocol.t_slots;
+          if tm.Protocol.t_spans <> [] then
+            Obs.add_remote_events ~pid:(wi + 2)
+              ~pname:(Printf.sprintf "worker %d" wi)
+              ~offset:t.offsets.(wi) tm.Protocol.t_spans
+      | _ ->
+          failwith
+            (Printf.sprintf "divm_node: worker %d: expected Telemetry" wi))
+    t.conns
+
 (* ---- batch execution ---- *)
 
 let apply_batch t ~rel batch =
@@ -499,6 +694,7 @@ let apply_batch t ~rel batch =
   let w = Array.length t.conns in
   let batch_wall0 = Unix.gettimeofday () in
   t.wire <- 0;
+  maybe_start_telemetry t;
   Obs.span ("node:" ^ rel) @@ fun () ->
   if t.delta_at_workers then begin
     let shares = Array.init w (fun _ -> Gmr.create ()) in
@@ -575,6 +771,7 @@ let apply_batch t ~rel batch =
                           measured = wall;
                           sbytes = net.total_bytes - bytes_before;
                           swire = t.wire - wire0;
+                          swalls = [||];
                         }
                         :: !stats;
                       if Obs.tracing () then begin
@@ -597,14 +794,30 @@ let apply_batch t ~rel batch =
               Array.iteri
                 (fun wi _ -> send t wi (Protocol.Run_block (rel, bi)))
                 t.conns;
-              let deltas = Array.init w (fun wi -> expect_done t wi) in
+              let replies = Array.init w (fun wi -> expect_done t wi) in
               let wall = Unix.gettimeofday () -. wall0 in
+              let deltas = Array.map fst replies in
+              let walls = Array.map snd replies in
               let max_ops = ref 0 in
               Array.iteri
                 (fun wi d ->
                   worker_ops.(wi) <- worker_ops.(wi) + d;
+                  Obs.Counter.add t.wops.(wi) d;
+                  Obs.Histogram.observe t.wstage.(wi) walls.(wi);
                   max_ops := max !max_ops d)
                 deltas;
+              (* Straggler ratio over the workers' own measured walls —
+                 socket turnaround excluded, so a loaded coordinator does
+                 not read as a slow worker. *)
+              (if w > 1 then
+                 let sorted = Array.copy walls in
+                 Array.sort compare sorted;
+                 let median =
+                   if w land 1 = 1 then sorted.(w / 2)
+                   else (sorted.((w / 2) - 1) +. sorted.(w / 2)) /. 2.
+                 in
+                 if median > 0. then
+                   Obs.Histogram.observe h_straggler (sorted.(w - 1) /. median));
               max_worker_ops := !max_worker_ops + !max_ops;
               if Prof.enabled () then
                 Prof.add slot
@@ -623,6 +836,7 @@ let apply_batch t ~rel batch =
                   measured = wall;
                   sbytes = 0;
                   swire = t.wire - wire0;
+                  swalls = walls;
                 }
                 :: !stats;
               if Obs.tracing () then begin
@@ -630,7 +844,11 @@ let apply_batch t ~rel batch =
                 Obs.set_attr "measured_ms" (Printf.sprintf "%.6f" (wall *. 1e3));
                 Obs.set_attr "max_worker_ops" (string_of_int !max_ops);
                 Obs.set_attr "workers" (string_of_int w)
-              end))
+              end);
+          (* Ship the stage's telemetry right at the barrier (outside the
+             stage span, so pull traffic never pollutes stage wire/wall
+             accounting). *)
+          if t.telem_started then pull_telemetry t)
     blocks;
   let driver_ops = Runtime.ops t.driver - driver_ops0 in
   let wall = Unix.gettimeofday () -. batch_wall0 in
@@ -682,6 +900,13 @@ let result t qname =
 let shutdown t =
   if t.alive then begin
     t.alive <- false;
+    (* Final drain: anything observed since the last stage barrier (or a
+       collector armed after the last batch) still reaches the merged
+       view before the workers go away. *)
+    if Obs.collection () then begin
+      (try maybe_start_telemetry t with _ -> ());
+      if t.telem_started then try pull_telemetry t with _ -> ()
+    end;
     Array.iter
       (fun c ->
         try ignore (Protocol.write_msg c.fd Protocol.Shutdown) with _ -> ())

@@ -62,6 +62,9 @@ type stage_stat = {
   measured : float;  (** wall-clock seconds *)
   sbytes : int;  (** modeled shuffled payload bytes *)
   swire : int;  (** actual framed bytes on the sockets *)
+  swalls : float array;
+      (** per-worker wall seconds the workers measured for this stage
+          (empty for transfers) — the straggler detector's input *)
 }
 
 type metrics = {
@@ -84,9 +87,28 @@ val create : ?config:config -> Dprog.t -> t
 
 val workers : t -> int
 
+(** Child process ids in worker order ([None] only for connections not
+    owned by this coordinator). Exposed for failure-injection tests. *)
+val worker_pids : t -> int option list
+
 (** Process one batch through the trigger of [rel]. Same sharding as the
     simulator: round-robin over workers when the delta pre-aggregations
-    live there, whole batch to the driver otherwise. *)
+    live there, whole batch to the driver otherwise.
+
+    When {!Divm_obs.Obs.collection} is armed, the first such batch sends
+    [Start_telemetry] (arming the workers' profiler/tracer to mirror the
+    coordinator's), and every distributed-stage barrier pulls a
+    [Telemetry] frame per worker: registry deltas merge into this
+    process's registry under a [worker="i"] label, profiler slot rows
+    merge with an ["@wI"] label suffix, and completed spans enter the
+    merged Chrome trace under pid [i+2] with an NTP-style clock-offset
+    correction estimated from the pull round-trips. With collection off
+    (the default), no telemetry crosses the wire and the worker-side
+    hooks cost one flag check per statement.
+
+    If a worker process dies mid-batch, the raised [Failure] names it
+    and its fate — [(worker i, exited N)] / [(worker i, signaled N)] —
+    from a [waitpid] poll, instead of an opaque socket error. *)
 val apply_batch : t -> rel:string -> Gmr.t -> metrics
 
 (** Assembled global contents of a map (driver + worker partitions pulled

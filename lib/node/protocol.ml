@@ -1,18 +1,29 @@
 open Divm_ring
 open Divm_storage
+open Divm_obs
+
+type telem = {
+  t_now : float;
+  t_snap : Obs.snapshot;
+  t_slots : Prof.row list;
+  t_spans : Obs.event list;
+}
 
 type msg =
   | Hello of int
   | Init of string
   | Load_batch of string * Gmr.t
   | Run_block of string * int
-  | Block_done of int
+  | Block_done of int * float
   | Pull_map of string
   | Map_contents of Gmr.t
   | Deliver of string * Gmr.t
   | Clear_map of string
   | Ack
   | Shutdown
+  | Start_telemetry of bool * bool
+  | Pull_telemetry
+  | Telemetry of telem
 
 exception Error of string
 
@@ -28,6 +39,81 @@ let add_string b s =
   if n > max_frame then err "string field of %d bytes exceeds max_frame" n;
   Buffer.add_int32_be b (Int32.of_int n);
   Buffer.add_string b s
+
+let add_f64 b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+let add_i64 b i = Buffer.add_int64_be b (Int64.of_int i)
+
+(* Element count of a list field. Every element encodes to >= 1 byte, so
+   the frame cap bounds any legitimate count; the decoder enforces the
+   same bound before allocating. *)
+let add_count b n =
+  if n > max_frame then err "list of %d elements exceeds max_frame" n;
+  Buffer.add_int32_be b (Int32.of_int n)
+
+(* Telemetry payload: registry snapshot entries (name + kind byte:
+   0 = counter, 1 = gauge, 2 = histogram with its bucket layout),
+   profiler slot rows, completed spans. Floats travel as IEEE-754 bits,
+   like the data plane, so merged-vs-local reconciliation is exact. *)
+let add_snapshot b (snap : Obs.snapshot) =
+  add_count b (List.length snap);
+  List.iter
+    (fun (name, v) ->
+      add_string b name;
+      match (v : Obs.value) with
+      | Obs.VCounter c ->
+          Buffer.add_uint8 b 0;
+          add_i64 b c
+      | Obs.VGauge g ->
+          Buffer.add_uint8 b 1;
+          add_f64 b g
+      | Obs.VHistogram { buckets; counts; sum; count } ->
+          Buffer.add_uint8 b 2;
+          add_count b (Array.length buckets);
+          if Array.length counts <> Array.length buckets + 1 then
+            err "histogram %s: %d counts for %d buckets" name
+              (Array.length counts) (Array.length buckets);
+          Array.iter (add_f64 b) buckets;
+          Array.iter (add_i64 b) counts;
+          add_f64 b sum;
+          add_i64 b count)
+    snap
+
+let add_slots b (rows : Prof.row list) =
+  add_count b (List.length rows);
+  List.iter
+    (fun (r : Prof.row) ->
+      add_string b r.r_trigger;
+      add_string b r.r_label;
+      add_i64 b r.r_firings;
+      add_i64 b r.r_ops;
+      add_i64 b r.r_probes;
+      add_i64 b r.r_misses;
+      add_i64 b r.r_scanned;
+      add_i64 b r.r_bytes;
+      add_f64 b r.r_wall)
+    rows
+
+let add_spans b (evs : Obs.event list) =
+  add_count b (List.length evs);
+  List.iter
+    (fun (e : Obs.event) ->
+      add_string b e.ev_name;
+      add_f64 b e.ev_start;
+      add_f64 b e.ev_dur;
+      Buffer.add_int32_be b (Int32.of_int e.ev_depth);
+      add_count b (List.length e.ev_attrs);
+      List.iter
+        (fun (k, v) ->
+          add_string b k;
+          add_string b v)
+        e.ev_attrs)
+    evs
+
+let add_telem b t =
+  add_f64 b t.t_now;
+  add_snapshot b t.t_snap;
+  add_slots b t.t_slots;
+  add_spans b t.t_spans
 
 let add_value b (v : Value.t) =
   match v with
@@ -123,6 +209,9 @@ let tag_of = function
   | Clear_map _ -> 9
   | Ack -> 10
   | Shutdown -> 11
+  | Start_telemetry _ -> 12
+  | Pull_telemetry -> 13
+  | Telemetry _ -> 14
 
 let encode m =
   let b = Buffer.create 256 in
@@ -136,13 +225,19 @@ let encode m =
   | Run_block (rel, bi) ->
       add_string b rel;
       Buffer.add_int32_be b (Int32.of_int bi)
-  | Block_done ops -> Buffer.add_int64_be b (Int64.of_int ops)
+  | Block_done (ops, wall) ->
+      Buffer.add_int64_be b (Int64.of_int ops);
+      add_f64 b wall
   | Pull_map name | Clear_map name -> add_string b name
   | Map_contents g -> add_gmr b g
   | Deliver (name, g) ->
       add_string b name;
       add_gmr b g
-  | Ack | Shutdown -> ());
+  | Ack | Shutdown | Pull_telemetry -> ()
+  | Start_telemetry (profile, trace) ->
+      Buffer.add_uint8 b (Bool.to_int profile);
+      Buffer.add_uint8 b (Bool.to_int trace)
+  | Telemetry t -> add_telem b t);
   Buffer.contents b
 
 (* -------------------------------------------------------------- *)
@@ -187,6 +282,22 @@ let get_string r =
   let s = String.sub r.buf r.pos n in
   r.pos <- r.pos + n;
   s
+
+let get_f64 r = Int64.float_of_bits (get_i64 r)
+
+(* List element count: bounded before any allocation. Every element of
+   the lists below encodes to >= 8 bytes, so max_frame / 8 is a safe
+   upper bound for a payload that can actually exist. *)
+let get_count r what =
+  let n = get_i32 r in
+  if n < 0 || n > max_frame / 8 then err "%s count %d out of range" what n;
+  n
+
+let get_bool r what =
+  match get_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> err "%s flag byte %d is not a bool" what v
 
 let get_value r : Value.t =
   match get_u8 r with
@@ -239,6 +350,72 @@ let get_gmr r =
       Colbatch.to_gmr (Colbatch.of_cols cols ~mults)
   | l -> err "unknown gmr layout %d" l
 
+let get_snapshot r : Obs.snapshot =
+  let n = get_count r "snapshot entry" in
+  List.init n (fun _ ->
+      let name = get_string r in
+      match get_u8 r with
+      | 0 -> (name, Obs.VCounter (Int64.to_int (get_i64 r)))
+      | 1 -> (name, Obs.VGauge (get_f64 r))
+      | 2 ->
+          let nb = get_count r "histogram bucket" in
+          let buckets = Array.init nb (fun _ -> get_f64 r) in
+          let counts =
+            Array.init (nb + 1) (fun _ -> Int64.to_int (get_i64 r))
+          in
+          let sum = get_f64 r in
+          let count = Int64.to_int (get_i64 r) in
+          (name, Obs.VHistogram { buckets; counts; sum; count })
+      | k -> err "unknown snapshot value kind %d" k)
+
+let get_slots r : Prof.row list =
+  let n = get_count r "profiler slot" in
+  List.init n (fun _ ->
+      let r_trigger = get_string r in
+      let r_label = get_string r in
+      let r_firings = Int64.to_int (get_i64 r) in
+      let r_ops = Int64.to_int (get_i64 r) in
+      let r_probes = Int64.to_int (get_i64 r) in
+      let r_misses = Int64.to_int (get_i64 r) in
+      let r_scanned = Int64.to_int (get_i64 r) in
+      let r_bytes = Int64.to_int (get_i64 r) in
+      let r_wall = get_f64 r in
+      {
+        Prof.r_trigger;
+        r_label;
+        r_firings;
+        r_ops;
+        r_probes;
+        r_misses;
+        r_scanned;
+        r_bytes;
+        r_wall;
+      })
+
+let get_spans r : Obs.event list =
+  let n = get_count r "span" in
+  List.init n (fun _ ->
+      let ev_name = get_string r in
+      let ev_start = get_f64 r in
+      let ev_dur = get_f64 r in
+      let ev_depth = get_i32 r in
+      if ev_depth < 0 then err "negative span depth %d" ev_depth;
+      let na = get_count r "span attribute" in
+      let ev_attrs =
+        List.init na (fun _ ->
+            let k = get_string r in
+            let v = get_string r in
+            (k, v))
+      in
+      { Obs.ev_name; ev_start; ev_dur; ev_depth; ev_attrs })
+
+let get_telem r =
+  let t_now = get_f64 r in
+  let t_snap = get_snapshot r in
+  let t_slots = get_slots r in
+  let t_spans = get_spans r in
+  { t_now; t_snap; t_slots; t_spans }
+
 let decode s =
   let r = { buf = s; pos = 0 } in
   let m =
@@ -251,7 +428,9 @@ let decode s =
     | 4 ->
         let rel = get_string r in
         Run_block (rel, get_i32 r)
-    | 5 -> Block_done (Int64.to_int (get_i64 r))
+    | 5 ->
+        let ops = Int64.to_int (get_i64 r) in
+        Block_done (ops, get_f64 r)
     | 6 -> Pull_map (get_string r)
     | 7 -> Map_contents (get_gmr r)
     | 8 ->
@@ -260,6 +439,11 @@ let decode s =
     | 9 -> Clear_map (get_string r)
     | 10 -> Ack
     | 11 -> Shutdown
+    | 12 ->
+        let profile = get_bool r "profile" in
+        Start_telemetry (profile, get_bool r "trace")
+    | 13 -> Pull_telemetry
+    | 14 -> Telemetry (get_telem r)
     | t -> err "unknown message tag %d" t
   in
   if r.pos <> String.length s then

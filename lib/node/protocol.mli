@@ -19,6 +19,21 @@
     all raise {!Error} rather than yielding a partial message. *)
 
 open Divm_storage
+open Divm_obs
+
+(** One telemetry pull's worth of worker-side observability state. The
+    snapshot and slot rows are {e deltas} since the previous pull (the
+    worker keeps the subtraction baseline); spans are the completed
+    spans since the previous pull, stamped with the worker's own clock.
+    [t_now] is the worker's [Unix.gettimeofday] at encode time — the
+    coordinator combines it with its own send/receive timestamps to
+    estimate the worker's clock offset. *)
+type telem = {
+  t_now : float;
+  t_snap : Obs.snapshot;
+  t_slots : Prof.row list;
+  t_spans : Obs.event list;
+}
 
 type msg =
   | Hello of int  (** worker id, first message after connecting *)
@@ -26,13 +41,19 @@ type msg =
       (** marshaled {!Divm_dist.Dprog.t}; the worker builds its runtime *)
   | Load_batch of string * Gmr.t  (** relation, this worker's batch share *)
   | Run_block of string * int  (** trigger relation, block index *)
-  | Block_done of int  (** record-op delta the block executed *)
+  | Block_done of int * float
+      (** record-op delta and wall seconds the block took on the worker *)
   | Pull_map of string
   | Map_contents of Gmr.t  (** reply to [Pull_map] *)
   | Deliver of string * Gmr.t  (** shuffle delivery into a transient map *)
   | Clear_map of string
   | Ack
   | Shutdown
+  | Start_telemetry of bool * bool
+      (** (profile, trace): enable the worker-side profiler and/or span
+          tracer so subsequent pulls have something to ship *)
+  | Pull_telemetry  (** coordinator requests a {!Telemetry} reply *)
+  | Telemetry of telem  (** reply to [Pull_telemetry] *)
 
 (** Malformed frame or payload (message names the defect). *)
 exception Error of string

@@ -273,6 +273,80 @@ let find snap name = List.assoc_opt name snap
 let counter_value snap name =
   match find snap name with Some (VCounter c) -> c | _ -> 0
 
+(* ------------------------------------------------------------------ *)
+(* Remote collection (multi-process telemetry)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Whether a distributed engine should pull telemetry frames from its
+   worker processes. Off by default so the hot path and the wire stay
+   untouched unless some consumer (metrics/trace/profile/listen) wants
+   the merged view. *)
+let collection_flag = ref false
+let set_collection b = collection_flag := b
+let collection () = !collection_flag
+
+(* "name{a="1"}" + [("worker","2")] -> "name{a="1",worker="2"}". Label
+   values are escaped like Prometheus expects (backslash, quote, LF). *)
+let with_labels name labels =
+  if labels = [] then name
+  else begin
+    let esc v =
+      let buf = Buffer.create (String.length v) in
+      String.iter
+        (fun c ->
+          match c with
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c -> Buffer.add_char buf c)
+        v;
+      Buffer.contents buf
+    in
+    let lbls =
+      String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (esc v)) labels)
+    in
+    match String.index_opt name '{' with
+    | Some i ->
+        (* merge into the existing label set, before the closing brace *)
+        let n = String.length name in
+        if n > 0 && name.[n - 1] = '}' then
+          String.sub name 0 (n - 1)
+          ^ (if n - 1 > i + 1 then "," else "")
+          ^ lbls ^ "}"
+        else String.sub name 0 i ^ "{" ^ lbls ^ "}"
+    | None -> name ^ "{" ^ lbls ^ "}"
+  end
+
+let base_of name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* Fold a (delta) snapshot from another process into this registry under
+   per-source labels. Counters add, gauges take the incoming value,
+   histograms merge bucket-wise when the layouts agree (and always merge
+   the scalar moments). Instruments are created on first sight, keyed by
+   the labeled name, so successive ingests accumulate. *)
+let ingest ~labels snap =
+  List.iter
+    (fun (name, v) ->
+      let lname = with_labels name labels in
+      match v with
+      | VCounter c -> Counter.add (Counter.make lname) c
+      | VGauge g -> Gauge.set (Gauge.make lname) g
+      | VHistogram h ->
+          let dst = Histogram.make ~buckets:h.buckets lname in
+          if dst.h_buckets = h.buckets
+             && Array.length dst.h_counts = Array.length h.counts
+          then
+            Array.iteri
+              (fun i c -> dst.h_counts.(i) <- dst.h_counts.(i) + c)
+              h.counts;
+          dst.h_sum <- dst.h_sum +. h.sum;
+          dst.h_count <- dst.h_count + h.count)
+    snap
+
 let reset_all () =
   Hashtbl.iter
     (fun _ i ->
@@ -348,8 +422,9 @@ let to_text snap =
                 ~count:h.count p
             in
             Buffer.add_string buf
-              (Printf.sprintf "# %s%s p50=%s p95=%s p99=%s\n" base lbl
-                 (fmt_float (q 50.)) (fmt_float (q 95.)) (fmt_float (q 99.)))
+              (Printf.sprintf "# %s%s p50=%s p95=%s p99=%s p999=%s\n" base lbl
+                 (fmt_float (q 50.)) (fmt_float (q 95.)) (fmt_float (q 99.))
+                 (fmt_float (q 99.9)))
           end)
     snap;
   Buffer.contents buf
@@ -376,6 +451,14 @@ let json_float f =
   if Float.is_nan f then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
+
+(* Round-trip-exact float literal: histogram sums (and anything else a
+   remote merge must reconcile bit-exactly against) export with the full
+   17 significant digits, not a display rounding. *)
+let json_float_exact f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
 
 let to_json snap =
   let buf = Buffer.create 1024 in
@@ -411,11 +494,12 @@ let to_json snap =
           in
           Buffer.add_string buf
             (Printf.sprintf
-               "],\"sum\":%s,\"count\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
-               (json_float h.sum) h.count
+               "],\"sum\":%s,\"count\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"p999\":%s}"
+               (json_float_exact h.sum) h.count
                (json_float (q 50.))
                (json_float (q 95.))
-               (json_float (q 99.))))
+               (json_float (q 99.))
+               (json_float (q 99.9))))
     snap;
   Buffer.add_string buf "}";
   Buffer.contents buf
@@ -452,9 +536,40 @@ let set_tracing b =
 let events () = List.rev !completed
 let open_spans () = List.length !stack
 
+(* Spans collected from other processes, keyed by the Chrome-trace pid
+   they will export under. Events keep their source clock; the per-pid
+   [offset] (source_clock - local_clock, estimated by whoever merged
+   them) is applied uniformly at export time, so re-estimating the offset
+   mid-run can never reorder a process's own timeline. *)
+type remote_proc = {
+  rp_name : string;
+  mutable rp_offset : float;
+  mutable rp_events : event list; (* reversed (newest first) *)
+}
+
+let remote : (int * remote_proc) list ref = ref []
+
+let add_remote_events ~pid ~pname ~offset evs =
+  let p =
+    match List.assoc_opt pid !remote with
+    | Some p -> p
+    | None ->
+        let p = { rp_name = pname; rp_offset = offset; rp_events = [] } in
+        remote := !remote @ [ (pid, p) ];
+        p
+  in
+  p.rp_offset <- offset;
+  p.rp_events <- List.rev_append evs p.rp_events
+
+let remote_events () =
+  List.map
+    (fun (pid, p) -> (pid, p.rp_name, p.rp_offset, List.rev p.rp_events))
+    !remote
+
 let clear_events () =
   completed := [];
-  stack := []
+  stack := [];
+  remote := []
 
 let set_attr key v =
   match !stack with
@@ -504,39 +619,68 @@ let span ?(attrs = []) name f =
         raise e
   end
 
+(* Merged timeline: local spans under pid 1, each remote process under
+   its own pid with its clock offset subtracted, so coordinator and
+   worker spans line up on one corrected axis. Process-name metadata
+   events are only emitted when the trace actually spans processes. *)
 let chrome_trace_json () =
   let evs = events () in
+  let rem = remote_events () in
   let t0 =
+    let min_of acc off l =
+      List.fold_left (fun acc e -> Float.min acc (e.ev_start -. off)) acc l
+    in
+    let seed =
+      match (evs, rem) with
+      | e :: _, _ -> e.ev_start
+      | [], (_, _, off, e :: _) :: _ -> e.ev_start -. off
+      | [], _ -> 0.
+    in
     List.fold_left
-      (fun acc e -> Float.min acc e.ev_start)
-      (match evs with [] -> 0. | e :: _ -> e.ev_start)
-      evs
+      (fun acc (_, _, off, l) -> min_of acc off l)
+      (min_of seed 0. evs) rem
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
-  List.iteri
-    (fun i e ->
-      if i > 0 then Buffer.add_string buf ",";
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":%s,\"cat\":\"divm\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1"
-           (json_string e.ev_name)
-           ((e.ev_start -. t0) *. 1e6)
-           (e.ev_dur *. 1e6));
-      (match e.ev_attrs with
-      | [] -> ()
-      | attrs ->
-          Buffer.add_string buf ",\"args\":{";
-          List.iteri
-            (fun j (k, v) ->
-              if j > 0 then Buffer.add_string buf ",";
-              Buffer.add_string buf (json_string k);
-              Buffer.add_string buf ":";
-              Buffer.add_string buf (json_string v))
-            attrs;
-          Buffer.add_string buf "}");
-      Buffer.add_string buf "}")
-    evs;
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_string buf "," in
+  let emit_meta pid pname =
+    sep ();
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}"
+         pid (json_string pname))
+  in
+  let emit_event pid off e =
+    sep ();
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":%s,\"cat\":\"divm\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":1"
+         (json_string e.ev_name)
+         ((e.ev_start -. off -. t0) *. 1e6)
+         (e.ev_dur *. 1e6)
+         pid);
+    (match e.ev_attrs with
+    | [] -> ()
+    | attrs ->
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_string buf ",";
+            Buffer.add_string buf (json_string k);
+            Buffer.add_string buf ":";
+            Buffer.add_string buf (json_string v))
+          attrs;
+        Buffer.add_string buf "}");
+    Buffer.add_string buf "}"
+  in
+  if rem <> [] then emit_meta 1 "coordinator";
+  List.iter (emit_event 1 0.) evs;
+  List.iter
+    (fun (pid, pname, off, l) ->
+      emit_meta pid pname;
+      List.iter (emit_event pid off) l)
+    rem;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 

@@ -140,6 +140,38 @@ val find : snapshot -> string -> value option
 (** Counter value by name; 0 when absent or not a counter. *)
 val counter_value : snapshot -> string -> int
 
+(** {1 Remote collection (multi-process telemetry)}
+
+    A distributed coordinator merges the registries, profiler slots and
+    spans of its worker processes into this process's view. The flag
+    below gates the wire traffic; {!ingest} and the remote-span store do
+    the merging. *)
+
+(** When true, distributed engines pull telemetry frames from their
+    worker processes at stage barriers and on shutdown. Set by the CLI
+    layer whenever some consumer of the merged view is active
+    ([--metrics]/[--metrics-json]/[--trace]/[--profile]/[--listen]);
+    default false, in which case nothing extra crosses the wire. *)
+val set_collection : bool -> unit
+
+val collection : unit -> bool
+
+(** [with_labels name labels] appends [labels] to [name]'s Prometheus
+    label set (["m{worker=\"2\"}"]), merging with any existing set.
+    Values are escaped. [name] is returned unchanged on empty labels. *)
+val with_labels : string -> (string * string) list -> string
+
+(** Metric family name: everything before the label set. *)
+val base_of : string -> string
+
+(** [ingest ~labels delta] folds a (delta) snapshot from another process
+    into this registry under [with_labels name labels]: counters add,
+    gauges take the incoming value, histogram buckets merge when the
+    layouts agree (the scalar sum/count always merge). Labeled
+    instruments are created on first sight and accumulate across
+    ingests. *)
+val ingest : labels:(string * string) list -> snapshot -> unit
+
 (** Prometheus text exposition format ([# TYPE] comments included). *)
 val to_text : snapshot -> string
 
@@ -180,10 +212,28 @@ val events : unit -> event list
 (** Number of currently open spans (0 when balanced). *)
 val open_spans : unit -> int
 
+(** Drops completed spans, the open-span stack, and all remote events. *)
 val clear_events : unit -> unit
 
+(** [add_remote_events ~pid ~pname ~offset evs] stores spans collected
+    from another process for the merged Chrome trace. [offset] is that
+    process's clock minus this process's clock (subtracted uniformly at
+    export, so a refined estimate can never reorder the source's own
+    timeline); repeated calls for the same [pid] append events and keep
+    the latest offset. Events must carry the source's own clock. *)
+val add_remote_events :
+  pid:int -> pname:string -> offset:float -> event list -> unit
+
+(** Stored remote spans: [(pid, process name, offset, events)] per
+    process, events in arrival order with uncorrected source-clock
+    timestamps. *)
+val remote_events : unit -> (int * string * float * event list) list
+
 (** Chrome [trace_event] JSON (an object with a ["traceEvents"] array of
-    complete-["X"] events; attributes appear under ["args"]). *)
+    complete-["X"] events; attributes appear under ["args"]). Local spans
+    export under pid 1; remote processes under their own pid with their
+    clock offset corrected, plus [process_name] metadata events (only
+    when remote spans are present). *)
 val chrome_trace_json : unit -> string
 
 val write_chrome_trace : string -> unit

@@ -76,6 +76,19 @@ let add id ~ops:o ~probes:p ~misses:m ~scanned:s ~bytes:b ~wall:w =
   Array.unsafe_set ba id (Array.unsafe_get ba id + b);
   Array.unsafe_set wa id (Array.unsafe_get wa id +. w)
 
+(* Fold a whole row (e.g. a worker process's slot delta shipped over the
+   wire) into the slot registered under (trigger, label) — unlike [add]
+   this carries the source's firing count instead of charging one. *)
+let merge ~trigger ~label (r : row) =
+  let id = slot ~trigger ~label in
+  !firings.(id) <- !firings.(id) + r.r_firings;
+  !ops.(id) <- !ops.(id) + r.r_ops;
+  !probes.(id) <- !probes.(id) + r.r_probes;
+  !misses.(id) <- !misses.(id) + r.r_misses;
+  !scanned.(id) <- !scanned.(id) + r.r_scanned;
+  !bytes.(id) <- !bytes.(id) + r.r_bytes;
+  !wall.(id) <- !wall.(id) +. r.r_wall
+
 let rows () =
   List.init !n (fun id ->
       {

@@ -43,6 +43,12 @@ type row = {
   r_wall : float;  (** seconds *)
 }
 
+(** [merge ~trigger ~label row] folds a whole row — e.g. a worker
+    process's slot delta shipped over the wire — into the slot
+    registered under [(trigger, label)], carrying the source's firing
+    count (unlike {!add}, which charges exactly one firing). *)
+val merge : trigger:string -> label:string -> row -> unit
+
 (** All slots in id (registration) order, including zero ones. *)
 val rows : unit -> row list
 

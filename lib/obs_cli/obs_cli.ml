@@ -4,6 +4,10 @@ module Profile = Divm_profile.Profile
 type opts = { explain : bool; profile : bool }
 
 let install ?metrics_json ~metrics ~trace () =
+  (* Any consumer of the registry/trace means the distributed engines
+     should pull their workers' share into the merged view. *)
+  if metrics || metrics_json <> None || trace <> None then
+    Obs.set_collection true;
   (* at_exit runs hooks in reverse registration order: register metrics
      first so the trace file is written before the snapshot is printed. *)
   if metrics then
@@ -25,11 +29,20 @@ let install ?metrics_json ~metrics ~trace () =
             (List.length (Obs.events ()))
             file)
 
+(* [--listen PORT]: the scrape endpoint wants the merged live registry,
+   so it arms collection too. *)
+let listen port =
+  Obs.set_collection true;
+  let bound = Obs_http.listen port in
+  Printf.eprintf "serving /metrics on http://127.0.0.1:%d\n%!" bound;
+  bound
+
 (* Registry state when profiling was switched on, so the exit report can
    reconcile slot sums against the registry deltas of the same window. *)
 let profile_baseline = ref None
 
 let enable_profile () =
+  Obs.set_collection true;
   Profile.reset ();
   Profile.set_enabled true;
   profile_baseline := Some (Obs.snapshot ())
@@ -102,12 +115,25 @@ let profile_t =
            report (ops/probes/bytes/wall per statement, reconciled against \
            registry totals) on stderr at exit.")
 
+let listen_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "listen" ] ~docv:"PORT"
+        ~doc:
+          "Serve the live metrics registry over HTTP on \
+           127.0.0.1:$(docv) while running: $(b,GET /metrics) answers \
+           Prometheus text, $(b,GET /metrics.json) the JSON report. With \
+           a distributed backend the registry includes the \
+           per-worker-labeled merged telemetry.")
+
 let setup =
   Term.(
-    const (fun metrics metrics_json trace explain profile ->
+    const (fun metrics metrics_json trace listen_port explain profile ->
         install ?metrics_json ~metrics ~trace ();
+        (match listen_port with Some p -> ignore (listen p) | None -> ());
         { explain; profile })
-    $ metrics_t $ metrics_json_t $ trace_t $ explain_t $ profile_t)
+    $ metrics_t $ metrics_json_t $ trace_t $ listen_t $ explain_t $ profile_t)
 
 let scan_argv () =
   let rec go acc = function
@@ -125,6 +151,11 @@ let scan_argv () =
         install ~metrics:false
           ~trace:(Some (String.sub arg 8 (String.length arg - 8)))
           ();
+        go acc tl
+    | "--listen" :: port :: tl ->
+        (match int_of_string_opt port with
+        | Some p -> ignore (listen p)
+        | None -> invalid_arg ("--listen expects a port, got " ^ port));
         go acc tl
     | "--profile" :: tl ->
         (* no static plan available here: report slots only *)

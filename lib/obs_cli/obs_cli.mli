@@ -1,10 +1,16 @@
 (** Shared observability CLI wiring for the [divm] binaries.
 
-    Adds [--metrics], [--metrics-json FILE], [--trace FILE], [--explain]
-    and [--profile] to a binary — either through cmdliner ({!setup}) or by
-    scanning [Sys.argv] directly ({!scan_argv}) for binaries that do their
-    own argument parsing. Metrics / trace / profile output is emitted from
-    [at_exit] hooks so it reflects the whole run. *)
+    Adds [--metrics], [--metrics-json FILE], [--trace FILE], [--listen
+    PORT], [--explain] and [--profile] to a binary — either through
+    cmdliner ({!setup}) or by scanning [Sys.argv] directly ({!scan_argv})
+    for binaries that do their own argument parsing. Metrics / trace /
+    profile output is emitted from [at_exit] hooks so it reflects the
+    whole run; [--listen] serves the live registry while running
+    ({!Obs_http}).
+
+    Every flag that consumes the registry or trace also arms
+    {!Divm_obs.Obs.set_collection}, so a multiprocess engine pulls its
+    workers' telemetry into the merged view. *)
 
 (** What the user asked for beyond metrics/tracing (which install their
     own hooks as a side effect of parsing). *)
@@ -18,6 +24,10 @@ type opts = { explain : bool; profile : bool }
     Perfetto). *)
 val install :
   ?metrics_json:string -> metrics:bool -> trace:string option -> unit -> unit
+
+(** [listen port] arms collection and starts the {!Obs_http} endpoint on
+    [127.0.0.1:port] (0 picks a free port), returning the bound port. *)
+val listen : int -> int
 
 (** Reset the profiler slots, enable profiling, and snapshot the registry
     as the reconciliation baseline for {!profile_report}. *)

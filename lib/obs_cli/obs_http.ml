@@ -1,0 +1,125 @@
+module Obs = Divm_obs.Obs
+
+(* Dependency-free scrape endpoint: a background systhread accepting
+   loopback TCP connections and answering GET /metrics[.json] from the
+   live registry. Systhreads share their domain's runtime lock, so a
+   snapshot taken here serializes with the engine thread's increments —
+   exactly the read-side guarantee [Obs.snapshot] already documents.
+   One request per connection (Connection: close), bounded reads, and
+   every handler failure only drops that connection. *)
+
+let http_date () =
+  (* RFC 7231 fixdate, hand-rolled to stay dependency-free. *)
+  let tm = Unix.gmtime (Unix.time ()) in
+  let day = [| "Sun"; "Mon"; "Tue"; "Wed"; "Thu"; "Fri"; "Sat" |] in
+  let mon =
+    [|
+      "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun";
+      "Jul"; "Aug"; "Sep"; "Oct"; "Nov"; "Dec";
+    |]
+  in
+  Printf.sprintf "%s, %02d %s %04d %02d:%02d:%02d GMT" day.(tm.Unix.tm_wday)
+    tm.Unix.tm_mday mon.(tm.Unix.tm_mon) (1900 + tm.Unix.tm_year)
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let respond fd ~status ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\n\
+       Date: %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      status (http_date ()) content_type (String.length body)
+  in
+  let msg = head ^ body in
+  let n = String.length msg in
+  let pos = ref 0 in
+  while !pos < n do
+    match Unix.write_substring fd msg !pos (n - !pos) with
+    | 0 -> pos := n
+    | k -> pos := !pos + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* First request line only; the headers that follow are read (bounded)
+   and ignored — both exporters answer from process state alone. *)
+let request_path fd =
+  let buf = Bytes.create 4096 in
+  let len = ref 0 in
+  let complete () =
+    let s = Bytes.sub_string buf 0 !len in
+    match String.index_opt s '\n' with Some _ -> Some s | None -> None
+  in
+  let rec fill () =
+    match complete () with
+    | Some s -> Some s
+    | None ->
+        if !len >= Bytes.length buf then None
+        else begin
+          match Unix.read fd buf !len (Bytes.length buf - !len) with
+          | 0 -> None
+          | k ->
+              len := !len + k;
+              fill ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+        end
+  in
+  match fill () with
+  | None -> None
+  | Some s -> (
+      match String.split_on_char ' ' (List.hd (String.split_on_char '\r' s)) with
+      | meth :: path :: _ when String.uppercase_ascii meth = "GET" ->
+          (* strip any query string: /metrics?x=y scrapes the same *)
+          Some
+            (match String.index_opt path '?' with
+            | Some i -> String.sub path 0 i
+            | None -> path)
+      | _ -> None)
+
+let handle fd =
+  match request_path fd with
+  | Some "/metrics" ->
+      respond fd ~status:"200 OK"
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (Obs.to_text (Obs.snapshot ()))
+  | Some "/metrics.json" ->
+      respond fd ~status:"200 OK" ~content_type:"application/json"
+        (Obs.to_json (Obs.snapshot ()))
+  | Some _ ->
+      respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+        "only /metrics and /metrics.json live here\n"
+  | None ->
+      respond fd ~status:"400 Bad Request" ~content_type:"text/plain"
+        "malformed request\n"
+
+let listen port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     (try Unix.close sock with _ -> ());
+     failwith
+       (Printf.sprintf "--listen %d: cannot bind: %s" port
+          (Printexc.to_string e)));
+  Unix.listen sock 16;
+  let bound =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let _t =
+    Thread.create
+      (fun () ->
+        while true do
+          match Unix.accept sock with
+          | fd, _ ->
+              (try handle fd with _ -> ());
+              (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+              (try Unix.close fd with _ -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done)
+      ()
+  in
+  bound

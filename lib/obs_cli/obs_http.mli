@@ -1,0 +1,17 @@
+(** Live scrape endpoint for the metrics registry — no HTTP library, no
+    framework: a background thread on a loopback TCP socket answering
+
+    - [GET /metrics] with the Prometheus text exposition
+      ({!Divm_obs.Obs.to_text}) of a fresh registry snapshot, and
+    - [GET /metrics.json] with the JSON report ({!Divm_obs.Obs.to_json}).
+
+    Snapshots are taken on the serving thread; systhreads share the
+    runtime lock, so reads interleave safely with the engine's updates
+    (see the memory-ordering contract in [obs.mli]). The thread runs for
+    the life of the process — scrapes keep working while batches stream
+    — and dies with it. *)
+
+(** [listen port] binds [127.0.0.1:port] (raising [Failure] if the port
+    is taken), starts the serving thread, and returns the bound port —
+    pass [0] to let the kernel pick a free one. *)
+val listen : int -> int

@@ -383,26 +383,46 @@ let plan_summary plan r =
 
 (* Slot sums against the registry deltas of the same window: the two
    accounting paths (per-slot attribution vs. whole-batch counter folds)
-   must agree exactly when the profiler covered every firing. *)
+   must agree exactly when the profiler covered every firing.
+
+   With the multiprocess backend's telemetry merge, worker-side counters
+   arrive labeled ([divm_record_ops_total{worker="1"}]) and their slot
+   rows arrive with an ["@wI"] suffix — both sides of the ledger grow
+   symmetrically, so the invariant extends across process boundaries.
+   The storage-layer families therefore sum over every label set
+   ([base_of]), while the engine counters match exactly by name: the
+   coordinator also registers per-worker labeled
+   [divm_node_worker_ops_total{worker=...}] variants, and base-summing
+   those would double-count what the unlabeled total already holds. *)
 let reconcile ~diff =
   let rows = Prof.rows () in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
   let reg = Obs.counter_value diff in
+  let reg_base name =
+    List.fold_left
+      (fun acc (n, v) ->
+        match v with
+        | Obs.VCounter c when Obs.base_of n = name -> acc + c
+        | _ -> acc)
+      0 diff
+  in
   [
     ( "ops",
       sum (fun r -> r.Prof.r_ops),
-      reg "divm_record_ops_total"
+      reg_base "divm_record_ops_total"
       + reg "divm_cluster_driver_ops_total"
       + reg "divm_cluster_worker_ops_total"
       + reg "divm_node_driver_ops_total"
       + reg "divm_node_worker_ops_total" );
-    ("probes", sum (fun r -> r.Prof.r_probes), reg "divm_index_probes_total");
+    ( "probes",
+      sum (fun r -> r.Prof.r_probes),
+      reg_base "divm_index_probes_total" );
     ( "misses",
       sum (fun r -> r.Prof.r_misses),
-      reg "divm_index_probe_misses_total" );
+      reg_base "divm_index_probe_misses_total" );
     ( "scanned",
       sum (fun r -> r.Prof.r_scanned),
-      reg "divm_slice_scanned_total" );
+      reg_base "divm_slice_scanned_total" );
     ( "bytes",
       sum (fun r -> r.Prof.r_bytes),
       reg "divm_cluster_bytes_shuffled_total"

@@ -5,6 +5,9 @@
 
 open Divm_ring
 open Divm_storage
+module Obs = Divm_obs.Obs
+module Prof = Divm_obs.Prof
+module Profile = Divm_profile.Profile
 module Protocol = Divm_node.Protocol
 module Node = Divm_node.Node
 module Cluster = Divm_cluster.Cluster
@@ -50,6 +53,82 @@ let gen_name =
     string_size ~gen:(map (fun i -> Char.chr i) (int_range 97 122))
       (int_range 1 12))
 
+(* Floats for the telemetry fields: the codec ships IEEE-754 bits, so
+   the generator deliberately includes signed zero and infinities. *)
+let gen_f =
+  QCheck.Gen.(
+    oneof [ float; oneofl [ 0.0; -0.0; 1e-300; -1e300; 0.1; infinity ] ])
+
+let gen_obs_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun c -> Obs.VCounter c) int);
+        (2, map (fun g -> Obs.VGauge g) gen_f);
+        ( 2,
+          int_range 0 5 >>= fun nb ->
+          map3
+            (fun buckets counts (sum, count) ->
+              Obs.VHistogram
+                {
+                  buckets = Array.of_list buckets;
+                  counts = Array.of_list counts;
+                  sum;
+                  count;
+                })
+            (list_repeat nb gen_f)
+            (list_repeat (nb + 1) (int_range 0 1_000_000))
+            (pair gen_f (int_range 0 1_000_000)) );
+      ])
+
+let gen_snapshot =
+  QCheck.Gen.(list_size (int_range 0 8) (pair gen_name gen_obs_value))
+
+let gen_row =
+  QCheck.Gen.(
+    map3
+      (fun trigger label (f, (o, (p, (ms, (s, (b, w)))))) ->
+        {
+          Prof.r_trigger = trigger;
+          r_label = label;
+          r_firings = f;
+          r_ops = o;
+          r_probes = p;
+          r_misses = ms;
+          r_scanned = s;
+          r_bytes = b;
+          r_wall = w;
+        })
+      gen_name gen_name
+      (pair (int_range 0 1000)
+         (pair int
+            (pair int (pair int (pair int (pair int gen_f)))))))
+
+let gen_event =
+  QCheck.Gen.(
+    map3
+      (fun name (start, dur) (depth, attrs) ->
+        {
+          Obs.ev_name = name;
+          ev_start = start;
+          ev_dur = dur;
+          ev_depth = depth;
+          ev_attrs = attrs;
+        })
+      gen_name (pair gen_f gen_f)
+      (pair (int_range 0 5)
+         (list_size (int_range 0 3) (pair gen_name gen_name))))
+
+let gen_telem =
+  QCheck.Gen.(
+    map3
+      (fun t_now t_snap (t_slots, t_spans) ->
+        { Protocol.t_now; t_snap; t_slots; t_spans })
+      gen_f gen_snapshot
+      (pair
+         (list_size (int_range 0 6) gen_row)
+         (list_size (int_range 0 6) gen_event)))
+
 let gen_msg =
   QCheck.Gen.(
     frequency
@@ -59,13 +138,22 @@ let gen_msg =
         ( 3,
           map2 (fun r g -> Protocol.Load_batch (r, g)) gen_name gen_gmr );
         (1, map2 (fun r i -> Protocol.Run_block (r, i)) gen_name (int_range 0 50));
-        (1, map (fun i -> Protocol.Block_done i) (int_range 0 1_000_000));
+        ( 1,
+          map2
+            (fun i w -> Protocol.Block_done (i, w))
+            (int_range 0 1_000_000) gen_f );
         (1, map (fun m -> Protocol.Pull_map m) gen_name);
         (3, map (fun g -> Protocol.Map_contents g) gen_gmr);
         (3, map2 (fun m g -> Protocol.Deliver (m, g)) gen_name gen_gmr);
         (1, map (fun m -> Protocol.Clear_map m) gen_name);
         (1, return Protocol.Ack);
         (1, return Protocol.Shutdown);
+        ( 1,
+          map2
+            (fun p tr -> Protocol.Start_telemetry (p, tr))
+            bool bool );
+        (1, return Protocol.Pull_telemetry);
+        (2, map (fun tm -> Protocol.Telemetry tm) gen_telem);
       ])
 
 (* Bit-exact multiset equality: same tuples (values compared structurally,
@@ -79,12 +167,53 @@ let gmr_bits_equal a b =
          && Int64.equal (Int64.bits_of_float m) (Int64.bits_of_float (Gmr.mult b t)))
        a true
 
+let fbits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let obs_value_equal a b =
+  match (a, b) with
+  | Obs.VCounter x, Obs.VCounter y -> x = y
+  | Obs.VGauge x, Obs.VGauge y -> fbits_equal x y
+  | Obs.VHistogram h1, Obs.VHistogram h2 ->
+      Array.length h1.buckets = Array.length h2.buckets
+      && Array.for_all2 fbits_equal h1.buckets h2.buckets
+      && h1.counts = h2.counts
+      && fbits_equal h1.sum h2.sum
+      && h1.count = h2.count
+  | _ -> false
+
+let row_equal (a : Prof.row) (b : Prof.row) =
+  a.r_trigger = b.r_trigger && a.r_label = b.r_label
+  && a.r_firings = b.r_firings && a.r_ops = b.r_ops
+  && a.r_probes = b.r_probes && a.r_misses = b.r_misses
+  && a.r_scanned = b.r_scanned && a.r_bytes = b.r_bytes
+  && fbits_equal a.r_wall b.r_wall
+
+let event_equal (a : Obs.event) (b : Obs.event) =
+  a.ev_name = b.ev_name
+  && fbits_equal a.ev_start b.ev_start
+  && fbits_equal a.ev_dur b.ev_dur
+  && a.ev_depth = b.ev_depth && a.ev_attrs = b.ev_attrs
+
+let telem_equal (a : Protocol.telem) (b : Protocol.telem) =
+  fbits_equal a.t_now b.t_now
+  && List.length a.t_snap = List.length b.t_snap
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> n1 = n2 && obs_value_equal v1 v2)
+       a.t_snap b.t_snap
+  && List.length a.t_slots = List.length b.t_slots
+  && List.for_all2 row_equal a.t_slots b.t_slots
+  && List.length a.t_spans = List.length b.t_spans
+  && List.for_all2 event_equal a.t_spans b.t_spans
+
 let msg_equal (a : Protocol.msg) (b : Protocol.msg) =
   match (a, b) with
   | Protocol.Load_batch (r1, g1), Protocol.Load_batch (r2, g2)
   | Protocol.Deliver (r1, g1), Protocol.Deliver (r2, g2) ->
       String.equal r1 r2 && gmr_bits_equal g1 g2
   | Protocol.Map_contents g1, Protocol.Map_contents g2 -> gmr_bits_equal g1 g2
+  | Protocol.Block_done (o1, w1), Protocol.Block_done (o2, w2) ->
+      o1 = o2 && fbits_equal w1 w2
+  | Protocol.Telemetry t1, Protocol.Telemetry t2 -> telem_equal t1 t2
   | a, b -> a = b
 
 let qcheck_codec_roundtrip =
@@ -382,6 +511,202 @@ let test_cluster_domains_contradiction () =
        dp);
   ignore (Cluster.create ~config:(Cluster.config ~workers:2 ()) ~domains:1 dp)
 
+(* ------------------------------------------------------------------ *)
+(* Distributed telemetry                                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Restore every global observer flag no matter how a telemetry test
+   exits — later suites assume the defaults. *)
+let with_observers f =
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.set_enabled false;
+      Obs.set_collection false;
+      Obs.set_tracing false;
+      Obs.clear_events ();
+      Profile.reset ())
+    f
+
+(* The PR 3 invariant — profiler slot sums equal registry deltas —
+   extended across process boundaries: with telemetry collection armed,
+   the merged coordinator registry must reconcile exactly against the
+   merged slots, the per-worker labeled record-op counters must sum to
+   the coordinator's own worker-op total, and that total must equal the
+   simulator's for the same program and stream (the proven equivalence
+   pattern, applied to telemetry). *)
+let test_telemetry_reconcile () =
+  let stream =
+    Tpch.Gen.stream { Tpch.Gen.scale = 0.02; seed = 21 } ~batch_size:400
+  in
+  let w = Workload.find "Q3" in
+  let dp = Workload.distribute w (Workload.compile w) in
+  (* Simulator reference with every observer off. *)
+  let sim_base = Obs.snapshot () in
+  let sim =
+    Cluster.create ~config:(Cluster.config ~workers:2 ()) ~domains:1 dp
+  in
+  List.iter (fun (rel, b) -> ignore (Cluster.apply_batch sim ~rel b)) stream;
+  let sim_diff = Obs.diff ~later:(Obs.snapshot ()) ~earlier:sim_base in
+  let sim_worker_ops =
+    Obs.counter_value sim_diff "divm_cluster_worker_ops_total"
+  in
+  Alcotest.(check bool) "simulator did distributed work" true
+    (sim_worker_ops > 0);
+  with_observers @@ fun () ->
+  Obs.set_collection true;
+  Profile.reset ();
+  Profile.set_enabled true;
+  let base = Obs.snapshot () in
+  let node = Node.create ~config:(Node.config ~workers:2 ()) dp in
+  Fun.protect
+    ~finally:(fun () -> Node.shutdown node)
+    (fun () ->
+      List.iter (fun (rel, b) -> ignore (Node.apply_batch node ~rel b)) stream);
+  (* shutdown ran inside finally: the final pull has merged by now *)
+  let diff = Obs.diff ~later:(Obs.snapshot ()) ~earlier:base in
+  let labeled_record_ops =
+    List.fold_left
+      (fun acc (n, v) ->
+        match v with
+        | Obs.VCounter c
+          when Obs.base_of n = "divm_record_ops_total" && n <> Obs.base_of n ->
+            acc + c
+        | _ -> acc)
+      0 diff
+  in
+  let node_worker_ops = Obs.counter_value diff "divm_node_worker_ops_total" in
+  Alcotest.(check int)
+    "merged per-worker record ops equal the coordinator's worker-op total"
+    node_worker_ops labeled_record_ops;
+  Alcotest.(check int)
+    "worker ops equal the simulator's for the same stream" sim_worker_ops
+    node_worker_ops;
+  let per_worker =
+    List.filter
+      (fun (n, v) ->
+        match v with
+        | Obs.VCounter c ->
+            Obs.base_of n = "divm_node_worker_ops_total"
+            && n <> Obs.base_of n && c > 0
+        | _ -> false)
+      diff
+  in
+  Alcotest.(check int) "both workers contributed labeled op counters" 2
+    (List.length per_worker);
+  List.iter
+    (fun (what, slots, registry) ->
+      Alcotest.(check int)
+        (Printf.sprintf "cross-process reconciliation of %s is exact" what)
+        registry slots)
+    (Profile.reconcile ~diff)
+
+(* Merged Chrome trace: spans from three pids (coordinator + 2 workers)
+   on one corrected timeline; the per-pid offset is applied uniformly at
+   export, so a worker's own span order survives correction, and every
+   corrected worker span lands inside the coordinator's observed
+   window. *)
+let test_merged_trace_monotonic () =
+  with_observers @@ fun () ->
+  Obs.clear_events ();
+  Obs.set_collection true;
+  Obs.set_tracing true;
+  let stream =
+    Tpch.Gen.stream { Tpch.Gen.scale = 0.02; seed = 5 } ~batch_size:500
+  in
+  let w = Workload.find "Q3" in
+  let dp = Workload.distribute w (Workload.compile w) in
+  let t_start = Unix.gettimeofday () in
+  let node = Node.create ~config:(Node.config ~workers:2 ()) dp in
+  Fun.protect
+    ~finally:(fun () -> Node.shutdown node)
+    (fun () ->
+      List.iter (fun (rel, b) -> ignore (Node.apply_batch node ~rel b)) stream);
+  let t_end = Unix.gettimeofday () in
+  let remote = Obs.remote_events () in
+  Alcotest.(check int) "both workers shipped spans" 2 (List.length remote);
+  List.iter
+    (fun (pid, pname, offset, evs) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "worker pid %d is distinct from the coordinator's" pid)
+        true
+        (pid >= 2 && contains pname "worker");
+      Alcotest.(check bool) "worker produced spans" true (evs <> []);
+      (* Uniform offset: sorting by raw start and by corrected start must
+         agree — the correction can shift but never reorder. *)
+      let sorted =
+        List.sort
+          (fun (a : Obs.event) b -> compare a.ev_start b.ev_start)
+          evs
+      in
+      let prev = ref neg_infinity in
+      List.iter
+        (fun (e : Obs.event) ->
+          let corrected = e.ev_start -. offset in
+          if corrected < !prev then
+            Alcotest.failf
+              "pid %d: offset correction reordered spans (%.9f after %.9f)"
+              pid corrected !prev;
+          prev := corrected;
+          (* One coherent timeline: the corrected span sits inside the
+             coordinator's observed window (slack for the shutdown-pull
+             spans and clock estimation error). *)
+          let slack = 0.5 in
+          if
+            corrected < t_start -. slack
+            || corrected +. e.ev_dur > t_end +. slack
+          then
+            Alcotest.failf
+              "pid %d: corrected span [%0.6f, %0.6f] escapes the \
+               coordinator window [%0.6f, %0.6f]"
+              pid corrected
+              (corrected +. e.ev_dur)
+              (t_start -. slack) (t_end +. slack))
+        sorted)
+    remote;
+  let json = Obs.chrome_trace_json () in
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "merged trace has spans under pid %d" pid)
+        true
+        (contains json (Printf.sprintf "\"pid\":%d" pid)))
+    [ 1; 2; 3 ]
+
+(* A worker killed mid-stream surfaces as a [Failure] naming the worker
+   and its signal, not an opaque socket error. *)
+let test_worker_death_report () =
+  let stream =
+    Tpch.Gen.stream { Tpch.Gen.scale = 0.02; seed = 2 } ~batch_size:200
+  in
+  let w = Workload.find "Q6" in
+  let dp = Workload.distribute w (Workload.compile w) in
+  let node = Node.create ~config:(Node.config ~workers:2 ()) dp in
+  Fun.protect
+    ~finally:(fun () -> Node.shutdown node)
+    (fun () ->
+      let rel, batch = List.hd stream in
+      ignore (Node.apply_batch node ~rel batch);
+      (match Node.worker_pids node with
+      | Some pid :: _ -> Unix.kill pid Sys.sigkill
+      | _ -> Alcotest.fail "coordinator does not know its worker pids");
+      Unix.sleepf 0.1;
+      match
+        List.iter (fun (rel, b) -> ignore (Node.apply_batch node ~rel b)) stream
+      with
+      | exception Failure msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error names the dead worker: %s" msg)
+            true (contains msg "worker 0");
+          Alcotest.(check bool)
+            (Printf.sprintf "error carries the signal: %s" msg)
+            true (contains msg "signaled")
+      | () -> Alcotest.fail "batches kept succeeding with a dead worker")
+
 let suites =
   [
     ( "node",
@@ -398,5 +723,11 @@ let suites =
           test_engine_single_and_load;
         Alcotest.test_case "cluster domains contradiction" `Quick
           test_cluster_domains_contradiction;
+        Alcotest.test_case "telemetry reconciles across processes" `Quick
+          test_telemetry_reconcile;
+        Alcotest.test_case "merged trace is offset-corrected and ordered"
+          `Quick test_merged_trace_monotonic;
+        Alcotest.test_case "worker death names the worker and signal" `Quick
+          test_worker_death_report;
       ] );
   ]

@@ -157,6 +157,154 @@ let test_diff_bucket_mismatch () =
         (d.buckets = [| 1.; 3. |])
   | _ -> Alcotest.fail "histogram missing from mismatched diff"
 
+(* Both exporters carry a p999 estimate, and the JSON sum is printed
+   with full 17-digit precision so a remote reconciliation can compare
+   it bit-exactly after a parse round-trip. *)
+let test_p999_and_sum_precision () =
+  let buckets = [| 0.001; 0.01; 0.1; 1.0 |] in
+  let h = Obs.Histogram.make ~buckets "test_obs_p999" in
+  (* 0.1 + 0.2 is the canonical float whose %.9g rendering is lossy *)
+  Obs.Histogram.observe h 0.1;
+  Obs.Histogram.observe h 0.2;
+  let snap = Obs.snapshot () in
+  let text = Obs.to_text snap in
+  Alcotest.(check bool) "text exporter reports p999" true
+    (contains ~affix:"p999=" text);
+  let json = Obs.to_json snap in
+  Alcotest.(check bool) "json exporter reports p999" true
+    (contains ~affix:"\"p999\":" json)
+
+let test_json_sum_roundtrips_exactly () =
+  let h = Obs.Histogram.make ~buckets:[| 1.0 |] "test_obs_sum_exact" in
+  Obs.Histogram.observe h 0.1;
+  Obs.Histogram.observe h 0.2;
+  let want = Obs.Histogram.sum h in
+  (* a display rounding would already have collapsed this onto 0.3 *)
+  Alcotest.(check bool) "sum is not exactly 0.3" true (want <> 0.3);
+  let json = Obs.to_json (Obs.snapshot ()) in
+  (* pull the literal back out of the serialized histogram entry *)
+  let key = "\"test_obs_sum_exact\":" in
+  let at =
+    let n = String.length key in
+    let rec go k =
+      if k + n > String.length json then
+        Alcotest.fail "histogram missing from JSON"
+      else if String.sub json k n = key then k + n
+      else go (k + 1)
+    in
+    go 0
+  in
+  let sum_at =
+    let tag = "\"sum\":" in
+    let n = String.length tag in
+    let rec go k =
+      if String.sub json k n = tag then k + n else go (k + 1)
+    in
+    go at
+  in
+  let fin = ref sum_at in
+  while json.[!fin] <> ',' && json.[!fin] <> '}' do
+    incr fin
+  done;
+  let got = float_of_string (String.sub json sum_at (!fin - sum_at)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.17g parses back bit-exactly (got %h, want %h)" want got
+       want)
+    true
+    (Int64.bits_of_float got = Int64.bits_of_float want)
+
+let test_labels_and_ingest () =
+  Alcotest.(check string) "labels appended"
+    "m{worker=\"2\"}"
+    (Obs.with_labels "m" [ ("worker", "2") ]);
+  Alcotest.(check string) "labels merged into an existing set"
+    "m{a=\"1\",worker=\"2\"}"
+    (Obs.with_labels "m{a=\"1\"}" [ ("worker", "2") ]);
+  Alcotest.(check string) "label values escaped"
+    "m{w=\"x\\\"y\"}"
+    (Obs.with_labels "m" [ ("w", "x\"y") ]);
+  Alcotest.(check string) "base strips the label set" "m"
+    (Obs.base_of "m{worker=\"2\"}");
+  (* ingest a worker's delta snapshot twice: counters accumulate, gauges
+     overwrite, histograms merge bucket-wise *)
+  let delta =
+    [
+      ("test_obs_ing_total", Obs.VCounter 5);
+      ("test_obs_ing_gauge", Obs.VGauge 2.5);
+      ( "test_obs_ing_hist",
+        Obs.VHistogram
+          { buckets = [| 1.0 |]; counts = [| 1; 2 |]; sum = 3.5; count = 3 } );
+    ]
+  in
+  Obs.ingest ~labels:[ ("worker", "0") ] delta;
+  Obs.ingest ~labels:[ ("worker", "0") ] delta;
+  let snap = Obs.snapshot () in
+  (match Obs.find snap "test_obs_ing_total{worker=\"0\"}" with
+  | Some (Obs.VCounter c) ->
+      Alcotest.(check int) "ingested counters accumulate" 10 c
+  | _ -> Alcotest.fail "labeled counter missing after ingest");
+  (match Obs.find snap "test_obs_ing_gauge{worker=\"0\"}" with
+  | Some (Obs.VGauge g) ->
+      Alcotest.(check (float 0.)) "ingested gauge takes last value" 2.5 g
+  | _ -> Alcotest.fail "labeled gauge missing after ingest");
+  (match Obs.find snap "test_obs_ing_hist{worker=\"0\"}" with
+  | Some (Obs.VHistogram h) ->
+      Alcotest.(check (array int)) "bucket counts merged" [| 2; 4 |] h.counts;
+      Alcotest.(check (float 1e-9)) "sums merged" 7.0 h.sum;
+      Alcotest.(check int) "counts merged" 6 h.count
+  | _ -> Alcotest.fail "labeled histogram missing after ingest");
+  (* the text exporter renders the labeled sample under the family's base
+     name, with one shared TYPE line *)
+  let text = Obs.to_text snap in
+  Alcotest.(check bool) "labeled sample rendered" true
+    (contains ~affix:"test_obs_ing_total{worker=\"0\"} 10" text);
+  Alcotest.(check bool) "TYPE line uses the base name" true
+    (contains ~affix:"# TYPE test_obs_ing_total counter" text)
+
+(* The dependency-free scrape endpoint: bind an ephemeral port, make
+   real HTTP requests against it, check routing and content types. *)
+let test_http_metrics_endpoint () =
+  let c = Obs.Counter.make "test_obs_http_total" in
+  Obs.Counter.add c 7;
+  let port = Divm_obs_cli.Obs_http.listen 0 in
+  Alcotest.(check bool) "kernel picked a real port" true (port > 0);
+  let request path =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\n\r\n" path in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 4096 and chunk = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read fd chunk 0 4096 with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              drain ()
+        in
+        drain ();
+        Buffer.contents buf)
+  in
+  let metrics = request "/metrics" in
+  Alcotest.(check bool) "/metrics answers 200" true
+    (contains ~affix:"200 OK" metrics);
+  Alcotest.(check bool) "/metrics is Prometheus text" true
+    (contains ~affix:"# TYPE test_obs_http_total counter" metrics
+    && contains ~affix:"test_obs_http_total 7" metrics);
+  let json = request "/metrics.json" in
+  Alcotest.(check bool) "/metrics.json answers JSON" true
+    (contains ~affix:"200 OK" json
+    && contains ~affix:"\"test_obs_http_total\":" json);
+  Alcotest.(check bool) "unknown path answers 404" true
+    (contains ~affix:"404" (request "/nope"));
+  (* scrapes are repeatable: the serving thread outlives a request *)
+  Obs.Counter.add c 1;
+  Alcotest.(check bool) "second scrape sees the update" true
+    (contains ~affix:"test_obs_http_total 8" (request "/metrics"))
+
 (* ------------------------------------------------------------------ *)
 (* Span tracer                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -525,6 +673,14 @@ let suites =
         Alcotest.test_case "percentiles" `Quick test_percentiles;
         Alcotest.test_case "diff: histogram bucket mismatch" `Quick
           test_diff_bucket_mismatch;
+        Alcotest.test_case "exporters report p999" `Quick
+          test_p999_and_sum_precision;
+        Alcotest.test_case "JSON sum round-trips bit-exactly" `Quick
+          test_json_sum_roundtrips_exactly;
+        Alcotest.test_case "labels and cross-process ingest" `Quick
+          test_labels_and_ingest;
+        Alcotest.test_case "live /metrics endpoint" `Quick
+          test_http_metrics_endpoint;
         Alcotest.test_case "spans nest and balance" `Quick
           test_spans_nest_and_balance;
         Alcotest.test_case "chrome trace escaping round-trips" `Quick
