@@ -294,6 +294,7 @@ let apply_batch t ~rel batch =
                       let ser = run_transfer t net tr in
                       if Prof.enabled () then
                         Prof.add tr.tslot ~ops:0 ~probes:0 ~misses:0 ~scanned:0
+                          ~svscan:0 ~svsel:0
                           ~bytes:(net.total_bytes - bytes_before)
                           ~wall:(Unix.gettimeofday () -. wall0);
                       let after_max =

@@ -752,6 +752,7 @@ let apply_batch t ~rel batch =
                       let wall = Unix.gettimeofday () -. wall0 in
                       if Prof.enabled () then
                         Prof.add tr.tslot ~ops:0 ~probes:0 ~misses:0 ~scanned:0
+                          ~svscan:0 ~svsel:0
                           ~bytes:(net.total_bytes - bytes_before)
                           ~wall;
                       let after_max =
@@ -822,7 +823,8 @@ let apply_batch t ~rel batch =
               if Prof.enabled () then
                 Prof.add slot
                   ~ops:(Array.fold_left ( + ) 0 deltas)
-                  ~probes:0 ~misses:0 ~scanned:0 ~bytes:0 ~wall;
+                  ~probes:0 ~misses:0 ~scanned:0 ~svscan:0 ~svsel:0 ~bytes:0
+                  ~wall;
               let dt =
                 Costmodel.stage_latency t.cfg.cost ~workers:w ~max_ops:!max_ops
                   ~pending_max_into:!pending_max_into

@@ -89,6 +89,8 @@ let add_slots b (rows : Prof.row list) =
       add_i64 b r.r_probes;
       add_i64 b r.r_misses;
       add_i64 b r.r_scanned;
+      add_i64 b r.r_svscan;
+      add_i64 b r.r_svsel;
       add_i64 b r.r_bytes;
       add_f64 b r.r_wall)
     rows
@@ -168,6 +170,9 @@ let add_gmr b g =
       Buffer.add_uint8 b 1;
       Buffer.add_uint16_be b w;
       let cb = Colbatch.of_gmr ~width:w g in
+      (* safety net: any all-string column that arrived boxed (legacy
+         construction paths) still ships dictionary-encoded *)
+      Colbatch.dictify cb;
       let n = Colbatch.length cb in
       for c = 0 to w - 1 do
         match Colbatch.col cb c with
@@ -189,6 +194,16 @@ let add_gmr b g =
         | Colbatch.CBoxed a ->
             Buffer.add_uint8 b 3;
             Array.iter (add_value b) a
+        | Colbatch.CDict (d, codes) ->
+            (* dictionary once, then one i32 code per row — repeated
+               strings never travel twice *)
+            Buffer.add_uint8 b 4;
+            let dn = Colbatch.dict_size d in
+            add_count b dn;
+            for e = 0 to dn - 1 do
+              add_string b (Colbatch.dict_entry d e)
+            done;
+            Array.iter (fun c -> Buffer.add_int32_be b (Int32.of_int c)) codes
       done;
       Array.iter
         (fun m -> Buffer.add_int64_be b (Int64.bits_of_float m))
@@ -342,6 +357,25 @@ let get_gmr r =
                 Colbatch.CDate
                   (Array.init n (fun _ -> Int64.to_int (get_i64 r)))
             | 3 -> Colbatch.CBoxed (Array.init n (fun _ -> get_value r))
+            | 4 ->
+                let dn = get_count r "dictionary entry" in
+                let seen = Hashtbl.create (max 16 dn) in
+                let vals =
+                  Array.init dn (fun _ ->
+                      let s = get_string r in
+                      if Hashtbl.mem seen s then
+                        err "duplicate dictionary entry %S" s;
+                      Hashtbl.add seen s ();
+                      s)
+                in
+                let codes =
+                  Array.init n (fun _ ->
+                      let c = get_i32 r in
+                      if c < 0 || c >= dn then
+                        err "dictionary code %d out of range [0,%d)" c dn;
+                      c)
+                in
+                Colbatch.CDict (Colbatch.dict_of_strings vals, codes)
             | k -> err "unknown column kind %d" k)
       in
       let mults =
@@ -378,6 +412,8 @@ let get_slots r : Prof.row list =
       let r_probes = Int64.to_int (get_i64 r) in
       let r_misses = Int64.to_int (get_i64 r) in
       let r_scanned = Int64.to_int (get_i64 r) in
+      let r_svscan = Int64.to_int (get_i64 r) in
+      let r_svsel = Int64.to_int (get_i64 r) in
       let r_bytes = Int64.to_int (get_i64 r) in
       let r_wall = get_f64 r in
       {
@@ -388,6 +424,8 @@ let get_slots r : Prof.row list =
         r_probes;
         r_misses;
         r_scanned;
+        r_svscan;
+        r_svsel;
         r_bytes;
         r_wall;
       })

@@ -14,6 +14,8 @@ type row = {
   r_probes : int;
   r_misses : int;
   r_scanned : int;
+  r_svscan : int;
+  r_svsel : int;
   r_bytes : int;
   r_wall : float;
 }
@@ -34,6 +36,8 @@ let ops = ref [||]
 let probes = ref [||]
 let misses = ref [||]
 let scanned = ref [||]
+let svscan = ref [||]
+let svsel = ref [||]
 let bytes = ref [||]
 let wall = ref [||]
 let ids : (string * string, int) Hashtbl.t = Hashtbl.create 64
@@ -49,6 +53,8 @@ let grow () =
   probes := gi probes;
   misses := gi misses;
   scanned := gi scanned;
+  svscan := gi svscan;
+  svsel := gi svsel;
   bytes := gi bytes;
   wall := Array.append !wall (Array.make (cap' - !cap) 0.);
   cap := cap'
@@ -65,14 +71,18 @@ let slot ~trigger ~label =
       Hashtbl.replace ids (trigger, label) id;
       id
 
-let add id ~ops:o ~probes:p ~misses:m ~scanned:s ~bytes:b ~wall:w =
+let add id ~ops:o ~probes:p ~misses:m ~scanned:s ~svscan:v ~svsel:e ~bytes:b
+    ~wall:w =
   let fa = !firings and oa = !ops and pa = !probes in
   let ma = !misses and sa = !scanned and ba = !bytes and wa = !wall in
+  let va = !svscan and ea = !svsel in
   Array.unsafe_set fa id (Array.unsafe_get fa id + 1);
   Array.unsafe_set oa id (Array.unsafe_get oa id + o);
   Array.unsafe_set pa id (Array.unsafe_get pa id + p);
   Array.unsafe_set ma id (Array.unsafe_get ma id + m);
   Array.unsafe_set sa id (Array.unsafe_get sa id + s);
+  Array.unsafe_set va id (Array.unsafe_get va id + v);
+  Array.unsafe_set ea id (Array.unsafe_get ea id + e);
   Array.unsafe_set ba id (Array.unsafe_get ba id + b);
   Array.unsafe_set wa id (Array.unsafe_get wa id +. w)
 
@@ -86,6 +96,8 @@ let merge ~trigger ~label (r : row) =
   !probes.(id) <- !probes.(id) + r.r_probes;
   !misses.(id) <- !misses.(id) + r.r_misses;
   !scanned.(id) <- !scanned.(id) + r.r_scanned;
+  !svscan.(id) <- !svscan.(id) + r.r_svscan;
+  !svsel.(id) <- !svsel.(id) + r.r_svsel;
   !bytes.(id) <- !bytes.(id) + r.r_bytes;
   !wall.(id) <- !wall.(id) +. r.r_wall
 
@@ -99,6 +111,8 @@ let rows () =
         r_probes = !probes.(id);
         r_misses = !misses.(id);
         r_scanned = !scanned.(id);
+        r_svscan = !svscan.(id);
+        r_svsel = !svsel.(id);
         r_bytes = !bytes.(id);
         r_wall = !wall.(id);
       })
@@ -109,5 +123,7 @@ let reset () =
   Array.fill !probes 0 !cap 0;
   Array.fill !misses 0 !cap 0;
   Array.fill !scanned 0 !cap 0;
+  Array.fill !svscan 0 !cap 0;
+  Array.fill !svsel 0 !cap 0;
   Array.fill !bytes 0 !cap 0;
   Array.fill !wall 0 !cap 0.

@@ -27,6 +27,8 @@ val add :
   probes:int ->
   misses:int ->
   scanned:int ->
+  svscan:int ->
+  svsel:int ->
   bytes:int ->
   wall:float ->
   unit
@@ -39,6 +41,8 @@ type row = {
   r_probes : int;  (** primary-index probes ([Pool.get]/[Pool.slice]) *)
   r_misses : int;  (** probes that found nothing *)
   r_scanned : int;  (** records scanned through secondary-index slices *)
+  r_svscan : int;  (** rows examined by selection-vector filter kernels *)
+  r_svsel : int;  (** rows surviving the kernels (survivor-vector length) *)
   r_bytes : int;  (** serialized bytes this transfer shuffled *)
   r_wall : float;  (** seconds *)
 }

@@ -29,6 +29,11 @@ type stmt_plan = {
   sp_target : string;
   sp_op : string;
   sp_columnar : bool;
+  sp_selvec : int;
+      (** filters compiled to selection-vector kernels (columnar scans
+          into packed survivor index vectors) *)
+  sp_rowwise : int;
+      (** filters left on the per-row closure path (dynamic predicates) *)
   sp_block : int option;
   sp_stage : int option;
   sp_loc : string option;
@@ -98,20 +103,22 @@ let explain ?(name = "program") (prog : Prog.t) =
     List.concat_map
       (fun (rel, routed) ->
         List.map
-          (fun ((st : Prog.stmt), lbl) ->
+          (fun ((st : Prog.stmt), lbl, selvec, rowwise) ->
             {
               sp_trigger = rel;
               sp_label = lbl;
-              sp_target = st.target;
+              sp_target = st.Prog.target;
               sp_op = op_str st.op;
               sp_columnar = route_of_label lbl <> "stmt";
+              sp_selvec = selvec;
+              sp_rowwise = rowwise;
               sp_block = None;
               sp_stage = None;
               sp_loc = None;
               sp_accesses = accesses_of sp bp st;
             })
           routed)
-      (Runtime.stmt_routes prog)
+      (Runtime.stmt_routes_ex prog)
   in
   { pl_name = name; pl_dist = false; pl_stmts = stmts; pl_transfers = [] }
 
@@ -160,6 +167,8 @@ let explain_dist ?(name = "program") (dp : Dprog.t) =
                       sp_target = s.target;
                       sp_op = op_str s.op;
                       sp_columnar = false;
+                      sp_selvec = 0;
+                      sp_rowwise = 0;
                       sp_block = Some bi;
                       sp_stage = cur_stage;
                       sp_loc =
@@ -206,25 +215,49 @@ let trigger_order stmts transfers =
   List.iter (fun t -> note t.tp_trigger) transfers;
   List.rev !seen
 
+let filter_split_str s =
+  let part n kind = Printf.sprintf "%d %s" n kind in
+  match (s.sp_selvec, s.sp_rowwise) with
+  | 0, 0 -> ""
+  | sv, 0 -> part sv "selvec"
+  | 0, rw -> part rw "rowwise"
+  | sv, rw -> part sv "selvec" ^ ", " ^ part rw "rowwise"
+
 let render_stmt buf indent s =
   let route = route_of_label s.sp_label in
   Printf.bprintf buf "%s%-28s %s %s %s%s\n" indent ("[" ^ s.sp_label ^ "]")
     s.sp_target s.sp_op
     (match route with
     | "columnar" -> "columnar batch pre-aggregation (one pass)"
+    | "selvec" -> "columnar pass with selection-vector filter kernels"
     | "columnar-join" -> "vectorized batched join (key-grouped probes)"
+    | "selvec-join" ->
+        "vectorized batched join (selection-vector kernels, key-grouped \
+         probes)"
     | "fused" -> "fused columnar group (one pass over the grouped batch)"
+    | "fused-selvec" ->
+        "fused columnar group (selection-vector kernels, one pass)"
     | _ -> "compiled closure")
     (match s.sp_loc with Some l -> "  @" ^ l | None -> "");
   match route with
   | "columnar" ->
       Printf.bprintf buf
         "%s    batch transposed once; filters scan single columns\n" indent
+  | "selvec" ->
+      Printf.bprintf buf
+        "%s    filters (%s): kernels pack survivor indexes; chain runs over \
+         survivors only\n"
+        indent (filter_split_str s)
   | "columnar-join" | "fused" ->
       Printf.bprintf buf
         "%s    batch compacted to distinct keys; store accessors resolved \
          once per key group\n"
         indent
+  | "selvec-join" | "fused-selvec" ->
+      Printf.bprintf buf
+        "%s    batch compacted to distinct keys; filters (%s) gate rows \
+         before accessor resolution\n"
+        indent (filter_split_str s)
   | _ ->
       List.iter
         (fun a ->
@@ -297,9 +330,9 @@ let plan_json (p : plan) =
     (fun i s ->
       if i > 0 then Buffer.add_char buf ',';
       Printf.bprintf buf
-        "{\"trigger\":%s,\"label\":%s,\"target\":%s,\"op\":%s,\"columnar\":%b"
+        "{\"trigger\":%s,\"label\":%s,\"target\":%s,\"op\":%s,\"columnar\":%b,\"selvec\":%d,\"rowwise\":%d"
         (js s.sp_trigger) (js s.sp_label) (js s.sp_target) (js s.sp_op)
-        s.sp_columnar;
+        s.sp_columnar s.sp_selvec s.sp_rowwise;
       (match s.sp_block with
       | Some b -> Printf.bprintf buf ",\"block\":%d" b
       | None -> ());
@@ -423,6 +456,12 @@ let reconcile ~diff =
     ( "scanned",
       sum (fun r -> r.Prof.r_scanned),
       reg_base "divm_slice_scanned_total" );
+    ( "selvec_scanned",
+      sum (fun r -> r.Prof.r_svscan),
+      reg_base "divm_selvec_rows_scanned_total" );
+    ( "selvec_selected",
+      sum (fun r -> r.Prof.r_svsel),
+      reg_base "divm_selvec_rows_selected_total" );
     ( "bytes",
       sum (fun r -> r.Prof.r_bytes),
       reg "divm_cluster_bytes_shuffled_total"
@@ -467,25 +506,29 @@ let report ?plan ?storage ?diff ?(top = 20) () =
   Printf.bprintf buf "== PROFILE%s: top %d of %d statements by wall time ==\n"
     (match plan with Some p -> " " ^ p.pl_name | None -> "")
     (List.length shown) (List.length rows);
-  Printf.bprintf buf "%-10s %-26s %8s %10s %10s %8s %9s %10s %9s  %s\n"
-    "trigger" "statement" "fires" "ops" "probes" "misses" "scanned" "bytes"
-    "wall_ms" "plan";
+  Printf.bprintf buf "%-10s %-26s %8s %10s %10s %8s %9s %10s %10s %10s %9s  %s\n"
+    "trigger" "statement" "fires" "ops" "probes" "misses" "scanned" "svscan"
+    "svsel" "bytes" "wall_ms" "plan";
   List.iter
     (fun r ->
       Printf.bprintf buf
-        "%-10s %-26s %8d %10d %10d %8d %9d %10d %9.2f  %s\n" r.Prof.r_trigger
-        r.Prof.r_label r.Prof.r_firings r.Prof.r_ops r.Prof.r_probes
-        r.Prof.r_misses r.Prof.r_scanned r.Prof.r_bytes
-        (r.Prof.r_wall *. 1e3) (plan_summary plan r))
+        "%-10s %-26s %8d %10d %10d %8d %9d %10d %10d %10d %9.2f  %s\n"
+        r.Prof.r_trigger r.Prof.r_label r.Prof.r_firings r.Prof.r_ops
+        r.Prof.r_probes r.Prof.r_misses r.Prof.r_scanned r.Prof.r_svscan
+        r.Prof.r_svsel r.Prof.r_bytes (r.Prof.r_wall *. 1e3)
+        (plan_summary plan r))
     shown;
   let tot f = List.fold_left (fun acc r -> acc + f r) 0 rows in
   Printf.bprintf buf
-    "-- totals: %d firings, %d ops, %d probes (%d misses), %d scanned, %d bytes\n"
+    "-- totals: %d firings, %d ops, %d probes (%d misses), %d scanned, %d \
+     selvec-scanned -> %d selected, %d bytes\n"
     (tot (fun r -> r.Prof.r_firings))
     (tot (fun r -> r.Prof.r_ops))
     (tot (fun r -> r.Prof.r_probes))
     (tot (fun r -> r.Prof.r_misses))
     (tot (fun r -> r.Prof.r_scanned))
+    (tot (fun r -> r.Prof.r_svscan))
+    (tot (fun r -> r.Prof.r_svsel))
     (tot (fun r -> r.Prof.r_bytes));
   (match diff with
   | None -> ()
@@ -519,10 +562,10 @@ let report_json ?plan ?storage ?diff () =
     (fun i r ->
       if i > 0 then Buffer.add_char buf ',';
       Printf.bprintf buf
-        "{\"trigger\":%s,\"label\":%s,\"firings\":%d,\"ops\":%d,\"probes\":%d,\"misses\":%d,\"scanned\":%d,\"bytes\":%d,\"wall_s\":%.9f,\"plan\":%s}"
+        "{\"trigger\":%s,\"label\":%s,\"firings\":%d,\"ops\":%d,\"probes\":%d,\"misses\":%d,\"scanned\":%d,\"svscan\":%d,\"svsel\":%d,\"bytes\":%d,\"wall_s\":%.9f,\"plan\":%s}"
         (js r.Prof.r_trigger) (js r.Prof.r_label) r.Prof.r_firings
         r.Prof.r_ops r.Prof.r_probes r.Prof.r_misses r.Prof.r_scanned
-        r.Prof.r_bytes r.Prof.r_wall
+        r.Prof.r_svscan r.Prof.r_svsel r.Prof.r_bytes r.Prof.r_wall
         (js (plan_summary plan r)))
     (List.filter (fun r -> r.Prof.r_firings > 0) (Prof.rows ()));
   Buffer.add_string buf "]";

@@ -54,6 +54,11 @@ type stmt_plan = {
   sp_target : string;
   sp_op : string;  (** ["+="] or [":="] *)
   sp_columnar : bool;
+  sp_selvec : int;
+      (** filters compiled to selection-vector kernels (columnar scans
+          into packed survivor index vectors); 0 on generic routes *)
+  sp_rowwise : int;
+      (** filters left on the per-row closure path (dynamic predicates) *)
   sp_block : int option;  (** distributed programs only *)
   sp_stage : int option;  (** 1-based distributed stage, if any *)
   sp_loc : string option;  (** rendered location tag of the target *)

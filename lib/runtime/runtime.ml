@@ -30,6 +30,14 @@ let m_slice_scanned = Obs.Counter.make "divm_slice_scanned_total"
 let m_rows_compacted = Obs.Counter.make "divm_batch_rows_compacted_total"
 let m_probes_saved = Obs.Counter.make "divm_probes_saved_total"
 
+(* Selection-vector kernels: rows examined by columnar filter passes and
+   rows that survived them (the survivor-vector length after the last
+   pass). Scanned counts every pass — a member with two hoisted filters
+   charges the dense pass over the range plus the refine pass over the
+   first pass's survivors. *)
+let m_selvec_scanned = Obs.Counter.make "divm_selvec_rows_scanned_total"
+let m_selvec_selected = Obs.Counter.make "divm_selvec_rows_selected_total"
+
 type env = Value.t array
 type code = env -> (float -> unit) -> unit
 
@@ -492,6 +500,9 @@ type vstep =
   | VExists of int (* skip the row unless the probe has support *)
   | VLift of string * int list (* aux var := sum of probe values *)
   | VFilter of Calc.cmp_op * Vexpr.t * Vexpr.t
+  | VFilterIn of (Calc.cmp_op * Vexpr.t * Vexpr.t) list
+      (* a sum of comparisons (IN-list / membership disjunction): the
+         factor's value is the number of matching disjuncts *)
   | VWeight of Vexpr.t
   | VSlice of vslice
 
@@ -670,6 +681,21 @@ let plan_stmt_exn ~rel ~transient_ready (s : Prog.stmt) : vplan =
             in
             aux := List.map (fun (v : Schema.var) -> v.name) free_vars @ !aux;
             Some (VSlice sl)
+        | Add es
+          when es <> []
+               && List.for_all (function Cmp _ -> true | _ -> false) es ->
+            (* membership test (e.g. [in_set]): a sum of comparison
+               indicators — evaluates to the number of matching disjuncts *)
+            Some
+              (VFilterIn
+                 (List.map
+                    (function
+                      | Cmp (op, a, b) ->
+                          check_vexpr a;
+                          check_vexpr b;
+                          (op, a, b)
+                      | _ -> assert false)
+                    es))
         | _ -> raise Not_vectorizable)
       rest
   in
@@ -756,10 +782,93 @@ let plan_trigger (prog : Prog.t) (tr : Prog.trigger) : unit_plan list =
       | u -> u)
     units
 
+(* ------------------------------------------------------------------ *)
+(* Selection-vector kernels: static classification                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A side of a comparison the kernel compiler can hoist out of the
+   per-row chain: a numeric constant (as its float image), a numeric
+   source column, a string constant, or a string source column.
+   Anything else — aux variables bound by lifts or slice outputs,
+   arithmetic over columns, mixed string/numeric typing — keeps the
+   filter on the per-row path ("genuinely dynamic"). *)
+type kside =
+  | KNum of float
+  | KCol of int (* source column position, numeric-typed *)
+  | KStr of string
+  | KSCol of int (* source column position, string-typed *)
+
+(* [Value.compare_approx] is antisymmetric on both of its branches
+   (numeric tolerance compare and polymorphic string compare), so a
+   comparison may be flipped to put the column on the left. *)
+let mirror_op : Calc.cmp_op -> Calc.cmp_op = function
+  | Calc.Lt -> Calc.Gt
+  | Calc.Lte -> Calc.Gte
+  | Calc.Gt -> Calc.Lt
+  | Calc.Gte -> Calc.Lte
+  | (Calc.Eq | Calc.Neq) as op -> op
+
+let classify_side (p : vplan) (ve : Vexpr.t) : kside option =
+  match ve with
+  | Vexpr.Const (Value.Int i) -> Some (KNum (float_of_int i))
+  | Vexpr.Const (Value.Float f) -> Some (KNum f)
+  | Vexpr.Const (Value.Date d) -> Some (KNum (float_of_int d))
+  | Vexpr.Const (Value.String s) -> Some (KStr s)
+  | Vexpr.Var x -> (
+      let rec go i = function
+        | [] -> None
+        | (v : Schema.var) :: tl ->
+            if String.equal v.name x.name then Some i else go (i + 1) tl
+      in
+      match go 0 p.vp_source.vs_vars with
+      | None -> None (* aux variable: bound per row, not hoistable *)
+      | Some c ->
+          if x.ty = Value.TString then Some (KSCol c) else Some (KCol c))
+  | _ -> None
+
+(* [classify_filter] is the single authority on hoistability: the
+   EXPLAIN labels ([route_label_of_group], [stmt_routes_ex]) and the
+   kernel binder ([bind_instance]) both consume it, so the plan a user
+   reads and the code that runs can never disagree. Comparisons are
+   canonicalized column-first via [mirror_op]. String/numeric mixes are
+   rejected (their semantics live in [Value.compare_approx]'s
+   polymorphic branch; the per-row path handles them as before). *)
+let classify_filter (p : vplan) ((op, a, b) : Calc.cmp_op * Vexpr.t * Vexpr.t)
+    : (Calc.cmp_op * kside * kside) option =
+  match (classify_side p a, classify_side p b) with
+  | Some (KCol _ as l), Some ((KNum _ | KCol _) as r)
+  | Some (KSCol _ as l), Some ((KStr _ | KSCol _) as r) -> Some (op, l, r)
+  | Some (KNum _ as r), Some (KCol _ as l)
+  | Some (KStr _ as r), Some (KSCol _ as l) -> Some (mirror_op op, l, r)
+  | _ -> None
+
+(* Per-plan filter split: (filters hoisted to selection-vector kernels,
+   filters remaining on the per-row path). A hoistable membership test
+   ([VFilterIn]) counts as a kernel: its any-disjunct-matches gate runs
+   columnar even though the match-count multiply stays in the chain. *)
+let plan_filter_split (p : vplan) =
+  List.fold_left
+    (fun (sv, rw) st ->
+      match st with
+      | VFilter (op, a, b) ->
+          if classify_filter p (op, a, b) <> None then (sv + 1, rw)
+          else (sv, rw + 1)
+      | VFilterIn cs ->
+          if List.for_all (fun c -> classify_filter p c <> None) cs then
+            (sv + 1, rw)
+          else (sv, rw + 1)
+      | _ -> (sv, rw))
+    (0, 0) p.vp_steps
+
 let route_label_of_group (ps : vplan list) =
+  let sv =
+    List.fold_left (fun acc p -> acc + fst (plan_filter_split p)) 0 ps
+  in
   match ps with
   | [ p ] ->
-      (if p.vp_reads = [] then "columnar:" else "columnar-join:")
+      (if sv > 0 then if p.vp_reads = [] then "selvec:" else "selvec-join:"
+       else if p.vp_reads = [] then "columnar:"
+       else "columnar-join:")
       ^ p.vp_stmt.target
   | ps ->
       let targets =
@@ -769,7 +878,8 @@ let route_label_of_group (ps : vplan list) =
             else acc @ [ p.vp_stmt.target ])
           [] ps
       in
-      "fused:" ^ String.concat "+" targets
+      (if sv > 0 then "fused-selvec:" else "fused:")
+      ^ String.concat "+" targets
 
 (* ------------------------------------------------------------------ *)
 (* Vectorized batched joins: binding and execution                     *)
@@ -851,6 +961,283 @@ let group_shape (ps : vplan list) =
     sh_cpos = cpos;
   }
 
+(* Source columns worth dictionary-encoding for this group, this batch:
+   operands of hoistable string filters (the selection kernel then
+   tests an int-indexed per-dictionary truth table instead of comparing
+   strings) and, when the group compacts, its grouping-key columns (the
+   radix path then hashes the dictionary's cached entry hashes instead
+   of boxed cells). The drivers pass the list to
+   [Colbatch.dictify_cols] once per batch; it skips everything that is
+   not a low-cardinality all-string column, so over-asking (e.g. int
+   key columns) costs one representation check. *)
+let dict_want (ps : vplan list) (shape : gshape) ~keys =
+  let acc = ref [] in
+  let addc c = if not (List.mem c !acc) then acc := c :: !acc in
+  let add_side = function KSCol c -> addc c | _ -> () in
+  let add_cmp p cmp =
+    match classify_filter p cmp with
+    | Some (_, l, r) ->
+        add_side l;
+        add_side r
+    | None -> ()
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (function
+          | VFilter (op, a, b) -> add_cmp p (op, a, b)
+          | VFilterIn cs -> List.iter (add_cmp p) cs
+          | _ -> ())
+        p.vp_steps)
+    ps;
+  if keys then Array.iter addc shape.sh_sk;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Selection-vector kernels: columnar filter evaluation                *)
+(* ------------------------------------------------------------------ *)
+
+(* Local replica of [Value.fcompare_approx]: cross-module float calls
+   box their arguments without flambda, and this runs once per scanned
+   row. Keep in sync with [Value.fcompare_approx] — the selection-vector
+   qcheck suite pins the two paths' agreement on NaN/infinity edges. *)
+let[@inline] fcmp x y =
+  let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+  if Float.abs (x -. y) <= 1e-9 *. scale then 0 else Float.compare x y
+
+let ftest : Calc.cmp_op -> float -> float -> bool = function
+  | Calc.Eq -> fun x y -> fcmp x y = 0
+  | Calc.Neq -> fun x y -> fcmp x y <> 0
+  | Calc.Lt -> fun x y -> fcmp x y < 0
+  | Calc.Lte -> fun x y -> fcmp x y <= 0
+  | Calc.Gt -> fun x y -> fcmp x y > 0
+  | Calc.Gte -> fun x y -> fcmp x y >= 0
+
+(* Packed-survivor loops. The dense pass scans rows [lo, lo+len),
+   writing each index unconditionally and advancing the cursor only on a
+   pass (no branch around the store); the refine pass re-tests a packed
+   vector in place (the write cursor never overtakes the read cursor). *)
+let pack dense lo len (sel : int array) (pass : int -> bool) =
+  let k = ref 0 in
+  if dense then
+    for i = lo to lo + len - 1 do
+      Array.unsafe_set sel !k i;
+      k := !k + Bool.to_int (pass i)
+    done
+  else
+    for j = 0 to len - 1 do
+      let i = Array.unsafe_get sel j in
+      Array.unsafe_set sel !k i;
+      k := !k + Bool.to_int (pass i)
+    done;
+  !k
+
+(* A built kernel: the dense pass scans a row range into [sel], the
+   refine pass re-tests a packed vector in place. Built once per batch
+   from the current columns ([prep_inst]); the hot loops below are the
+   only code that runs per group. *)
+type kern = {
+  kdense : int -> int -> int array -> int; (* lo len sel -> survivors *)
+  krefine : int -> int array -> int; (* n sel -> survivors *)
+}
+
+let kern_of_pass (pass : int -> bool) =
+  {
+    kdense = (fun lo len sel -> pack true lo len sel pass);
+    krefine = (fun n sel -> pack false 0 n sel pass);
+  }
+
+(* Comparator encoded as a 3-bit mask over the comparison's sign
+   (bit 0: <, bit 1: =, bit 2: >), so one loop body serves all six
+   operators with no per-row indirect call. *)
+let sign_mask = function
+  | Calc.Eq -> 0b010
+  | Calc.Neq -> 0b101
+  | Calc.Lt -> 0b001
+  | Calc.Lte -> 0b011
+  | Calc.Gt -> 0b100
+  | Calc.Gte -> 0b110
+
+(* Fully-specialized loops for the hottest kernel shape — an unboxed
+   numeric column against a constant: direct array load, direct [fcmp]
+   call, mask test, branchless store. *)
+let kern_float_const (a : float array) op (v : float) =
+  let mask = sign_mask op in
+  {
+    kdense =
+      (fun lo len sel ->
+        let k = ref 0 in
+        for i = lo to lo + len - 1 do
+          Array.unsafe_set sel !k i;
+          let c = fcmp (Array.unsafe_get a i) v in
+          let s = Bool.to_int (c >= 0) + Bool.to_int (c > 0) in
+          k := !k + ((mask lsr s) land 1)
+        done;
+        !k);
+    krefine =
+      (fun n sel ->
+        let k = ref 0 in
+        for j = 0 to n - 1 do
+          let i = Array.unsafe_get sel j in
+          Array.unsafe_set sel !k i;
+          let c = fcmp (Array.unsafe_get a i) v in
+          let s = Bool.to_int (c >= 0) + Bool.to_int (c > 0) in
+          k := !k + ((mask lsr s) land 1)
+        done;
+        !k);
+  }
+
+let kern_int_const (a : int array) op (v : float) =
+  let mask = sign_mask op in
+  {
+    kdense =
+      (fun lo len sel ->
+        let k = ref 0 in
+        for i = lo to lo + len - 1 do
+          Array.unsafe_set sel !k i;
+          let c = fcmp (float_of_int (Array.unsafe_get a i)) v in
+          let s = Bool.to_int (c >= 0) + Bool.to_int (c > 0) in
+          k := !k + ((mask lsr s) land 1)
+        done;
+        !k);
+    krefine =
+      (fun n sel ->
+        let k = ref 0 in
+        for j = 0 to n - 1 do
+          let i = Array.unsafe_get sel j in
+          Array.unsafe_set sel !k i;
+          let c = fcmp (float_of_int (Array.unsafe_get a i)) v in
+          let s = Bool.to_int (c >= 0) + Bool.to_int (c > 0) in
+          k := !k + ((mask lsr s) land 1)
+        done;
+        !k);
+  }
+
+(* Band kernels: two constant comparisons against the same column fused
+   into one pass — one load serves both tests (ranges like
+   [lo <= x < hi] are the common shape: date windows, BETWEEN). *)
+let kern_float_const2 (a : float array) op1 (v1 : float) op2 (v2 : float) =
+  let m1 = sign_mask op1 and m2 = sign_mask op2 in
+  {
+    kdense =
+      (fun lo len sel ->
+        let k = ref 0 in
+        for i = lo to lo + len - 1 do
+          Array.unsafe_set sel !k i;
+          let x = Array.unsafe_get a i in
+          let c1 = fcmp x v1 in
+          let s1 = Bool.to_int (c1 >= 0) + Bool.to_int (c1 > 0) in
+          let c2 = fcmp x v2 in
+          let s2 = Bool.to_int (c2 >= 0) + Bool.to_int (c2 > 0) in
+          k := !k + ((m1 lsr s1) land (m2 lsr s2) land 1)
+        done;
+        !k);
+    krefine =
+      (fun n sel ->
+        let k = ref 0 in
+        for j = 0 to n - 1 do
+          let i = Array.unsafe_get sel j in
+          Array.unsafe_set sel !k i;
+          let x = Array.unsafe_get a i in
+          let c1 = fcmp x v1 in
+          let s1 = Bool.to_int (c1 >= 0) + Bool.to_int (c1 > 0) in
+          let c2 = fcmp x v2 in
+          let s2 = Bool.to_int (c2 >= 0) + Bool.to_int (c2 > 0) in
+          k := !k + ((m1 lsr s1) land (m2 lsr s2) land 1)
+        done;
+        !k);
+  }
+
+let kern_int_const2 (a : int array) op1 (v1 : float) op2 (v2 : float) =
+  let m1 = sign_mask op1 and m2 = sign_mask op2 in
+  {
+    kdense =
+      (fun lo len sel ->
+        let k = ref 0 in
+        for i = lo to lo + len - 1 do
+          Array.unsafe_set sel !k i;
+          let x = float_of_int (Array.unsafe_get a i) in
+          let c1 = fcmp x v1 in
+          let s1 = Bool.to_int (c1 >= 0) + Bool.to_int (c1 > 0) in
+          let c2 = fcmp x v2 in
+          let s2 = Bool.to_int (c2 >= 0) + Bool.to_int (c2 > 0) in
+          k := !k + ((m1 lsr s1) land (m2 lsr s2) land 1)
+        done;
+        !k);
+    krefine =
+      (fun n sel ->
+        let k = ref 0 in
+        for j = 0 to n - 1 do
+          let i = Array.unsafe_get sel j in
+          Array.unsafe_set sel !k i;
+          let x = float_of_int (Array.unsafe_get a i) in
+          let c1 = fcmp x v1 in
+          let s1 = Bool.to_int (c1 >= 0) + Bool.to_int (c1 > 0) in
+          let c2 = fcmp x v2 in
+          let s2 = Bool.to_int (c2 >= 0) + Bool.to_int (c2 > 0) in
+          k := !k + ((m1 lsr s1) land (m2 lsr s2) land 1)
+        done;
+        !k);
+  }
+
+(* Row predicates specialized on the column's physical representation
+   and the comparator: the representation/op dispatch happens once per
+   kernel invocation (per batch or per key group), never per row. The
+   fallback arm mirrors the per-row path exactly — [float_get] raises on
+   string cells just as the rowwise float-compiled filter would. *)
+let pass_col_num (col : Colbatch.col) op (v : float) : int -> bool =
+  match col with
+  | Colbatch.CFloat a -> (
+      match op with
+      | Calc.Eq -> fun i -> fcmp (Array.unsafe_get a i) v = 0
+      | Calc.Neq -> fun i -> fcmp (Array.unsafe_get a i) v <> 0
+      | Calc.Lt -> fun i -> fcmp (Array.unsafe_get a i) v < 0
+      | Calc.Lte -> fun i -> fcmp (Array.unsafe_get a i) v <= 0
+      | Calc.Gt -> fun i -> fcmp (Array.unsafe_get a i) v > 0
+      | Calc.Gte -> fun i -> fcmp (Array.unsafe_get a i) v >= 0)
+  | Colbatch.CInt a | Colbatch.CDate a -> (
+      match op with
+      | Calc.Eq -> fun i -> fcmp (float_of_int (Array.unsafe_get a i)) v = 0
+      | Calc.Neq -> fun i -> fcmp (float_of_int (Array.unsafe_get a i)) v <> 0
+      | Calc.Lt -> fun i -> fcmp (float_of_int (Array.unsafe_get a i)) v < 0
+      | Calc.Lte -> fun i -> fcmp (float_of_int (Array.unsafe_get a i)) v <= 0
+      | Calc.Gt -> fun i -> fcmp (float_of_int (Array.unsafe_get a i)) v > 0
+      | Calc.Gte -> fun i -> fcmp (float_of_int (Array.unsafe_get a i)) v >= 0)
+  | col ->
+      let t = ftest op in
+      fun i -> t (Colbatch.float_get col i) v
+
+let pass_col_col (ca : Colbatch.col) (cb : Colbatch.col) op : int -> bool =
+  let t = ftest op in
+  match (ca, cb) with
+  | Colbatch.CFloat a, Colbatch.CFloat b ->
+      fun i -> t (Array.unsafe_get a i) (Array.unsafe_get b i)
+  | _ -> fun i -> t (Colbatch.float_get ca i) (Colbatch.float_get cb i)
+
+(* String filter against a constant. With a dictionary-encoded column
+   the comparison is precomputed once per distinct entry and each row
+   costs one table lookup by code. The table is cached on the
+   dictionary's physical identity — [trunc]/[gather] share dictionaries,
+   so one table serves every key group of a batch. *)
+let pass_col_str (cache : (Colbatch.dict * bool array) option ref)
+    (col : Colbatch.col) op (kv : Value.t) : int -> bool =
+  match col with
+  | Colbatch.CDict (d, codes) ->
+      let tbl =
+        match !cache with
+        | Some (d', t) when d' == d -> t
+        | _ ->
+            let t =
+              Array.init (Colbatch.dict_size d) (fun e ->
+                  Calc.eval_cmp op (Value.String (Colbatch.dict_entry d e)) kv)
+            in
+            cache := Some (d, t);
+            t
+      in
+      fun i -> Array.unsafe_get tbl (Array.unsafe_get codes i)
+  | col -> fun i -> Calc.eval_cmp op (Colbatch.get col i) kv
+
+
 (* One independent execution instance of a group: its own batch cursor,
    accessor caches, auxiliary slots, and scratch — so instances on
    different domains share nothing but the read-only compacted columns
@@ -858,9 +1245,33 @@ let group_shape (ps : vplan list) =
    [Gmr] output buffer (paired with its merge target) instead of writing
    the target pool directly; the parallel driver merges the buffers
    serially after the barrier. *)
+(* One member of an execution instance: its per-row closure plus the
+   selection-vector kernels hoisted from its filter chain. [gm_kerns]
+   holds pass *builders*: they read [ctx.vc_cols] (assigned once per
+   batch) and specialize on the column representation, so the drivers
+   rebuild [gm_passes] exactly once per batch ([prep_insts]) and the
+   grouped driver pays no per-group dispatch or closure allocation.
+   [gm_sel] is the member's packed survivor index vector (grown on
+   demand); [gm_cnt] is the survivor count after the last kernel pass,
+   or -1 when the member runs dense (no kernels, or the grouped driver
+   chose the dense loop for it this group). *)
+type gmember = {
+  gm_run : unit -> unit;
+  gm_kerns : (unit -> kern) array;
+      (* kernel builders: called after [vc_cols] is set for the batch *)
+  mutable gm_passes : kern array;
+      (* built kernels, refreshed once per batch ([prep_inst]) *)
+  mutable gm_sel : int array;
+  mutable gm_cnt : int;
+}
+
 type ginst = {
   gi_ctx : vctx;
-  gi_runs : (unit -> unit) array;
+  gi_members : gmember array;
+  gi_kerned : bool;
+      (* any member with kernels? false routes the drivers through the
+         row-major loops (identical to the pre-selection-vector path:
+         no survivor bookkeeping, no per-member passes) *)
   gi_gaccs : gacc array;
   gi_gslices : gslice array;
   gi_bufs : (Pool.t * Gmr.t) array; (* per member, only when buffered *)
@@ -1063,6 +1474,108 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
           Some ((fun () -> op (fa ()) (fb ())), false)
       | _ -> None
     in
+    (* Hoist statically-typed filters out of the per-row chain into
+       selection-vector kernels. [classify_filter] is the shared
+       authority with the EXPLAIN labels, so [selvec:]/[rowwise:] in the
+       plan matches what actually runs. A hoisted membership test
+       ([VFilterIn]) keeps its match-count multiply in the residual
+       chain — the kernel only gates zero-match rows. *)
+    let kerns = ref [] in
+    let pass_builder ((op, l, r) : Calc.cmp_op * kside * kside) :
+        unit -> int -> bool =
+      match (l, r) with
+      | KCol c, KNum v ->
+          let cc = cpos.(c) in
+          fun () -> pass_col_num ctx.vc_cols.(cc) op v
+      | KCol c1, KCol c2 ->
+          let a = cpos.(c1) and b = cpos.(c2) in
+          fun () -> pass_col_col ctx.vc_cols.(a) ctx.vc_cols.(b) op
+      | KSCol c, KStr s ->
+          let cc = cpos.(c) in
+          let kv = Value.String s in
+          let cache = ref None in
+          fun () -> pass_col_str cache ctx.vc_cols.(cc) op kv
+      | KSCol c1, KSCol c2 ->
+          let a = cpos.(c1) and b = cpos.(c2) in
+          fun () ->
+            let ca = ctx.vc_cols.(a) and cb = ctx.vc_cols.(b) in
+            fun i -> Calc.eval_cmp op (Colbatch.get ca i) (Colbatch.get cb i)
+      | _ -> assert false (* [classify_filter] returns no other pairing *)
+    in
+    (* A single comparison gets the fully-specialized loops when its
+       column is unboxed; everything else wraps its row predicate in the
+       generic packed loops. *)
+    let kern_builder ((op, l, r) as cf : Calc.cmp_op * kside * kside) :
+        unit -> kern =
+      match (l, r) with
+      | KCol c, KNum v ->
+          let cc = cpos.(c) in
+          fun () -> (
+            match ctx.vc_cols.(cc) with
+            | Colbatch.CFloat a -> kern_float_const a op v
+            | Colbatch.CInt a | Colbatch.CDate a -> kern_int_const a op v
+            | col -> kern_of_pass (pass_col_num col op v))
+      | _ ->
+          let pb = pass_builder cf in
+          fun () -> kern_of_pass (pb ())
+    in
+    (* Two constant comparisons on the same column fuse into one band
+       kernel — one pass, one load per row. *)
+    let kern_builder2 c op1 v1 op2 v2 : unit -> kern =
+      let cc = cpos.(c) in
+      fun () ->
+        match ctx.vc_cols.(cc) with
+        | Colbatch.CFloat a -> kern_float_const2 a op1 v1 op2 v2
+        | Colbatch.CInt a | Colbatch.CDate a -> kern_int_const2 a op1 v1 op2 v2
+        | col ->
+            let p1 = pass_col_num col op1 v1 and p2 = pass_col_num col op2 v2 in
+            kern_of_pass (fun i -> p1 i && p2 i)
+    in
+    let consts = ref [] (* constant filters, kept in step order *) in
+    let add_kern build = kerns := !kerns @ [ build ] in
+    let steps =
+      List.filter
+        (fun st ->
+          match st with
+          | VFilter (op, a, b) -> (
+              match classify_filter p (op, a, b) with
+              | Some (op', KCol c, KNum v) ->
+                  consts := !consts @ [ (c, op', v) ];
+                  false
+              | Some cf ->
+                  add_kern (kern_builder cf);
+                  false
+              | None -> true)
+          | VFilterIn cs ->
+              let cfs = List.map (classify_filter p) cs in
+              if List.for_all (fun o -> o <> None) cfs then begin
+                let builders =
+                  Array.of_list (List.map (fun o -> pass_builder (Option.get o)) cfs)
+                in
+                add_kern (fun () ->
+                    let pfs = Array.map (fun b -> b ()) builders in
+                    let np = Array.length pfs in
+                    kern_of_pass (fun i ->
+                        let rec any j =
+                          j < np && ((Array.unsafe_get pfs j) i || any (j + 1))
+                        in
+                        any 0))
+              end;
+              true (* the match-count multiply stays in the chain *)
+          | _ -> true)
+        p.vp_steps
+    in
+    (* pair same-column constant filters into band kernels; constant
+       kernels run before the generic ones (cheapest per scanned row) *)
+    let rec pair = function
+      | [] -> []
+      | (c, op, v) :: rest -> (
+          match List.partition (fun (c2, _, _) -> c2 = c) rest with
+          | (_, op2, v2) :: more_same, others ->
+              kern_builder2 c op v op2 v2 :: pair (more_same @ others)
+          | [], _ -> kern_builder (op, KCol c, KNum v) :: pair rest)
+    in
+    kerns := pair !consts @ !kerns;
     (* account member references for the probes-saved model *)
     List.iter
       (function
@@ -1149,21 +1662,36 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
           let next = chain tl k in
           match (compile_vf a, compile_vf b) with
           | Some (fa, _), Some (fb, _) ->
-              (* unboxed comparison; [Value.fcompare_approx] is exactly
-                 the numeric branch of [Value.compare_approx] *)
-              let test =
-                match op with
-                | Calc.Eq -> fun x y -> Value.fcompare_approx x y = 0
-                | Calc.Neq -> fun x y -> Value.fcompare_approx x y <> 0
-                | Calc.Lt -> fun x y -> Value.fcompare_approx x y < 0
-                | Calc.Lte -> fun x y -> Value.fcompare_approx x y <= 0
-                | Calc.Gt -> fun x y -> Value.fcompare_approx x y > 0
-                | Calc.Gte -> fun x y -> Value.fcompare_approx x y >= 0
-              in
+              (* unboxed comparison; [ftest] replicates exactly the
+                 numeric branch of [Value.compare_approx] *)
+              let test = ftest op in
               fun m -> if test (fa ()) (fb ()) then next m
           | _ ->
               let ca = compile_ve a and cb = compile_ve b in
               fun m -> if Calc.eval_cmp op (ca ()) (cb ()) then next m)
+      | VFilterIn cs :: tl ->
+          (* membership disjunction: the factor's value is the number of
+             matching disjuncts, multiplied into the row weight (a
+             hoisted kernel has already gated zero-match rows, making
+             this a counted pass-through for them) *)
+          let next = chain tl k in
+          let tests =
+            Array.of_list
+              (List.map
+                 (fun (op, a, b) ->
+                   match (compile_vf a, compile_vf b) with
+                   | Some (fa, _), Some (fb, _) ->
+                       let t = ftest op in
+                       fun () -> t (fa ()) (fb ())
+                   | _ ->
+                       let ca = compile_ve a and cb = compile_ve b in
+                       fun () -> Calc.eval_cmp op (ca ()) (cb ()))
+                 cs)
+          in
+          fun m ->
+            let c = ref 0 in
+            Array.iter (fun t -> if t () then incr c) tests;
+            if !c > 0 then next (m *. float_of_int !c)
       | VWeight ve :: tl -> (
           let next = chain tl k in
           match compile_vf ve with
@@ -1184,7 +1712,7 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
         | VSlice sl :: post -> (List.rev acc, Some (sl, post))
         | st :: tl -> split (st :: acc) tl
       in
-      split [] p.vp_steps
+      split [] steps
     in
     let body =
       match sliced with
@@ -1223,16 +1751,29 @@ let bind_instance (rt : t) ~(shape : gshape) ~buffered (ps : vplan list) :
         body (base *. sign)
       end
     in
-    ((if clear then Some target else None), run)
+    ((if clear then Some target else None), run, Array.of_list !kerns)
   in
   let members = List.map bind_member ps in
   {
     gi_ctx = ctx;
-    gi_runs = Array.of_list (List.map snd members);
+    gi_members =
+      Array.of_list
+        (List.map
+           (fun (_, run, kerns) ->
+             {
+               gm_run = run;
+               gm_kerns = kerns;
+               gm_passes = [||];
+               gm_sel = [||];
+               gm_cnt = -1;
+             })
+           members);
+    gi_kerned =
+      List.exists (fun (_, _, kerns) -> Array.length kerns > 0) members;
     gi_gaccs = Array.of_list !gaccs;
     gi_gslices = Array.of_list !gslices;
     gi_bufs = Array.of_list (List.rev !bufs);
-    gi_clears = List.filter_map fst members;
+    gi_clears = List.filter_map (fun (c, _, _) -> c) members;
     gi_boxed =
       (let cs = Hashtbl.fold (fun c () acc -> c :: acc) boxed_cols [] in
        Array.of_list (List.sort compare cs));
@@ -1268,59 +1809,189 @@ let resolve_slice ctx gs =
             done;
             if !ok then push key m)
 
+(* Build every member's kernel passes for the current batch. Must run
+   after the driver assigns [ctx.vc_cols]; the built passes capture the
+   batch's concrete columns, so the per-group hot loop below never
+   re-dispatches on column representation or allocates a closure. *)
+let prep_inst (inst : ginst) =
+  if inst.gi_kerned then
+    Array.iter
+      (fun m ->
+        if Array.length m.gm_kerns > 0 then
+          m.gm_passes <- Array.map (fun build -> build ()) m.gm_kerns)
+      inst.gi_members
+
+(* Run member [m]'s kernel pipeline over rows [lo, lo+len): a dense
+   first pass, then in-place refines over the survivors. Leaves the
+   survivor count in [gm_cnt] and returns the (rows scanned, rows
+   selected) tallies — scanned counts every pass's input rows, selected
+   the final survivor-vector length. *)
+let run_kerns (m : gmember) lo len =
+  if Array.length m.gm_sel < len then m.gm_sel <- Array.make (max 1024 len) 0;
+  let sel = m.gm_sel in
+  let passes = m.gm_passes in
+  let scanned = ref len in
+  let c = ref ((Array.unsafe_get passes 0).kdense lo len sel) in
+  for ki = 1 to Array.length passes - 1 do
+    scanned := !scanned + !c;
+    c := (Array.unsafe_get passes ki).krefine !c sel
+  done;
+  m.gm_cnt <- !c;
+  (!scanned, !c)
+
 (* Run one instance straight over compacted rows [lo, hi) (the no-access
-   fast path: nothing to resolve per group). *)
+   fast path: nothing to resolve per group). Members with hoisted filter
+   kernels scan their columns into packed survivor vectors first and
+   fire the per-row chain only over survivors; kernel-less members
+   iterate densely. Member-major order is sound for fused groups for
+   the same reason fusion itself is ([fuse_ok]): no member reads another
+   member's target while the group runs. Returns the (rows scanned,
+   rows selected) kernel tallies. *)
 let run_rows (inst : ginst) lo hi =
   let ctx = inst.gi_ctx in
-  let runs = inst.gi_runs in
-  let nm = Array.length runs in
-  for r = lo to hi - 1 do
-    ctx.vc_row <- r;
-    for i = 0 to nm - 1 do
-      runs.(i) ()
-    done
-  done
+  let members = inst.gi_members in
+  if not inst.gi_kerned then begin
+    (* pure row-major, exactly the pre-kernel path *)
+    let nm = Array.length members in
+    for r = lo to hi - 1 do
+      ctx.vc_row <- r;
+      for mi = 0 to nm - 1 do
+        (Array.unsafe_get members mi).gm_run ()
+      done
+    done;
+    (0, 0)
+  end
+  else begin
+    let svscan = ref 0 and svsel = ref 0 in
+    for mi = 0 to Array.length members - 1 do
+      let m = members.(mi) in
+      if Array.length m.gm_kerns = 0 then
+        for r = lo to hi - 1 do
+          ctx.vc_row <- r;
+          m.gm_run ()
+        done
+      else begin
+        let sc, se = run_kerns m lo (hi - lo) in
+        svscan := !svscan + sc;
+        svsel := !svsel + se;
+        let sel = m.gm_sel in
+        for j = 0 to m.gm_cnt - 1 do
+          ctx.vc_row <- Array.unsafe_get sel j;
+          m.gm_run ()
+        done
+      end
+    done;
+    (!svscan, !svsel)
+  end
 
-(* Run one instance over key groups [glo, ghi): resolve the shared
-   accessors once per group, then fire every member per row. Returns the
-   probes-saved count for the range. *)
+(* Run one instance over key groups [glo, ghi): run the selection
+   kernels first, resolve the shared accessors once per group, then fire
+   members over their survivors (kernel-less members over every row).
+   When every member has kernels and nothing survives the group, the
+   accessors are never resolved at all — the whole group is skipped
+   before a single probe. Returns (probes saved, rows scanned, rows
+   selected) for the range. *)
 let run_groups (inst : ginst) starts (counts : float array) glo ghi =
   let ctx = inst.gi_ctx in
-  let runs = inst.gi_runs in
-  let nm = Array.length runs in
-  let saved = ref 0 in
+  let members = inst.gi_members in
+  let nm = Array.length members in
+  let saved = ref 0 and svscan = ref 0 and svsel = ref 0 in
+  if not inst.gi_kerned then
+    (* pure row-major per group, exactly the pre-kernel path *)
+    for g = glo to ghi - 1 do
+      let lo = starts.(g) and hi = starts.(g + 1) in
+      ctx.vc_row <- lo;
+      let orig = ref 0. in
+      for r = lo to hi - 1 do
+        orig := !orig +. counts.(r)
+      done;
+      let orig = int_of_float !orig in
+      Array.iter
+        (fun a ->
+          let kw = Array.length a.ga_key in
+          for j = 0 to kw - 1 do
+            a.ga_scratch.(j) <- Colbatch.get ctx.vc_cols.(a.ga_key.(j)) lo
+          done;
+          a.ga_val <- Pool.get a.ga_pool a.ga_scratch;
+          saved := !saved + (a.ga_uses * orig) - 1)
+        inst.gi_gaccs;
+      Array.iter
+        (fun gs ->
+          resolve_slice ctx gs;
+          saved := !saved + (gs.gs_uses * orig) - 1)
+        inst.gi_gslices;
+      for r = lo to hi - 1 do
+        ctx.vc_row <- r;
+        for mi = 0 to nm - 1 do
+          (Array.unsafe_get members mi).gm_run ()
+        done
+      done
+    done
+  else
   for g = glo to ghi - 1 do
     let lo = starts.(g) and hi = starts.(g + 1) in
     ctx.vc_row <- lo;
+    let live = ref false in
+    for mi = 0 to nm - 1 do
+      let m = members.(mi) in
+      if Array.length m.gm_kerns = 0 then begin
+        m.gm_cnt <- -1;
+        live := true
+      end
+      else begin
+        let sc, se = run_kerns m lo (hi - lo) in
+        svscan := !svscan + sc;
+        svsel := !svsel + se;
+        if se > 0 then live := true
+      end
+    done;
     (* the row-at-a-time path would have probed per source row per
-       reference; the group resolves each accessor exactly once *)
+       reference; the group resolves each accessor exactly once — or
+       zero times, when the kernels filtered the whole group away *)
     let orig = ref 0. in
     for r = lo to hi - 1 do
       orig := !orig +. counts.(r)
     done;
     let orig = int_of_float !orig in
-    Array.iter
-      (fun a ->
-        let kw = Array.length a.ga_key in
-        for j = 0 to kw - 1 do
-          a.ga_scratch.(j) <- Colbatch.get ctx.vc_cols.(a.ga_key.(j)) lo
-        done;
-        a.ga_val <- Pool.get a.ga_pool a.ga_scratch;
-        saved := !saved + (a.ga_uses * orig) - 1)
-      inst.gi_gaccs;
-    Array.iter
-      (fun gs ->
-        resolve_slice ctx gs;
-        saved := !saved + (gs.gs_uses * orig) - 1)
-      inst.gi_gslices;
-    for r = lo to hi - 1 do
-      ctx.vc_row <- r;
-      for i = 0 to nm - 1 do
-        runs.(i) ()
+    if !live then begin
+      Array.iter
+        (fun a ->
+          let kw = Array.length a.ga_key in
+          for j = 0 to kw - 1 do
+            a.ga_scratch.(j) <- Colbatch.get ctx.vc_cols.(a.ga_key.(j)) lo
+          done;
+          a.ga_val <- Pool.get a.ga_pool a.ga_scratch;
+          saved := !saved + (a.ga_uses * orig) - 1)
+        inst.gi_gaccs;
+      Array.iter
+        (fun gs ->
+          resolve_slice ctx gs;
+          saved := !saved + (gs.gs_uses * orig) - 1)
+        inst.gi_gslices;
+      for mi = 0 to nm - 1 do
+        let m = members.(mi) in
+        if m.gm_cnt < 0 then
+          for r = lo to hi - 1 do
+            ctx.vc_row <- r;
+            m.gm_run ()
+          done
+        else begin
+          let sel = m.gm_sel in
+          for j = 0 to m.gm_cnt - 1 do
+            ctx.vc_row <- Array.unsafe_get sel j;
+            m.gm_run ()
+          done
+        end
       done
-    done
+    end
+    else begin
+      Array.iter (fun a -> saved := !saved + (a.ga_uses * orig)) inst.gi_gaccs;
+      Array.iter
+        (fun gs -> saved := !saved + (gs.gs_uses * orig))
+        inst.gi_gslices
+    end
   done;
-  !saved
+  (!saved, !svscan, !svsel)
 
 let source_colbatch rt (shape : gshape) raw =
   if shape.sh_src.vs_batch then Lazy.force raw
@@ -1347,7 +2018,9 @@ let box_reads (cols : Colbatch.col array) n (boxed : int array) =
   Array.iter
     (fun c ->
       match cols.(c) with
-      | Colbatch.CBoxed _ -> ()
+      (* CDict reads are already allocation-free: [get] returns the
+         dictionary's shared box, so there is nothing to pre-box. *)
+      | Colbatch.CBoxed _ | Colbatch.CDict _ -> ()
       | col -> cols.(c) <- Colbatch.CBoxed (Array.init n (Colbatch.get col)))
     boxed
 
@@ -1362,6 +2035,7 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
   let shape = group_shape ps in
   let drop_cancelled = group_drop_cancelled ps in
   let has_access = plans_have_access ps in
+  let wd = dict_want ps shape ~keys:has_access in
   let inst = bind_instance rt ~shape ~buffered:false ps in
   let ctx = inst.gi_ctx in
   let clears = inst.gi_clears in
@@ -1377,13 +2051,17 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
   in
   if no_access then fun raw ->
     let cb = source_colbatch rt shape raw in
+    if wd <> [] then Colbatch.dictify_cols cb wd;
     List.iter Pool.clear clears;
     let n = Colbatch.length cb in
     ctx.vc_cols <- Array.map (Colbatch.col cb) shape.sh_sel;
     box_reads ctx.vc_cols n inst.gi_boxed;
     ctx.vc_mults <- Colbatch.mults cb;
     ctx.vc_counts <- ones_of n;
-    run_rows inst 0 n;
+    prep_inst inst;
+    let sc, se = run_rows inst 0 n in
+    Obs.Counter.add m_selvec_scanned sc;
+    Obs.Counter.add m_selvec_selected se;
     (* an Assign member's freshly-cleared target now holds exactly the
        distinct rows of the batch under that statement's key set: the
        difference is the per-statement batch compaction *)
@@ -1392,6 +2070,7 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
       clears
   else fun raw ->
     let cb = source_colbatch rt shape raw in
+    if wd <> [] then Colbatch.dictify_cols cb wd;
     List.iter Pool.clear clears;
     let comp, starts, counts =
       Colbatch.compact_group ~drop_cancelled cb ~key:shape.sh_sk
@@ -1403,8 +2082,13 @@ let bind_group (rt : t) (ps : vplan list) : Colbatch.t Lazy.t -> unit =
     box_reads ctx.vc_cols (Colbatch.length comp) inst.gi_boxed;
     ctx.vc_mults <- Colbatch.mults comp;
     ctx.vc_counts <- counts;
-    let saved = run_groups inst starts counts 0 (Array.length starts - 1) in
-    Obs.Counter.add m_probes_saved saved
+    prep_inst inst;
+    let saved, sc, se =
+      run_groups inst starts counts 0 (Array.length starts - 1)
+    in
+    Obs.Counter.add m_probes_saved saved;
+    Obs.Counter.add m_selvec_scanned sc;
+    Obs.Counter.add m_selvec_selected se
 
 (* Domain-parallel driver for one vectorized group (§6's argument applied
    locally): D shared-nothing instances run disjoint contiguous ranges of
@@ -1423,6 +2107,7 @@ let bind_group_par (rt : t) (pl : Par.Pool.t) (ps : vplan list) :
   let shape = group_shape ps in
   let drop_cancelled = group_drop_cancelled ps in
   let has_access = plans_have_access ps in
+  let wd = dict_want ps shape ~keys:has_access in
   let insts =
     Array.init d (fun _ -> bind_instance rt ~shape ~buffered:true ps)
   in
@@ -1449,12 +2134,14 @@ let bind_group_par (rt : t) (pl : Par.Pool.t) (ps : vplan list) :
   in
   if no_access then fun raw ->
     let cb = source_colbatch rt shape raw in
+    if wd <> [] then Colbatch.dictify_cols cb wd;
     List.iter Pool.clear clears;
     let n = Colbatch.length cb in
     let cols = Array.map (Colbatch.col cb) shape.sh_sel in
     box_reads cols n inst0.gi_boxed;
     let mults = Colbatch.mults cb in
     let counts = ones_of n in
+    let scs = Array.make d 0 and ses = Array.make d 0 in
     let tasks =
       Array.init d (fun di ->
           let lo = di * n / d and hi = (di + 1) * n / d in
@@ -1464,15 +2151,21 @@ let bind_group_par (rt : t) (pl : Par.Pool.t) (ps : vplan list) :
             ctx.vc_cols <- cols;
             ctx.vc_mults <- mults;
             ctx.vc_counts <- counts;
-            run_rows inst lo hi)
+            prep_inst inst;
+            let sc, se = run_rows inst lo hi in
+            scs.(di) <- sc;
+            ses.(di) <- se)
     in
     Par.Pool.run pl tasks;
     merge ();
+    Obs.Counter.add m_selvec_scanned (Array.fold_left ( + ) 0 scs);
+    Obs.Counter.add m_selvec_selected (Array.fold_left ( + ) 0 ses);
     List.iter
       (fun p -> Obs.Counter.add m_rows_compacted (max 0 (n - Pool.cardinal p)))
       clears
   else fun raw ->
     let cb = source_colbatch rt shape raw in
+    if wd <> [] then Colbatch.dictify_cols cb wd;
     List.iter Pool.clear clears;
     let comp, starts, counts =
       Colbatch.compact_group ~drop_cancelled cb ~key:shape.sh_sk
@@ -1498,6 +2191,7 @@ let bind_group_par (rt : t) (pl : Par.Pool.t) (ps : vplan list) :
       bounds.(di) <- !gi
     done;
     let saved = Array.make d 0 in
+    let scs = Array.make d 0 and ses = Array.make d 0 in
     let tasks =
       Array.init d (fun di () ->
           let inst = insts.(di) in
@@ -1505,12 +2199,19 @@ let bind_group_par (rt : t) (pl : Par.Pool.t) (ps : vplan list) :
           ctx.vc_cols <- cols;
           ctx.vc_mults <- mults;
           ctx.vc_counts <- counts;
-          saved.(di) <-
-            run_groups inst starts counts bounds.(di) bounds.(di + 1))
+          prep_inst inst;
+          let sv, sc, se =
+            run_groups inst starts counts bounds.(di) bounds.(di + 1)
+          in
+          saved.(di) <- sv;
+          scs.(di) <- sc;
+          ses.(di) <- se)
     in
     Par.Pool.run pl tasks;
     merge ();
-    Obs.Counter.add m_probes_saved (Array.fold_left ( + ) 0 saved)
+    Obs.Counter.add m_probes_saved (Array.fold_left ( + ) 0 saved);
+    Obs.Counter.add m_selvec_scanned (Array.fold_left ( + ) 0 scs);
+    Obs.Counter.add m_selvec_selected (Array.fold_left ( + ) 0 ses)
 
 (* ------------------------------------------------------------------ *)
 (* Program loading                                                     *)
@@ -1666,13 +2367,17 @@ let attributed (rt : t) slot f =
   let o0 = Obs.Counter.value rt.ops
   and p0 = Obs.Counter.value m_probes
   and ms0 = Obs.Counter.value m_probe_misses
-  and s0 = Obs.Counter.value m_slice_scanned in
+  and s0 = Obs.Counter.value m_slice_scanned
+  and v0 = Obs.Counter.value m_selvec_scanned
+  and e0 = Obs.Counter.value m_selvec_selected in
   f ();
   Prof.add slot
     ~ops:(Obs.Counter.value rt.ops - o0)
     ~probes:(Obs.Counter.value m_probes - p0)
     ~misses:(Obs.Counter.value m_probe_misses - ms0)
     ~scanned:(Obs.Counter.value m_slice_scanned - s0)
+    ~svscan:(Obs.Counter.value m_selvec_scanned - v0)
+    ~svsel:(Obs.Counter.value m_selvec_selected - e0)
     ~bytes:0
     ~wall:(Unix.gettimeofday () -. t0)
 
@@ -1777,24 +2482,39 @@ let ops (rt : t) = Obs.Counter.value rt.ops
 let reset_ops (rt : t) = Obs.Counter.reset rt.ops
 let domains (rt : t) = rt.domains
 
-(* Per trigger, each statement (in original order) paired with the route
-   label batch mode gives it: "stmt:T" for the generic closure path,
-   "columnar:T" / "columnar-join:T" for solo vectorized statements, and a
-   shared "fused:T1+T2" label for every member of a fused group. The same
-   [plan_trigger] that [create] uses produces this, so EXPLAIN agrees
-   with the runtime by construction. *)
-let stmt_routes (prog : Prog.t) : (string * (Prog.stmt * string) list) list =
+(* Per trigger, each statement (in original order) with the route label
+   batch mode gives it plus its filter split: "stmt:T" for the generic
+   closure path, "columnar:T" / "columnar-join:T" for solo vectorized
+   statements ("selvec:T" / "selvec-join:T" when ≥1 filter hoists to a
+   selection-vector kernel), and a shared "fused:T1+T2" /
+   "fused-selvec:T1+T2" label for every member of a fused group. The
+   ints are (filters hoisted to kernels, filters on the per-row path)
+   for that statement. The same [plan_trigger] that [create] uses
+   produces this, and the same [classify_filter] the binder uses decides
+   the split — so EXPLAIN agrees with the runtime by construction. *)
+let stmt_routes_ex (prog : Prog.t) :
+    (string * (Prog.stmt * string * int * int) list) list =
   List.map
     (fun (tr : Prog.trigger) ->
       ( tr.relation,
         List.concat_map
           (function
-            | UStmt s -> [ (s, "stmt:" ^ s.Prog.target) ]
+            | UStmt s -> [ (s, "stmt:" ^ s.Prog.target, 0, 0) ]
             | UGroup ps ->
                 let lbl = route_label_of_group ps in
-                List.map (fun (p : vplan) -> (p.vp_stmt, lbl)) ps)
+                List.map
+                  (fun (p : vplan) ->
+                    let sv, rw = plan_filter_split p in
+                    (p.vp_stmt, lbl, sv, rw))
+                  ps)
           (plan_trigger prog tr) ))
     prog.Prog.triggers
+
+let stmt_routes (prog : Prog.t) : (string * (Prog.stmt * string) list) list =
+  List.map
+    (fun (rel, stmts) ->
+      (rel, List.map (fun (s, lbl, _, _) -> (s, lbl)) stmts))
+    (stmt_routes_ex prog)
 
 (* Per-statement multicore decision, from the same planner and access
    analysis EXPLAIN uses: every vectorized group fans its batch ranges out

@@ -118,9 +118,22 @@ val total_tuples : t -> int
     ["columnar:T"] for a solo vectorized pass with no store reads,
     ["columnar-join:T"] for a solo vectorized statement with key-grouped
     store probes, and a shared ["fused:T1+T2"] label for every member of a
-    fused group. Produced by the same planner [create] uses, so EXPLAIN
-    cannot disagree with the runtime. *)
+    fused group. When at least one of a group's filters hoists to a
+    selection-vector kernel the labels become ["selvec:T"] /
+    ["selvec-join:T"] / ["fused-selvec:T1+T2"]. Produced by the same
+    planner [create] uses, so EXPLAIN cannot disagree with the runtime. *)
 val stmt_routes : Prog.t -> (string * (Prog.stmt * string) list) list
+
+(** Like {!stmt_routes}, with each statement's filter split appended:
+    [(stmt, label, selvec, rowwise)] where [selvec] is the number of its
+    filters compiled to selection-vector kernels (columnar scans into
+    packed survivor index vectors) and [rowwise] the number left on the
+    per-row closure path (genuinely dynamic predicates: aux-variable
+    operands, arithmetic over columns, string/numeric mixes). Both are 0
+    for ["stmt:"] routes. Decided by the same classification the binder
+    uses, so the printed split matches what actually executes. *)
+val stmt_routes_ex :
+  Prog.t -> (string * (Prog.stmt * string * int * int) list) list
 
 (** The (trigger relation, statement target) pairs that batch mode routes
     through the vectorized executor (any non-["stmt:"] label above). *)

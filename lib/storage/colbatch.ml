@@ -5,11 +5,103 @@ module Obs = Divm_obs.Obs
    [compact_group ~drop_cancelled:true] (counted in source rows). *)
 let m_cancelled = Obs.Counter.make "divm_batch_rows_cancelled_total"
 
+(* Dictionary interning outcomes while building [CDict] columns: a hit
+   reuses an existing code, a miss appends a new dictionary entry. *)
+let m_dict_hits = Obs.Counter.make "divm_dict_intern_hits_total"
+let m_dict_misses = Obs.Counter.make "divm_dict_intern_misses_total"
+
+(* Per-batch string dictionary backing a [CDict] column. [dvhash] caches
+   [Value.hash] per entry (so row hashing over codes stays
+   [Vtuple.hash]-compatible) and [dboxed] caches one shared
+   [Value.String] box per entry (so [get] never allocates). *)
+type dict = {
+  mutable dn : int;
+  mutable dvals : string array;
+  mutable dvhash : int array;
+  mutable dboxed : Value.t array;
+  dtbl : (string, int) Hashtbl.t;
+}
+
 type col =
   | CInt of int array
   | CDate of int array
   | CFloat of float array
+  | CDict of dict * int array
   | CBoxed of Value.t array
+
+let dict_create ?(cap = 8) () =
+  {
+    dn = 0;
+    dvals = Array.make (max cap 1) "";
+    dvhash = Array.make (max cap 1) 0;
+    dboxed = Array.make (max cap 1) (Value.Int 0);
+    dtbl = Hashtbl.create 16;
+  }
+
+let dict_grow d =
+  let cap = 2 * Array.length d.dvals in
+  let vals = Array.make cap "" in
+  let vh = Array.make cap 0 in
+  let bx = Array.make cap (Value.Int 0) in
+  Array.blit d.dvals 0 vals 0 d.dn;
+  Array.blit d.dvhash 0 vh 0 d.dn;
+  Array.blit d.dboxed 0 bx 0 d.dn;
+  d.dvals <- vals;
+  d.dvhash <- vh;
+  d.dboxed <- bx
+
+let dict_append d s =
+  let c = d.dn in
+  if c = Array.length d.dvals then dict_grow d;
+  let v = Value.String s in
+  d.dvals.(c) <- s;
+  d.dvhash.(c) <- Value.hash v;
+  d.dboxed.(c) <- v;
+  Hashtbl.add d.dtbl s c;
+  d.dn <- c + 1;
+  c
+
+(* Physical-equality fast path first: low-cardinality categorical
+   columns (flags, segments, ship modes) almost always reuse the same
+   string blocks, so a pointer scan over the first entries resolves the
+   common case without hashing the string. High-cardinality columns fall
+   through to the hash table after a bounded scan. *)
+let dict_intern d s =
+  let lim = if d.dn < 16 then d.dn else 16 in
+  let vals = d.dvals in
+  let rec scan i =
+    if i >= lim then -1
+    else if Array.unsafe_get vals i == s then i
+    else scan (i + 1)
+  in
+  let phys = scan 0 in
+  if phys >= 0 then begin
+    Obs.Counter.incr m_dict_hits;
+    phys
+  end
+  else
+    match Hashtbl.find_opt d.dtbl s with
+    | Some c ->
+        Obs.Counter.incr m_dict_hits;
+        c
+    | None ->
+        Obs.Counter.incr m_dict_misses;
+        dict_append d s
+
+let dict_size d = d.dn
+let dict_entry d c = d.dvals.(c)
+
+(* Cardinality cutoff for dictionary encoding. Past this many distinct
+   entries a per-batch dictionary is paying a hash and an append per
+   cell while compressing nothing (think generated names, one fresh
+   string per row) — the column is better off boxed. Categorical
+   columns (flags, segments, ship modes, brands) stay far below it. *)
+let dict_demote = 64
+
+let dict_of_strings vals =
+  let d = dict_create ~cap:(max 1 (Array.length vals)) () in
+  Array.iter (fun s -> ignore (dict_append d s)) vals;
+  d
 
 type t = {
   cols : col array;
@@ -30,12 +122,14 @@ let get c i =
   | CInt a -> Value.Int (Array.unsafe_get a i)
   | CDate a -> Value.Date (Array.unsafe_get a i)
   | CFloat a -> Value.Float (Array.unsafe_get a i)
+  | CDict (d, c) -> Array.unsafe_get d.dboxed (Array.unsafe_get c i)
   | CBoxed a -> Array.unsafe_get a i
 
 let float_get c i =
   match c with
   | CFloat a -> Array.unsafe_get a i
   | CInt a | CDate a -> float_of_int (Array.unsafe_get a i)
+  | CDict (d, c) -> Value.to_float (Array.unsafe_get d.dboxed (Array.unsafe_get c i))
   | CBoxed a -> Value.to_float (Array.unsafe_get a i)
 
 let column t c = Array.init t.n (get t.cols.(c))
@@ -49,7 +143,12 @@ let new_col cap (v : Value.t) : col =
   | Value.Int _ -> CInt (Array.make cap 0)
   | Value.Date _ -> CDate (Array.make cap 0)
   | Value.Float _ -> CFloat (Array.make cap 0.)
-  | Value.String _ -> CBoxed (Array.make cap (Value.Int 0))
+  (* Strings commit to [CBoxed]: transposition stays a pointer write
+     per cell. Dictionary encoding is an explicit upgrade for the
+     columns that profit from it — filter-kernel operands and
+     compaction keys ([dictify_cols], driven by the runtime's planner)
+     and whole batches headed for the wire ([dictify]). *)
+  | Value.String _ -> CBoxed (Array.make cap v)
 
 let box_upto c i cap =
   let out = Array.make cap (Value.Int 0) in
@@ -65,6 +164,12 @@ let set_cell (cols : col array) ci cap i (v : Value.t) =
   | CInt a, Value.Int x -> Array.unsafe_set a i x
   | CDate a, Value.Date x -> Array.unsafe_set a i x
   | CFloat a, Value.Float x -> Array.unsafe_set a i x
+  | CDict (d, c), Value.String s ->
+      Array.unsafe_set c i (dict_intern d s);
+      (* high-cardinality column: demote to boxed for the rest of the
+         fill ([box_upto] replays the interned prefix as shared boxes) *)
+      if d.dn > dict_demote then
+        cols.(ci) <- CBoxed (box_upto (CDict (d, c)) (i + 1) cap)
   | CBoxed a, v -> Array.unsafe_set a i v
   | c, v ->
       let a = box_upto c i cap in
@@ -76,6 +181,8 @@ let trunc_col n c =
   | CInt a -> if Array.length a = n then c else CInt (Array.sub a 0 n)
   | CDate a -> if Array.length a = n then c else CDate (Array.sub a 0 n)
   | CFloat a -> if Array.length a = n then c else CFloat (Array.sub a 0 n)
+  | CDict (d, a) ->
+      if Array.length a = n then c else CDict (d, Array.sub a 0 n)
   | CBoxed a -> if Array.length a = n then c else CBoxed (Array.sub a 0 n)
 
 (* Trace arena for a batch: one region holding [w] columns of [stride]
@@ -129,6 +236,7 @@ let of_cols cols ~mults =
         match c with
         | CInt a | CDate a -> Array.length a
         | CFloat a -> Array.length a
+        | CDict (_, a) -> Array.length a
         | CBoxed a -> Array.length a
       in
       if l <> n then invalid_arg "Colbatch.of_cols: column length mismatch")
@@ -165,6 +273,8 @@ let gather_col (keep : int array) c =
   | CInt a -> CInt (Array.init m (fun j -> Array.unsafe_get a keep.(j)))
   | CDate a -> CDate (Array.init m (fun j -> Array.unsafe_get a keep.(j)))
   | CFloat a -> CFloat (Array.init m (fun j -> Array.unsafe_get a keep.(j)))
+  | CDict (d, a) ->
+      CDict (d, Array.init m (fun j -> Array.unsafe_get a keep.(j)))
   | CBoxed a -> CBoxed (Array.init m (fun j -> Array.unsafe_get a keep.(j)))
 
 let filter t pred =
@@ -211,6 +321,7 @@ let cell_vhash c i =
       if Float.is_integer x && Float.abs x < 1e15 then
         Hashtbl.hash (int_of_float x)
       else Hashtbl.hash x
+  | CDict (d, c) -> Array.unsafe_get d.dvhash (Array.unsafe_get c i)
   | CBoxed a -> Value.hash (Array.unsafe_get a i)
 
 let row_vhash (cols : col array) (sel : int array) i =
@@ -231,6 +342,8 @@ let cell_veq c i (v : Value.t) =
   | CDate a, Value.Date y -> Array.unsafe_get a i = y
   | CFloat a, Value.Float y -> Float.equal (Array.unsafe_get a i) y
   | CFloat a, Value.Int y -> Float.equal (Array.unsafe_get a i) (float_of_int y)
+  | CDict (d, c), Value.String y ->
+      String.equal (Array.unsafe_get d.dvals (Array.unsafe_get c i)) y
   | CBoxed a, v -> Value.equal (Array.unsafe_get a i) v
   | _ -> false
 
@@ -270,6 +383,11 @@ let cell_ih c i =
       let x = Array.unsafe_get a i in
       if Float.is_integer x && Float.abs x < 1e15 then int_of_float x
       else Int64.to_int (Int64.bits_of_float x)
+  | CDict (_, c) ->
+      (* Codes are unique per string within one dict, and compaction only
+         compares cells within one column, so the raw code is consistent
+         with [cells_eq] — no string hashing in the hot loop. *)
+      Array.unsafe_get c i
   | CBoxed a -> (
       match Array.unsafe_get a i with
       | Value.Int x -> x
@@ -290,6 +408,7 @@ let cells_eq c a b =
   match c with
   | CInt x | CDate x -> Array.unsafe_get x a = Array.unsafe_get x b
   | CFloat x -> Float.equal (Array.unsafe_get x a) (Array.unsafe_get x b)
+  | CDict (_, x) -> Array.unsafe_get x a = Array.unsafe_get x b
   | CBoxed x -> Value.equal (Array.unsafe_get x a) (Array.unsafe_get x b)
 
 (* Stable counting partition of [perm_in] by [keys land bmask]. *)
@@ -503,6 +622,14 @@ let compact_group_sorted ?(drop_cancelled = false) t ~key ~rest =
 let col_bytes n c =
   match c with
   | CInt _ | CDate _ | CFloat _ -> 8 * n
+  | CDict (d, _) ->
+      (* dictionary payload (count + length-prefixed entries, matching
+         [Value.byte_size] per string) + one i32 code per row *)
+      let s = ref 4 in
+      for e = 0 to d.dn - 1 do
+        s := !s + 4 + String.length d.dvals.(e)
+      done;
+      !s + (4 * n)
   | CBoxed a ->
       let s = ref 0 in
       for i = 0 to n - 1 do
@@ -515,3 +642,50 @@ let byte_size t =
     t.bytes <-
       Array.fold_left (fun acc c -> acc + col_bytes t.n c) (8 * t.n) t.cols;
   t.bytes
+
+(* Representation upgrade: promote one [CBoxed] column holding only
+   strings to [CDict] in place. Columns whose dictionary would exceed
+   [dict_demote] distinct entries are left boxed — encoding
+   near-distinct strings (generated names) pays hash-and-append per
+   cell and compresses nothing. Returns whether the column changed. *)
+let dictify_col t ci =
+  match t.cols.(ci) with
+  | CBoxed a
+    when Array.length a > 0
+         && Array.for_all (function Value.String _ -> true | _ -> false) a
+    -> (
+      let d = dict_create () in
+      try
+        let codes =
+          Array.map
+            (function
+              | Value.String s ->
+                  let code = dict_intern d s in
+                  if d.dn > dict_demote then raise Exit;
+                  code
+              | _ -> assert false)
+            a
+        in
+        t.cols.(ci) <- CDict (d, codes);
+        true
+      with Exit -> false)
+  | _ -> false
+
+(* Targeted upgrade: the runtime's planner names the columns whose
+   dictionary form pays for itself this batch (string filter-kernel
+   operands, string compaction keys). Already-[CDict] and non-string
+   columns are skipped. Invalidates the [byte_size] memo on change. *)
+let dictify_cols t cis =
+  let changed =
+    List.fold_left (fun acc ci -> dictify_col t ci || acc) false cis
+  in
+  if changed then t.bytes <- -1
+
+(* Whole-batch upgrade for the wire path: every all-string column below
+   the cardinality cutoff ships as dictionary + codes. *)
+let dictify t =
+  let changed = ref false in
+  for ci = 0 to Array.length t.cols - 1 do
+    if dictify_col t ci then changed := true
+  done;
+  if !changed then t.bytes <- -1

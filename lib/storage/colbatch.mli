@@ -18,14 +18,35 @@
 
 open Divm_ring
 
+(** Per-batch string dictionary backing a [CDict] column: distinct
+    strings in first-seen order, with a cached [Value.hash] and one
+    shared [Value.String] box per entry. *)
+type dict
+
 (** The physical representation of one column. Read-only: the arrays are
     owned by the batch. [CInt]/[CDate]/[CFloat] are the unboxed fast
-    paths; [CBoxed] is the fallback for strings and mixed-type columns. *)
+    paths; [CDict] is the dictionary-encoded string path (per-batch
+    dictionary + int code per row — equality and compaction hashing run
+    on codes, never on string contents); [CBoxed] is the fallback for
+    genuinely mixed-type columns. *)
 type col =
   | CInt of int array
   | CDate of int array
   | CFloat of float array
+  | CDict of dict * int array
   | CBoxed of Value.t array
+
+(** Number of distinct entries in a dictionary. Codes in the column's
+    code array are always in [0, dict_size d). *)
+val dict_size : dict -> int
+
+(** [dict_entry d c] is the string behind code [c]. *)
+val dict_entry : dict -> int -> string
+
+(** Build a dictionary from decoded wire entries, in order: entry [i]
+    gets code [i]. Entries should be distinct ([dict_intern]-produced
+    dictionaries always are); the wire decoder enforces this. *)
+val dict_of_strings : string array -> dict
 
 type t
 
@@ -147,6 +168,27 @@ val compact_group_sorted :
     collide. Reset to [None] after use. *)
 val hash_bits_for_tests : int option ref
 
-(** Serialized size in bytes. O(width) arithmetic on typed columns (boxed
-    columns are scanned once and the result is memoized). *)
+(** Serialized size in bytes. O(width) arithmetic on typed columns;
+    dictionary columns account the dictionary payload (count +
+    length-prefixed entries) plus one i32 code per row; boxed columns are
+    scanned once. The result is memoized — representation upgrades
+    ([dictify]) invalidate the memo. *)
 val byte_size : t -> int
+
+(** Promote every [CBoxed] column holding only strings to [CDict] in
+    place (the wire path: each such column then ships as dictionary +
+    codes). High-cardinality columns — more than 64 distinct entries,
+    e.g. generated per-row names — are left boxed: a near-distinct
+    dictionary pays hash-and-append per cell and compresses nothing.
+    Invalidates the [byte_size] memo when anything changed. *)
+val dictify : t -> unit
+
+(** Targeted form of {!dictify}: promote only the named columns (by
+    index). The runtime's planner calls this once per batch with the
+    columns whose dictionary form pays for itself — string
+    filter-kernel operands (the kernel then tests an int-indexed
+    per-dictionary truth table) and string compaction keys (the radix
+    path then hashes cached per-entry hashes instead of boxed cells).
+    Already-[CDict], non-string, and high-cardinality columns are
+    skipped; same cutoff as {!dictify}. *)
+val dictify_cols : t -> int list -> unit

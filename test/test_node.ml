@@ -87,7 +87,7 @@ let gen_snapshot =
 let gen_row =
   QCheck.Gen.(
     map3
-      (fun trigger label (f, (o, (p, (ms, (s, (b, w)))))) ->
+      (fun trigger label (f, (o, (p, (ms, (s, (sv, (se, (b, w)))))))) ->
         {
           Prof.r_trigger = trigger;
           r_label = label;
@@ -96,13 +96,16 @@ let gen_row =
           r_probes = p;
           r_misses = ms;
           r_scanned = s;
+          r_svscan = sv;
+          r_svsel = se;
           r_bytes = b;
           r_wall = w;
         })
       gen_name gen_name
       (pair (int_range 0 1000)
          (pair int
-            (pair int (pair int (pair int (pair int gen_f)))))))
+            (pair int
+               (pair int (pair int (pair int (pair int (pair int gen_f)))))))))
 
 let gen_event =
   QCheck.Gen.(
@@ -285,6 +288,85 @@ let test_codec_malformed () =
     Bytes.to_string s
   in
   expect_error "lying entry count" (fun () -> Protocol.decode lying)
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary-encoded string columns on the wire (PR 9)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Low-cardinality string columns must actually ship as dictionary +
+   codes (column kind 4), round-trip bit-exactly, and high-cardinality
+   columns must stay on the boxed layout (kind 3). The kind byte of the
+   second column sits at a computable offset: tag + entry count (i32) +
+   layout (u8) + width (u16) + column 0's kind (u8) + n unboxed i64s. *)
+let test_codec_dict_roundtrip () =
+  let modes = [| "AIR"; "RAIL"; "MAIL"; "SHIP" |] in
+  let g = Gmr.create () in
+  for k = 0 to 39 do
+    Gmr.add g [| Value.Int (k mod 7); Value.String modes.(k mod 4) |] 1.
+  done;
+  let payload = Protocol.encode (Protocol.Map_contents g) in
+  let kind_pos n = 1 + 4 + 1 + 2 + 1 + (8 * n) in
+  Alcotest.(check char)
+    "string column ships dictionary-encoded" '\x04'
+    payload.[kind_pos (Gmr.cardinal g)];
+  (match Protocol.decode payload with
+  | Protocol.Map_contents g' ->
+      Alcotest.(check bool) "dict round-trip bit-exact" true
+        (gmr_bits_equal g g')
+  | _ -> Alcotest.fail "decoded to a different message");
+  let gh = Gmr.create () in
+  for k = 0 to 69 do
+    Gmr.add gh [| Value.Int k; Value.String (Printf.sprintf "name-%04d" k) |] 1.
+  done;
+  let ph = Protocol.encode (Protocol.Map_contents gh) in
+  Alcotest.(check char)
+    "high-cardinality column stays boxed" '\x03'
+    ph.[kind_pos (Gmr.cardinal gh)];
+  match Protocol.decode ph with
+  | Protocol.Map_contents g' ->
+      Alcotest.(check bool) "boxed round-trip bit-exact" true
+        (gmr_bits_equal gh g')
+  | _ -> Alcotest.fail "decoded to a different message"
+
+(* Hand-built dictionary frames the encoder would never produce: the
+   strict decoder must reject duplicate dictionary entries and codes
+   outside [0, dict size). *)
+let dict_payload ~entries ~codes =
+  let n = Array.length codes in
+  let b = Buffer.create 64 in
+  Buffer.add_uint8 b 7 (* Map_contents *);
+  Buffer.add_int32_be b (Int32.of_int n);
+  Buffer.add_uint8 b 1 (* columnar layout *);
+  Buffer.add_uint16_be b 1 (* width *);
+  Buffer.add_uint8 b 4 (* dictionary column kind *);
+  Buffer.add_int32_be b (Int32.of_int (Array.length entries));
+  Array.iter
+    (fun s ->
+      Buffer.add_int32_be b (Int32.of_int (String.length s));
+      Buffer.add_string b s)
+    entries;
+  Array.iter (fun c -> Buffer.add_int32_be b (Int32.of_int c)) codes;
+  for _ = 1 to n do
+    Buffer.add_int64_be b (Int64.bits_of_float 1.)
+  done;
+  Buffer.contents b
+
+let test_codec_dict_strict () =
+  (* sanity: a well-formed hand-built dict frame decodes, duplicate rows
+     merging by multiplicity *)
+  (match
+     Protocol.decode (dict_payload ~entries:[| "x"; "y" |] ~codes:[| 0; 1; 0 |])
+   with
+  | Protocol.Map_contents g ->
+      Alcotest.(check (float 1e-9)) "codes decode through the dictionary" 2.
+        (Gmr.mult g [| Value.String "x" |])
+  | _ -> Alcotest.fail "decoded to a different message");
+  expect_error "duplicate dictionary entry" (fun () ->
+      Protocol.decode (dict_payload ~entries:[| "x"; "x" |] ~codes:[| 0 |]));
+  expect_error "code out of range" (fun () ->
+      Protocol.decode (dict_payload ~entries:[| "x" |] ~codes:[| 0; 1 |]));
+  expect_error "negative code" (fun () ->
+      Protocol.decode (dict_payload ~entries:[| "x" |] ~codes:[| -1 |]))
 
 (* ------------------------------------------------------------------ *)
 (* Simulated vs multiprocess store equivalence                         *)
@@ -715,6 +797,10 @@ let suites =
         QCheck_alcotest.to_alcotest qcheck_codec_truncated;
         Alcotest.test_case "malformed frames rejected" `Quick
           test_codec_malformed;
+        Alcotest.test_case "dict columns round-trip on the wire" `Quick
+          test_codec_dict_roundtrip;
+        Alcotest.test_case "dict frames decode strictly" `Quick
+          test_codec_dict_strict;
         QCheck_alcotest.to_alcotest qcheck_node_equiv;
         Alcotest.test_case "engine backends agree" `Quick test_engine_backends;
         Alcotest.test_case "columnar on/off stores agree on every backend"

@@ -210,6 +210,42 @@ let test_profile_cluster_reconciles () =
              && String.sub r.Prof.r_label 0 9 = "transfer:")
            rows))
 
+(* Selection-vector execution must stay exactly attributable: drive Q6
+   (whose delta statement compiles to solo selvec kernels) on the Local
+   backend with the profiler on, demand nonzero selvec counters in the
+   registry diff, per-slot svscan/svsel sums that reconcile exactly
+   against them, and a "selvec"-labelled slot owning the rows. *)
+let test_profile_selvec_reconciles () =
+  let w = Workload.find "Q6" in
+  let prog = Workload.compile w in
+  let rt = Runtime.create prog in
+  let stream =
+    Divm_tpch.Gen.stream { Divm_tpch.Gen.scale = 0.05; seed = 11 }
+      ~batch_size:400
+  in
+  with_profiler (fun () ->
+      let earlier = Obs.snapshot () in
+      List.iter (fun (rel, b) -> ignore (Runtime.apply_batch rt ~rel b)) stream;
+      let diff = Obs.diff ~later:(Obs.snapshot ()) ~earlier in
+      let counter name = Obs.counter_value diff name in
+      let scanned = counter "divm_selvec_rows_scanned_total" in
+      let selected = counter "divm_selvec_rows_selected_total" in
+      Alcotest.(check bool) "selvec kernels scanned rows" true (scanned > 0);
+      Alcotest.(check bool) "selvec selected <= scanned" true
+        (selected >= 0 && selected <= scanned);
+      check_reconciles "selvec" diff;
+      let rows = Prof.rows () in
+      let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
+      Alcotest.(check int) "svscan slot sums = registry" scanned
+        (sum (fun r -> r.Prof.r_svscan));
+      Alcotest.(check int) "svsel slot sums = registry" selected
+        (sum (fun r -> r.Prof.r_svsel));
+      Alcotest.(check bool) "a selvec-labelled slot owns the scans" true
+        (List.exists
+           (fun r ->
+             contains ~affix:"selvec" r.Prof.r_label && r.Prof.r_svscan > 0)
+           rows))
+
 let test_profile_disabled_attributes_nothing () =
   let prog = Compile.compile ~streams:streams_rs [ ("Q", q_join) ] in
   let rt = Runtime.create prog in
@@ -308,6 +344,8 @@ let suites =
           test_profile_local_reconciles;
         Alcotest.test_case "profiler: cluster slot sums = registry deltas"
           `Quick test_profile_cluster_reconciles;
+        Alcotest.test_case "profiler: selvec counters reconcile exactly"
+          `Quick test_profile_selvec_reconciles;
         Alcotest.test_case "profiler: disabled attributes nothing" `Quick
           test_profile_disabled_attributes_nothing;
         Alcotest.test_case "profiler: results unchanged" `Quick

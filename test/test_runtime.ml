@@ -297,6 +297,176 @@ let test_columnar_path () =
   Alcotest.(check (float 1e-6)) "value correct" 6.
     (Gmr.mult (Runtime.result on "QC") [| i 20 |])
 
+(* ------------------------------------------------------------------ *)
+(* PR 9: selection-vector kernels vs the per-row closure path          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random typed batches through the same compiled filter program on a
+   columnar runtime (constant filters hoist to selection-vector kernels,
+   string operands dictionary-encode) and a columnar-off runtime (the
+   per-row closure path). Stream R has a fixed column typing — A int or
+   date, B int (the group key), C float, D string — so the batch
+   transposes to the unboxed reps the kernels specialize on. The float
+   pool includes NaN and two [fcompare_approx] epsilon edges (1+1e-12
+   and 1e9+0.5, both approx-equal to a filter constant); the second
+   round forces 2-bit compaction hash collisions, which must not change
+   results even for dictionary-coded keys. *)
+let vds = Schema.var ~ty:Value.TString "D"
+
+type sv_filter =
+  | FInt of cmp_op * int
+  | FFloat of cmp_op * float
+  | FStr of bool * string
+  | FDyn of cmp_op  (** A vs C+1: dynamic operand, stays per-row *)
+
+let sv_ops = [ Eq; Neq; Lt; Lte; Gt; Gte ]
+let sv_floats = [ 0.; 1.; 1.5; -2.5; Float.nan; 1. +. 1e-12; 1e9; 1e9 +. 0.5 ]
+let sv_strs = [ "AIR"; "RAIL"; "MAIL" ]
+
+let gen_selvec_case =
+  let open QCheck.Gen in
+  let gen_filter =
+    frequency
+      [
+        (3, map2 (fun op k -> FInt (op, k)) (oneofl sv_ops) (int_range 0 4));
+        ( 3,
+          map2
+            (fun op x -> FFloat (op, x))
+            (oneofl sv_ops)
+            (oneofl [ 1.; 0.; 1e9 ]) );
+        (2, map2 (fun eq s -> FStr (eq, s)) bool (oneofl sv_strs));
+        (1, map (fun op -> FDyn op) (oneofl sv_ops));
+      ]
+  in
+  let gen_row =
+    map2
+      (fun (a, b) (c, (d, m)) -> (a, b, c, d, m))
+      (pair (int_range 0 4) (int_range 0 3))
+      (pair (oneofl sv_floats)
+         (pair (oneofl sv_strs) (map float_of_int (oneofl [ -2; -1; 1; 2 ]))))
+  in
+  triple bool
+    (list_size (int_range 1 4) gen_filter)
+    (list_size (int_range 1 2) (list_size (int_range 0 30) gen_row))
+
+let show_selvec_case (use_date, filters, batches) =
+  let op_s = function
+    | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Lte -> "<=" | Gt -> ">"
+    | Gte -> ">="
+  in
+  Printf.sprintf "date=%b filters=[%s] batches=%s" use_date
+    (String.concat "; "
+       (List.map
+          (function
+            | FInt (op, k) -> Printf.sprintf "A %s %d" (op_s op) k
+            | FFloat (op, x) -> Printf.sprintf "C %s %h" (op_s op) x
+            | FStr (true, s) -> Printf.sprintf "D = %s" s
+            | FStr (false, s) -> Printf.sprintf "D <> %s" s
+            | FDyn op -> Printf.sprintf "A %s C+1" (op_s op))
+          filters))
+    (String.concat " | "
+       (List.map
+          (fun rows ->
+            String.concat ";"
+              (List.map
+                 (fun (a, b, c, d, m) ->
+                   Printf.sprintf "(%d,%d,%h,%s)*%g" a b c d m)
+                 rows))
+          batches))
+
+let qcheck_selvec_equiv =
+  let arb = QCheck.make ~print:show_selvec_case gen_selvec_case in
+  QCheck.Test.make ~name:"selection vectors = per-row filter evaluation"
+    ~count:150 arb (fun (use_date, filters, batches) ->
+      let mk_a a = if use_date then Value.Date a else Value.Int a in
+      let q =
+        sum [ vb ]
+          (prod
+             (rel "R" [ va; vb; vc; vds ]
+             :: List.map
+                  (function
+                    | FInt (op, k) ->
+                        cmp op (Vexpr.var va) (Vexpr.Const (mk_a k))
+                    | FFloat (op, x) ->
+                        cmp op (Vexpr.var vc) (Vexpr.const_f x)
+                    | FStr (eq, s) ->
+                        cmp
+                          (if eq then Eq else Neq)
+                          (Vexpr.var vds)
+                          (Vexpr.Const (Value.String s))
+                    | FDyn op ->
+                        cmp op (Vexpr.var va)
+                          (Vexpr.Add (Vexpr.var vc, Vexpr.const_f 1.)))
+                  filters))
+      in
+      let prog =
+        Compile.compile ~streams:[ ("R", [ va; vb; vc; vds ]) ] [ ("Q", q) ]
+      in
+      let gmrs =
+        List.map
+          (fun rows ->
+            Gmr.of_list
+              (List.map
+                 (fun (a, b, c, d, m) ->
+                   ([| mk_a a; i b; Value.Float c; Value.String d |], m))
+                 rows))
+          batches
+      in
+      List.iter
+        (fun bits ->
+          let vec = Runtime.create prog in
+          let row = Runtime.create ~columnar:false prog in
+          List.iter
+            (fun g ->
+              Colbatch.hash_bits_for_tests := bits;
+              Fun.protect
+                ~finally:(fun () -> Colbatch.hash_bits_for_tests := None)
+                (fun () -> ignore (Runtime.apply_batch vec ~rel:"R" g));
+              ignore (Runtime.apply_batch row ~rel:"R" g))
+            gmrs;
+          if
+            not
+              (Gmr.equal ~eps:1e-6 (Runtime.result vec "Q")
+                 (Runtime.result row "Q"))
+          then
+            Alcotest.failf "selvec diverged (bits=%s):@.%a@.vs %a"
+              (match bits with None -> "none" | Some b -> string_of_int b)
+              Gmr.pp (Runtime.result vec "Q") Gmr.pp (Runtime.result row "Q"))
+        [ None; Some 2 ];
+      true)
+
+(* The planner actually hoists those filters: constant int/float/string
+   comparisons count as selvec in the EXPLAIN split, the dynamic A-vs-C+1
+   operand stays rowwise, and the split agrees between stmt_routes_ex and
+   what a classifiable-only program labels. *)
+let test_selvec_route_split () =
+  let q =
+    sum [ vb ]
+      (prod
+         [
+           rel "R" [ va; vb; vc; vds ];
+           cmp Lt (Vexpr.var va) (Vexpr.const_i 3);
+           cmp Gte (Vexpr.var vc) (Vexpr.const_f 1.);
+           cmp Eq (Vexpr.var vds) (Vexpr.Const (Value.String "AIR"));
+           cmp Gt (Vexpr.var va) (Vexpr.Add (Vexpr.var vc, Vexpr.const_f 1.));
+         ])
+  in
+  let prog =
+    Compile.compile ~streams:[ ("R", [ va; vb; vc; vds ]) ] [ ("Q", q) ]
+  in
+  let split =
+    List.concat_map snd (Runtime.stmt_routes_ex prog)
+    |> List.filter_map (fun (_, label, sv, rw) ->
+           if String.length label >= 6 && String.sub label 0 6 = "selvec" then
+             Some (sv, rw)
+           else None)
+  in
+  match split with
+  | [ (sv, rw) ] ->
+      Alcotest.(check int) "three filters hoist to kernels" 3 sv;
+      Alcotest.(check int) "dynamic filter stays rowwise" 1 rw
+  | _ -> Alcotest.fail "expected exactly one selvec-routed statement"
+
 let suites =
   [
     ( "runtime",
@@ -311,8 +481,10 @@ let suites =
           test_rt_filters_values;
         Alcotest.test_case "ops counter" `Quick test_rt_ops_counter;
         Alcotest.test_case "columnar preagg path" `Quick test_columnar_path;
+        Alcotest.test_case "selvec route split" `Quick test_selvec_route_split;
         QCheck_alcotest.to_alcotest qcheck_rt_agree;
         QCheck_alcotest.to_alcotest qcheck_columnar_equiv;
         QCheck_alcotest.to_alcotest qcheck_parallel_equiv;
+        QCheck_alcotest.to_alcotest qcheck_selvec_equiv;
       ] );
   ]

@@ -472,6 +472,152 @@ let test_compact_drop_cancelled () =
   (* the counter tallies cancelled *source* rows: both the +2 and the -2 *)
   Alcotest.(check int) "counter incremented" 2 cancelled
 
+(* ------------------------------------------------------------------ *)
+(* Dictionary-encoded string columns (PR 9)                            *)
+(* ------------------------------------------------------------------ *)
+
+let mk_str_batch rows =
+  (* width 2: [Int k; String s] per row, unit multiplicity *)
+  Colbatch.of_iter ~width:2 ~count:(List.length rows) (fun emit ->
+      List.iter (fun (k, s) -> emit [| i k; Value.String s |] 1.) rows)
+
+(* [dictify_cols] promotes a low-cardinality string column in place,
+   accounts the dictionary in [byte_size] per the documented wire layout
+   (count + length-prefixed entries + one i32 code per row), and
+   invalidates the memoized boxed size. *)
+let test_dictify_byte_size () =
+  let names = [ "AIR"; "RAIL"; "MAIL"; "AIR"; "RAIL"; "AIR" ] in
+  let rows = List.mapi (fun k s -> (k, s)) names in
+  let b = mk_str_batch rows in
+  (* memoize the boxed size first, so a stale memo would be caught below *)
+  let boxed_size = Colbatch.byte_size b in
+  Colbatch.dictify_cols b [ 1 ];
+  (match Colbatch.col b 1 with
+  | Colbatch.CDict (d, codes) ->
+      Alcotest.(check int) "dict size" 3 (Colbatch.dict_size d);
+      List.iteri
+        (fun r s ->
+          Alcotest.(check string) "code decodes to source string" s
+            (Colbatch.dict_entry d codes.(r)))
+        names
+  | _ -> Alcotest.fail "low-cardinality string column not promoted to CDict");
+  let n = List.length names in
+  let dict_payload =
+    List.fold_left
+      (fun acc s -> acc + 4 + String.length s)
+      4
+      [ "AIR"; "RAIL"; "MAIL" ]
+  in
+  (* mults (8n) + CInt column (8n) + dictionary payload + i32 codes (4n) *)
+  let expect = (8 * n) + (8 * n) + dict_payload + (4 * n) in
+  Alcotest.(check int) "memo invalidated, dictionary accounted" expect
+    (Colbatch.byte_size b);
+  Alcotest.(check bool) "dict size differs from the boxed size" true
+    (expect <> boxed_size);
+  (* re-running is idempotent: already-CDict columns are skipped *)
+  Colbatch.dictify_cols b [ 1 ];
+  Alcotest.(check int) "idempotent" expect (Colbatch.byte_size b)
+
+(* Past the cardinality cutoff (64 distinct entries) the column must stay
+   boxed under both the targeted and the whole-batch upgrade, and the
+   byte_size memo must not churn. *)
+let test_dictify_cardinality_cutoff () =
+  let rows = List.init 80 (fun k -> (k, Printf.sprintf "name-%04d" k)) in
+  let b = mk_str_batch rows in
+  let before = Colbatch.byte_size b in
+  Colbatch.dictify_cols b [ 1 ];
+  (match Colbatch.col b 1 with
+  | Colbatch.CBoxed _ -> ()
+  | _ -> Alcotest.fail "high-cardinality column must stay boxed (targeted)");
+  Alcotest.(check int) "byte_size unchanged" before (Colbatch.byte_size b);
+  Colbatch.dictify b;
+  match Colbatch.col b 1 with
+  | Colbatch.CBoxed _ -> ()
+  | _ -> Alcotest.fail "high-cardinality column must stay boxed (wire)"
+
+(* The targeted form only touches the named columns; non-string columns
+   are skipped; content is unchanged either way. *)
+let test_dictify_targeted () =
+  let mk () =
+    Colbatch.of_iter ~width:3 ~count:4 (fun emit ->
+        List.iter
+          (fun (a, s1, s2) ->
+            emit [| i a; Value.String s1; Value.String s2 |] 1.)
+          [ (1, "x", "p"); (2, "y", "q"); (3, "x", "p"); (4, "z", "q") ])
+  in
+  let b = mk () in
+  let orig = Colbatch.to_gmr (mk ()) in
+  Colbatch.dictify_cols b [ 0; 1 ];
+  (match Colbatch.col b 0 with
+  | Colbatch.CInt _ -> ()
+  | _ -> Alcotest.fail "numeric column must not change representation");
+  (match Colbatch.col b 1 with
+  | Colbatch.CDict _ -> ()
+  | _ -> Alcotest.fail "named string column must promote");
+  (match Colbatch.col b 2 with
+  | Colbatch.CBoxed _ -> ()
+  | _ -> Alcotest.fail "unnamed string column must stay boxed");
+  Alcotest.(check bool) "content unchanged by promotion" true
+    (Gmr.equal orig (Colbatch.to_gmr b))
+
+(* Radix compaction over CDict columns (cached per-entry hashes) against
+   the sort-based oracle, including forced 2-bit hash collisions: same
+   linear content, valid group structure. Mirrors
+   [qcheck_compact_radix_vs_sorted], but guarantees dictionary-encoded
+   key and rest columns. *)
+let gen_dict_compact_case =
+  let open QCheck.Gen in
+  list_size (int_range 0 40)
+    (pair
+       (pair (int_range 0 3) (oneofl [ "AIR"; "RAIL"; "MAIL"; "SHIP" ]))
+       (map float_of_int (oneofl [ -2; -1; 1; 2 ])))
+  >>= fun rows ->
+  oneofl [ ([| 1 |], [| 0 |]); ([| 0; 1 |], [||]); ([||], [| 1 |]) ]
+  >>= fun (key, rest) -> return (rows, key, rest)
+
+let qcheck_compact_dict_vs_sorted =
+  let print (rows, key, rest) =
+    Printf.sprintf "key=[%s] rest=[%s] rows=[%s]"
+      (String.concat ";" (Array.to_list (Array.map string_of_int key)))
+      (String.concat ";" (Array.to_list (Array.map string_of_int rest)))
+      (String.concat "; "
+         (List.map
+            (fun ((k, s), m) -> Printf.sprintf "(%d,%s)*%g" k s m)
+            rows))
+  in
+  let arb = QCheck.make ~print gen_dict_compact_case in
+  QCheck.Test.make ~name:"radix compact_group on CDict = sorted oracle"
+    ~count:200 arb (fun (rows, key, rest) ->
+      let b = mk_str_batch (List.map fst rows) in
+      List.iteri
+        (fun r (_, m) -> (Colbatch.mults b).(r) <- m)
+        rows;
+      Colbatch.dictify_cols b [ 1 ];
+      (if List.length rows > 0 then
+         match Colbatch.col b 1 with
+         | Colbatch.CDict _ -> ()
+         | _ -> Alcotest.fail "string column should be dictionary-encoded");
+      let nk = Array.length key in
+      List.iter
+        (fun bits ->
+          Colbatch.hash_bits_for_tests := bits;
+          Fun.protect
+            ~finally:(fun () -> Colbatch.hash_bits_for_tests := None)
+            (fun () ->
+              let cr, sr, _ = Colbatch.compact_group b ~key ~rest in
+              let cs, ss, _ = Colbatch.compact_group_sorted b ~key ~rest in
+              if
+                not
+                  (Gmr.equal ~eps:1e-9
+                     (compact_rows_gmr cr (Colbatch.mults cr))
+                     (compact_rows_gmr cs (Colbatch.mults cs)))
+              then Alcotest.fail "dict compaction content diverges";
+              check_starts cr sr;
+              check_starts cs ss;
+              check_groups_key_constant cr sr nk))
+        [ None; Some 2 ];
+      true)
+
 (* Same churn programs against Gmr: mult/iter/cardinal agreement. *)
 let qcheck_gmr_churn =
   QCheck.Test.make ~name:"gmr = assoc-list model under churn" ~count:150
@@ -532,7 +678,14 @@ let suites =
         Alcotest.test_case "trace hooks" `Quick test_trace_hooks;
         Alcotest.test_case "compact_group drop_cancelled" `Quick
           test_compact_drop_cancelled;
+        Alcotest.test_case "dictify accounts bytes + invalidates memo" `Quick
+          test_dictify_byte_size;
+        Alcotest.test_case "dictify cardinality cutoff" `Quick
+          test_dictify_cardinality_cutoff;
+        Alcotest.test_case "dictify_cols is targeted" `Quick
+          test_dictify_targeted;
         QCheck_alcotest.to_alcotest qcheck_compact_radix_vs_sorted;
+        QCheck_alcotest.to_alcotest qcheck_compact_dict_vs_sorted;
         QCheck_alcotest.to_alcotest qcheck_pool_model;
         QCheck_alcotest.to_alcotest qcheck_pool_churn;
         QCheck_alcotest.to_alcotest qcheck_gmr_churn;
