@@ -887,6 +887,7 @@ let quick () =
         (* Repeat the measured suffix until the budget elapses; account
            only in-trigger wall time so stream bookkeeping is excluded. *)
         let tuples = ref 0 and ops = ref 0 and wall = ref 0. in
+        let wire = ref 0 in
         let deadline = Unix.gettimeofday () +. budget in
         (try
            while true do
@@ -896,6 +897,7 @@ let quick () =
                  tuples := !tuples + r.Engine.tuples;
                  ops := !ops + r.Engine.ops;
                  wall := !wall +. r.Engine.wall;
+                 wire := !wire + r.Engine.wire_bytes;
                  if Unix.gettimeofday () > deadline then raise Exit)
                suffix
            done
@@ -903,7 +905,7 @@ let quick () =
         Engine.shutdown eng;
         let tps = float_of_int !tuples /. !wall in
         let ops_s = float_of_int !ops /. !wall in
-        (qn, tps, ops_s, float_of_int !ops /. float_of_int !tuples))
+        (qn, tps, ops_s, float_of_int !ops /. float_of_int !tuples, !wire))
       quick_queries
   in
   let geomean f =
@@ -911,8 +913,13 @@ let quick () =
       (List.fold_left (fun a r -> a +. log (f r)) 0. results
       /. float_of_int (List.length results))
   in
-  let g_tps = geomean (fun (_, t, _, _) -> t) in
-  let g_ops = geomean (fun (_, _, o, _) -> o) in
+  let g_tps = geomean (fun (_, t, _, _, _) -> t) in
+  let g_ops = geomean (fun (_, _, o, _, _) -> o) in
+  (* Actual socket traffic, multiprocess only (0 elsewhere): the number
+     the star-vs-mesh shuffle A/B compares. *)
+  let total_wire =
+    List.fold_left (fun a (_, _, _, _, w) -> a + w) 0 results
+  in
   B.print_table
     ~title:
       (Printf.sprintf
@@ -921,24 +928,28 @@ let quick () =
          bs !backend !used_domains)
     ~header:[ "query"; "tuples/s"; "record-ops/s"; "ops/tuple" ]
     (List.map
-       (fun (qn, tps, ops_s, opt) ->
+       (fun (qn, tps, ops_s, opt, _) ->
          [ qn; B.fmt_rate tps; B.fmt_rate ops_s; Printf.sprintf "%.1f" opt ])
        results
     @ [ [ "geomean"; B.fmt_rate g_tps; B.fmt_rate g_ops; "-" ] ]);
   let fields =
     String.concat ","
       (List.map
-         (fun (qn, tps, ops_s, opt) ->
+         (fun (qn, tps, ops_s, opt, wire) ->
            Printf.sprintf
-             "\"%s\":{\"tuples_per_s\":%.0f,\"ops_per_s\":%.0f,\"ops_per_tuple\":%.2f}"
-             qn tps ops_s opt)
+             "\"%s\":{\"tuples_per_s\":%.0f,\"ops_per_s\":%.0f,\"ops_per_tuple\":%.2f%s}"
+             qn tps ops_s opt
+             (if wire > 0 then Printf.sprintf ",\"wire_bytes\":%d" wire else ""))
          results)
   in
   Printf.printf
-    "QUICK_JSON {\"bench\":\"quick\",\"batch_size\":%d,\"domains\":%d,\"host_cores\":%d,\"queries\":{%s},\"geomean_tuples_per_s\":%.0f,\"geomean_ops_per_s\":%.0f}\n"
+    "QUICK_JSON {\"bench\":\"quick\",\"batch_size\":%d,\"domains\":%d,\"host_cores\":%d,\"queries\":{%s},\"geomean_tuples_per_s\":%.0f,\"geomean_ops_per_s\":%.0f%s}\n"
     bs !used_domains
     (Stdlib.Domain.recommended_domain_count ())
     fields g_tps g_ops
+    (if total_wire > 0 then
+       Printf.sprintf ",\"total_wire_bytes\":%d" total_wire
+     else "")
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)

@@ -9,8 +9,12 @@
    identifies itself with a Hello frame, receives the marshaled
    distributed program, and then serves Load_batch / Run_block /
    Pull_map / Deliver / Clear_map requests until Shutdown (see
-   Protocol). It never parses queries or opens data files itself —
-   everything arrives over the wire. *)
+   Protocol). Under the default mesh topology the coordinator also
+   sends Peers / Mesh_connect (establishing direct worker-to-worker
+   sockets) and drives each transfer with a Shuffle request, whose
+   payload bytes travel peer-to-peer as Mesh_data frames instead of
+   through the coordinator. It never parses queries or opens data
+   files itself — everything arrives over the wire. *)
 
 let usage () =
   prerr_endline

@@ -41,3 +41,12 @@ let checkpoint_latency t ~workers ~max_node_bytes =
   t.sync_base
   +. (t.sync_per_worker *. float_of_int workers)
   +. (float_of_int max_node_bytes *. (t.ser_per_byte +. (1. /. t.bandwidth)))
+
+(* Reporting-only wire predictor: never feeds a latency formula, so the
+   modeled latencies above stay bit-identical whatever topology runs.
+   Each per-message control envelope is a frame header, a tag, and a
+   handful of fixed fields; 24 bytes is the round figure. *)
+let control_frame_bytes = 24
+
+let predicted_wire_bytes ~crossings ~workers ~ser_bytes =
+  (crossings * ser_bytes) + (2 * workers * control_frame_bytes)

@@ -45,3 +45,14 @@ val transfer_latency : t -> ser_bytes:int -> max_into:int -> float
 (** Synchronous checkpoint: one sync round plus the slowest node's
     serialization of its partitions. *)
 val checkpoint_latency : t -> workers:int -> max_node_bytes:int -> float
+
+(** [predicted_wire_bytes ~crossings ~workers ~ser_bytes]: a-priori
+    framed bytes one transfer should put on real sockets — the modeled
+    payload shipped once per wire crossing, plus a per-worker control
+    envelope (request + ack frames). [crossings] encodes the topology:
+    a star-relayed worker shuffle crosses twice (source → coordinator →
+    destination), a direct mesh shuffle, gather, or scatter crosses
+    once, and a broadcast fans out once per receiving peer. Reporting
+    only — this never enters a latency formula, so modeled latencies
+    stay bit-identical across topologies. *)
+val predicted_wire_bytes : crossings:int -> workers:int -> ser_bytes:int -> int

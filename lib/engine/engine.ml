@@ -173,7 +173,19 @@ let shutdown t = match t.impl with IProc n -> Node.shutdown n | _ -> ()
 (* Reconciliation artifact: per stage name, how the predictor did against
    the measurement, summed over the batches. Distributed stages also
    aggregate the workers' self-measured walls, attributing the slowest
-   worker and its straggler ratio (max/median over the summed walls). *)
+   worker and its straggler ratio (max/median over the summed walls);
+   mesh transfers additionally aggregate per-link wire bytes. *)
+type srow = {
+  mutable rn : int;
+  mutable rp : float;
+  mutable rm : float;
+  mutable rb : int;
+  mutable rwb : int;
+  mutable rpwb : int;
+  mutable rws : float array;
+  rlinks : (int * int, int ref) Hashtbl.t;
+}
+
 let reconcile_json reports =
   let order = ref [] in
   let tbl = Hashtbl.create 16 in
@@ -185,38 +197,75 @@ let reconcile_json reports =
             match Hashtbl.find_opt tbl s.Node.sname with
             | Some row -> row
             | None ->
-                let row = ref (0, 0., 0., 0, 0, [||]) in
+                let row =
+                  {
+                    rn = 0;
+                    rp = 0.;
+                    rm = 0.;
+                    rb = 0;
+                    rwb = 0;
+                    rpwb = 0;
+                    rws = [||];
+                    rlinks = Hashtbl.create 4;
+                  }
+                in
                 Hashtbl.add tbl s.Node.sname row;
                 order := s.Node.sname :: !order;
                 row
           in
-          let n, p, m, b, wb, ws = !row in
-          let ws =
-            if Array.length s.Node.swalls = 0 then ws
-            else if Array.length ws = Array.length s.Node.swalls then
-              Array.mapi (fun i w -> w +. s.Node.swalls.(i)) ws
-            else Array.copy s.Node.swalls
-          in
-          row :=
-            ( n + 1,
-              p +. s.Node.predicted,
-              m +. s.Node.measured,
-              b + s.Node.sbytes,
-              wb + s.Node.swire,
-              ws ))
+          (if Array.length s.Node.swalls > 0 then
+             row.rws <-
+               (if Array.length row.rws = Array.length s.Node.swalls then
+                  Array.mapi (fun i w -> w +. s.Node.swalls.(i)) row.rws
+                else Array.copy s.Node.swalls));
+          List.iter
+            (fun (src, dst, b) ->
+              match Hashtbl.find_opt row.rlinks (src, dst) with
+              | Some r -> r := !r + b
+              | None -> Hashtbl.add row.rlinks (src, dst) (ref b))
+            s.Node.slinks;
+          row.rn <- row.rn + 1;
+          row.rp <- row.rp +. s.Node.predicted;
+          row.rm <- row.rm +. s.Node.measured;
+          row.rb <- row.rb + s.Node.sbytes;
+          row.rwb <- row.rwb + s.Node.swire;
+          row.rpwb <- row.rpwb + s.Node.spwire)
         r.stage_stats)
     reports;
   let buf = Buffer.create 256 in
   Buffer.add_string buf "[";
   List.iteri
     (fun i name ->
-      let n, p, m, b, wb, ws = !(Hashtbl.find tbl name) in
+      let row = Hashtbl.find tbl name in
+      let n, p, m, b, wb, ws =
+        (row.rn, row.rp, row.rm, row.rb, row.rwb, row.rws)
+      in
       if i > 0 then Buffer.add_string buf ",";
       Buffer.add_string buf
         (Printf.sprintf
            "\n  {\"name\": %S, \"batches\": %d, \"predicted_ms\": %.6f, \
             \"measured_ms\": %.6f, \"bytes\": %d, \"wire_bytes\": %d"
            name n (p *. 1e3) (m *. 1e3) b wb);
+      if row.rpwb > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf ", \"predicted_wire_bytes\": %d" row.rpwb);
+      (if Hashtbl.length row.rlinks > 0 then begin
+         let links =
+           List.sort compare
+             (Hashtbl.fold
+                (fun (src, dst) r acc -> (src, dst, !r) :: acc)
+                row.rlinks [])
+         in
+         Buffer.add_string buf ", \"mesh_links\": [";
+         List.iteri
+           (fun j (src, dst, lb) ->
+             if j > 0 then Buffer.add_string buf ", ";
+             Buffer.add_string buf
+               (Printf.sprintf "{\"src\": %d, \"dst\": %d, \"bytes\": %d}" src
+                  dst lb))
+           links;
+         Buffer.add_string buf "]"
+       end);
       let w = Array.length ws in
       if w > 0 then begin
         Buffer.add_string buf ", \"worker_walls_ms\": [";

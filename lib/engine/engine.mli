@@ -133,5 +133,10 @@ val shutdown : t -> unit
     first-seen order: a JSON array of
     [{"name", "batches", "predicted_ms", "measured_ms", "bytes",
     "wire_bytes"}] rows — the modeled-vs-measured reconciliation artifact
-    CI uploads. *)
+    CI uploads. Transfer rows add ["predicted_wire_bytes"] (the a-priori
+    {!Divm_dist.Costmodel.predicted_wire_bytes} estimate); mesh transfers
+    add ["mesh_links"] ([{"src", "dst", "bytes"}] per active link, sorted
+    by (src, dst)) and, like distributed stages, ["worker_walls_ms"] /
+    ["slowest_worker"] / ["straggler_ratio"] from the workers'
+    self-measured shuffle walls — per-link straggler attribution. *)
 val reconcile_json : report list -> string

@@ -32,16 +32,23 @@ let h_straggler =
    the labeled merge. *)
 let w_record_ops = Obs.Counter.make "divm_record_ops_total"
 
+(* How transfer payloads travel between workers: [Star] relays every
+   byte through the coordinator (two socket hops per payload byte),
+   [Mesh] ships worker-to-worker over a full connection mesh and leaves
+   the coordinator as the barrier/ack control plane. *)
+type topology = Star | Mesh
+
 type config = {
   workers : int;
   cost : Costmodel.t;
   socket_dir : string option;
   worker_exe : string option;
+  shuffle : topology;
 }
 
 let config ?(workers = 2) ?(cost = Costmodel.default) ?socket_dir ?worker_exe
-    () =
-  { workers; cost; socket_dir; worker_exe }
+    ?(shuffle = Mesh) () =
+  { workers; cost; socket_dir; worker_exe; shuffle }
 
 let default_config = config ()
 
@@ -51,7 +58,9 @@ type stage_stat = {
   measured : float;
   sbytes : int;
   swire : int;
+  spwire : int;
   swalls : float array;
+  slinks : (int * int * int) list;
 }
 
 type metrics = {
@@ -80,6 +89,9 @@ let ignore_sigpipe () =
 type wstate = {
   wrt : Runtime.t;
   wplans : (string * (string * int * (unit -> unit)) list array) list;
+  wtransfers : (string * int array * string) array;
+      (* the coordinator's Shuffle frames index into this; both sides
+         derive it from the identical marshaled program *)
 }
 
 let build_wstate (dp : Dprog.t) =
@@ -112,7 +124,7 @@ let build_wstate (dp : Dprog.t) =
                tr.blocks) ))
       dp.dtriggers
   in
-  { wrt = rt; wplans }
+  { wrt = rt; wplans; wtransfers = Dprog.transfers dp }
 
 (* Baseline registry snapshot for the worker's telemetry deltas: each
    [Pull_telemetry] ships [diff] against this and advances it. *)
@@ -161,13 +173,272 @@ let collect_telemetry () =
     t_spans = spans;
   }
 
-let serve fd =
+(* ---- worker-to-worker mesh (the direct shuffle data plane) ---- *)
+
+(* Mesh state, built by the coordinator's [Peers]/[Mesh_connect]
+   handshake: one connected socket per peer worker, indexed by peer id
+   ([None] at our own index). *)
+type wmesh = {
+  mself : int;
+  mpaths : string array;
+  mutable mlisten : Unix.file_descr option;
+  mpeers : Unix.file_descr option array;
+}
+
+let mesh_bind ~id paths =
+  let w = Array.length paths in
+  if id < 0 || id >= w then
+    failwith "divm_node worker: Peers does not cover this worker's id";
+  let mlisten =
+    (* Only acceptors need a listener: worker [i] accepts from every
+       higher id and initiates to every lower one. *)
+    if id < w - 1 then begin
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink paths.(id) with _ -> ());
+      Unix.bind fd (Unix.ADDR_UNIX paths.(id));
+      Unix.listen fd w;
+      Some fd
+    end
+    else None
+  in
+  { mself = id; mpaths = paths; mlisten; mpeers = Array.make w None }
+
+(* Establish the full mesh: initiate to every lower id, accept from
+   every higher one. A Unix-domain [connect] completes as soon as the
+   target's listen backlog takes it, whether or not the target has
+   reached its own accept loop — so the fixed initiate-then-accept order
+   cannot deadlock, whatever order the coordinator's [Mesh_connect]
+   frames land in. *)
+let mesh_connect m =
+  let w = Array.length m.mpaths in
+  for j = 0 to m.mself - 1 do
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let rec conn tries =
+      try Unix.connect fd (Unix.ADDR_UNIX m.mpaths.(j))
+      with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.05;
+        conn (tries - 1)
+    in
+    conn 100;
+    ignore (Protocol.write_msg fd (Protocol.Hello m.mself));
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 120. with _ -> ());
+    m.mpeers.(j) <- Some fd
+  done;
+  (match m.mlisten with
+  | None -> ()
+  | Some lfd ->
+      (* Higher ids arrive in arbitrary order; the Hello identifies each. *)
+      for _ = m.mself + 1 to w - 1 do
+        (match Unix.select [ lfd ] [] [] 30. with
+        | [], _, _ ->
+            failwith "divm_node worker: mesh peer did not connect within 30s"
+        | _ -> ());
+        let fd, _ = Unix.accept lfd in
+        match Protocol.read_msg fd with
+        | Protocol.Hello j, _ when j > m.mself && j < w && m.mpeers.(j) = None
+          ->
+            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 120. with _ -> ());
+            m.mpeers.(j) <- Some fd
+        | _ -> failwith "divm_node worker: bad mesh handshake"
+      done;
+      (try Unix.close lfd with _ -> ());
+      (try Unix.unlink m.mpaths.(m.mself) with _ -> ());
+      m.mlisten <- None)
+
+let mesh_close m =
+  (match m.mlisten with
+  | Some fd ->
+      (try Unix.close fd with _ -> ());
+      (try Unix.unlink m.mpaths.(m.mself) with _ -> ())
+  | None -> ());
+  m.mlisten <- None;
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Some fd ->
+          (try Unix.close fd with _ -> ());
+          m.mpeers.(i) <- None
+      | None -> ())
+    m.mpeers
+
+(* Full exchange: one frame out to every peer, one frame in from every
+   peer, over a single non-blocking select loop that interleaves sends
+   with receives. Every worker keeps draining its receive side while its
+   own sends are in flight, so a peer blocked on a full socket buffer is
+   always relieved by its receiver — the all-to-all cyclic-wait deadlock
+   is impossible by construction. Returns the received raw frames,
+   indexed by peer id. *)
+let mesh_exchange m (frames : string array) =
+  let w = Array.length m.mpeers in
+  let self = m.mself in
+  let peer_idx = ref [] in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Some fd -> peer_idx := (fd, i) :: !peer_idx
+      | None ->
+          if i <> self then
+            failwith
+              (Printf.sprintf "divm_node worker: no mesh link to peer %d" i))
+    m.mpeers;
+  let index_of fd = List.assoc fd !peer_idx in
+  let sent = Array.make w 0 in
+  let out_done = Array.init w (fun i -> i = self) in
+  let in_done = Array.init w (fun i -> i = self) in
+  let bufs = Array.init w (fun _ -> Buffer.create 256) in
+  let need = Array.make w (-1) in
+  List.iter (fun (fd, _) -> Unix.set_nonblock fd) !peer_idx;
+  let restore () =
+    List.iter (fun (fd, _) -> try Unix.clear_nonblock fd with _ -> ()) !peer_idx
+  in
+  Fun.protect ~finally:restore @@ fun () ->
+  let scratch = Bytes.create 65536 in
+  let deadline = Unix.gettimeofday () +. 120. in
+  while Array.exists not out_done || Array.exists not in_done do
+    if Unix.gettimeofday () > deadline then
+      raise (Protocol.Error "mesh exchange timed out after 120s");
+    let rds =
+      List.filter_map
+        (fun (fd, i) -> if in_done.(i) then None else Some fd)
+        !peer_idx
+    and wrs =
+      List.filter_map
+        (fun (fd, i) -> if out_done.(i) then None else Some fd)
+        !peer_idx
+    in
+    match Unix.select rds wrs [] 5. with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | rs, ws, _ ->
+        List.iter
+          (fun fd ->
+            let i = index_of fd in
+            let s = frames.(i) in
+            match
+              Unix.write_substring fd s sent.(i) (String.length s - sent.(i))
+            with
+            | k ->
+                sent.(i) <- sent.(i) + k;
+                if sent.(i) >= String.length s then out_done.(i) <- true
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                ())
+          ws;
+        List.iter
+          (fun fd ->
+            let i = index_of fd in
+            match Unix.read fd scratch 0 (Bytes.length scratch) with
+            | 0 ->
+                raise
+                  (Protocol.Error
+                     (Printf.sprintf "mesh peer %d closed mid-shuffle" i))
+            | k ->
+                Buffer.add_subbytes bufs.(i) scratch 0 k;
+                if need.(i) < 0 && Buffer.length bufs.(i) >= 4 then begin
+                  let n =
+                    Int32.to_int
+                      (String.get_int32_be (Buffer.sub bufs.(i) 0 4) 0)
+                  in
+                  if n < 1 || n > Protocol.max_frame then
+                    raise
+                      (Protocol.Error
+                         (Printf.sprintf
+                            "mesh peer %d: declared frame length %d out of \
+                             range (max_frame %d)"
+                            i n Protocol.max_frame));
+                  need.(i) <- n
+                end;
+                if need.(i) >= 0 && Buffer.length bufs.(i) >= 4 + need.(i)
+                then
+                  if Buffer.length bufs.(i) > 4 + need.(i) then
+                    raise
+                      (Protocol.Error
+                         (Printf.sprintf
+                            "mesh peer %d: %d trailing bytes after frame" i
+                            (Buffer.length bufs.(i) - 4 - need.(i))))
+                  else in_done.(i) <- true
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                ())
+          rs
+  done;
+  Array.init w (fun i -> if i = self then "" else Buffer.contents bufs.(i))
+
+(* One direct shuffle: partition our source partition into per-destination
+   pre-summed buffers, exchange with every peer, apply in source order.
+   The modeled byte accounting is computed here with exactly the
+   simulator's rule (origin = destination moves are free), and the
+   apply loop below walks sources in ascending worker id — the same
+   source order the coordinator's star path and the simulator use — so
+   both the float association of cross-source collisions and the
+   destination map's slot-creation order are preserved bit-identically. *)
+let mesh_shuffle s m ~tname ~key ~source =
+  let wall0 = Unix.gettimeofday () in
+  let w = Array.length m.mpeers in
+  let self = m.mself in
+  let outs = Array.init w (fun _ -> Gmr.create ()) in
+  let ser = ref 0 in
+  let modeled = Array.make w 0 in
+  Gmr.iter
+    (fun tup mult ->
+      let b = Costmodel.tuple_bytes tup in
+      ser := !ser + b;
+      if Array.length key = 0 then
+        for d = 0 to w - 1 do
+          Gmr.add outs.(d) tup mult;
+          if d <> self then modeled.(d) <- modeled.(d) + b
+        done
+      else begin
+        let d =
+          Divm_ring.Vtuple.hash (Divm_ring.Vtuple.project tup key) mod w
+        in
+        Gmr.add outs.(d) tup mult;
+        if d <> self then modeled.(d) <- modeled.(d) + b
+      end)
+    (Runtime.map_contents s.wrt source);
+  Runtime.clear_map s.wrt tname;
+  let frames =
+    Array.init w (fun d ->
+        if d = self then ""
+        else Protocol.encode_frame (Protocol.Mesh_data (self, outs.(d))))
+  in
+  let received = if w > 1 then mesh_exchange m frames else frames in
+  for src = 0 to w - 1 do
+    let g =
+      if src = self then outs.(self)
+      else
+        match Protocol.decode_frame received.(src) with
+        | Protocol.Mesh_data (src', g), _ when src' = src -> g
+        | Protocol.Mesh_data (src', _), _ ->
+            failwith
+              (Printf.sprintf
+                 "divm_node worker: mesh frame from peer %d claims src %d"
+                 src src')
+        | _ ->
+            failwith
+              (Printf.sprintf
+                 "divm_node worker: unexpected mesh message from peer %d" src)
+    in
+    (* slot-order replay, exactly like the star path's Deliver handler *)
+    Gmr.iter (fun tup mult -> Runtime.add_to_map s.wrt tname tup mult) g
+  done;
+  {
+    Protocol.ss_ser = !ser;
+    ss_modeled = modeled;
+    ss_sent = Array.map String.length frames;
+    ss_wall = Unix.gettimeofday () -. wall0;
+  }
+
+let serve ~id fd =
   let state = ref None in
   let st () =
     match !state with
     | Some s -> s
     | None -> failwith "divm_node worker: message before Init"
   in
+  let mesh = ref None in
   let running = ref true in
   while !running do
     match Protocol.read_msg fd with
@@ -218,15 +489,42 @@ let serve fd =
               Protocol.Ack
           | Protocol.Pull_telemetry ->
               Protocol.Telemetry (collect_telemetry ())
+          | Protocol.Peers paths ->
+              (match !mesh with Some m -> mesh_close m | None -> ());
+              mesh := Some (mesh_bind ~id paths);
+              Protocol.Ack
+          | Protocol.Mesh_connect ->
+              (match !mesh with
+              | Some m -> mesh_connect m
+              | None -> failwith "divm_node worker: Mesh_connect before Peers");
+              Protocol.Ack
+          | Protocol.Shuffle idx ->
+              let s = st () in
+              (match !mesh with
+              | Some m ->
+                  if idx >= Array.length s.wtransfers then
+                    failwith
+                      (Printf.sprintf
+                         "divm_node worker: transfer index %d out of range \
+                          (%d transfers)"
+                         idx
+                         (Array.length s.wtransfers));
+                  let tname, key, source = s.wtransfers.(idx) in
+                  Protocol.Shuffle_done (mesh_shuffle s m ~tname ~key ~source)
+              | None ->
+                  failwith
+                    "divm_node worker: Shuffle before the mesh handshake")
           | Protocol.Shutdown ->
               running := false;
               Protocol.Ack
           | Protocol.Hello _ | Protocol.Ack | Protocol.Block_done _
-          | Protocol.Map_contents _ | Protocol.Telemetry _ ->
+          | Protocol.Map_contents _ | Protocol.Telemetry _
+          | Protocol.Shuffle_done _ | Protocol.Mesh_data _ ->
               failwith "divm_node worker: unexpected coordinator message"
         in
         ignore (Protocol.write_msg fd reply)
-  done
+  done;
+  match !mesh with Some m -> mesh_close m | None -> ()
 
 let worker_main ~socket ~id =
   ignore_sigpipe ();
@@ -240,7 +538,7 @@ let worker_main ~socket ~id =
   in
   connect 100;
   ignore (Protocol.write_msg fd (Protocol.Hello id));
-  serve fd;
+  serve ~id fd;
   (try Unix.close fd with _ -> ())
 
 (* -------------------------------------------------------------- *)
@@ -279,6 +577,12 @@ type t = {
   rtts : float array; (* best pull round-trip so far, per worker *)
   wops : Obs.Counter.t array; (* divm_node_worker_ops_total{worker=i} *)
   wstage : Obs.Histogram.t array; (* divm_node_stage_seconds{worker=i} *)
+  mlinks : Obs.Counter.t array array;
+      (* divm_node_mesh_bytes_total{src=i,dst=j}; empty under Star *)
+  tindex : (string * int array * string, int) Hashtbl.t;
+      (* (tname, key, source) -> index in Dprog.transfers; the workers
+         derive the same table from the Init program, so a Shuffle frame
+         carries four bytes instead of the three names *)
 }
 
 let workers t = t.cfg.workers
@@ -345,6 +649,12 @@ let expect_done t wi =
   | Protocol.Block_done (ops, wall) -> (ops, wall)
   | _ ->
       failwith (Printf.sprintf "divm_node: worker %d: expected Block_done" wi)
+
+let expect_shuffle_done t wi =
+  match recv t wi with
+  | Protocol.Shuffle_done st -> st
+  | _ ->
+      failwith (Printf.sprintf "divm_node: worker %d: expected Shuffle_done" wi)
 
 (* ---- worker process spawning ---- *)
 
@@ -448,7 +758,7 @@ let spawn_fork cfg =
           let code =
             try
               ignore (Protocol.write_msg child_fd (Protocol.Hello wi));
-              serve child_fd;
+              serve ~id:wi child_fd;
               0
             with e ->
               prerr_endline ("divm_node worker: " ^ Printexc.to_string e);
@@ -499,12 +809,40 @@ let create ?(config = default_config) (dp : Dprog.t) =
             Obs.Histogram.make
               (Obs.with_labels "divm_node_stage_seconds"
                  [ ("worker", string_of_int wi) ]));
+      (* Per-link wire counters, off-diagonal only: a worker never puts
+         its own share on a socket. Diagonal cells exist (the matrix is
+         square for direct indexing) but stay out of the registry. *)
+      mlinks =
+        (if config.shuffle = Mesh && config.workers > 1 then
+           Array.init config.workers (fun s ->
+               Array.init config.workers (fun d ->
+                   Obs.Counter.make ~register:(s <> d)
+                     (Obs.with_labels "divm_node_mesh_bytes_total"
+                        [ ("src", string_of_int s); ("dst", string_of_int d) ])))
+         else [||]);
+      tindex =
+        (let tbl = Hashtbl.create 16 in
+         Array.iteri
+           (fun i tr -> if not (Hashtbl.mem tbl tr) then Hashtbl.add tbl tr i)
+           (Dprog.transfers dp);
+         tbl);
     }
   in
   (* Ship the program; workers compile the same statements we do. *)
   let init = Protocol.Init (Marshal.to_string dp []) in
   Array.iteri (fun wi _ -> send t0 wi init) conns;
   Array.iteri (fun wi _ -> expect_ack t0 wi) conns;
+  (* Mesh handshake: distribute every worker's listener path, barrier on
+     the binds (so each listen backlog exists before any peer connects),
+     then tell everyone to wire up. *)
+  (if config.shuffle = Mesh then begin
+     let paths = Array.init config.workers (fun _ -> fresh_socket_path config) in
+     let peers = Protocol.Peers paths in
+     Array.iteri (fun wi _ -> send t0 wi peers) conns;
+     Array.iteri (fun wi _ -> expect_ack t0 wi) conns;
+     Array.iteri (fun wi _ -> send t0 wi Protocol.Mesh_connect) conns;
+     Array.iteri (fun wi _ -> expect_ack t0 wi) conns
+   end);
   let compile_block trigger bi nstages (b : Dprog.block) =
     match b.bmode with
     | Dprog.MDist ->
@@ -637,6 +975,98 @@ let run_transfer t net (tr : transfer) =
   end;
   !ser_bytes
 
+(* ---- transfers (direct worker-to-worker mesh) ---- *)
+
+(* A transfer goes over the mesh when every byte both starts and ends on
+   workers: distributed-to-distributed scatters and repartitions. Gathers
+   terminate at the driver and replicated/local sources live off the
+   mesh, so those stay on the star path — which also keeps the star code
+   exercised under the default Mesh config. *)
+let mesh_eligible t (tr : transfer) =
+  t.cfg.shuffle = Mesh
+  && tr.tkind <> Dprog.Gather
+  && (match Loc.find t.dprog.locs tr.source with
+     | Loc.Dist _ | Loc.Random -> true
+     | Loc.Local | Loc.Replicated -> false)
+  && Loc.find t.dprog.locs tr.tname <> Loc.Local
+
+(* How many times a shuffled byte crosses a socket, feeding the a-priori
+   wire predictor. Star relays through the coordinator: one crossing to
+   pull from a remote source, then one per delivery (a broadcast fans out
+   to every worker). Mesh ships direct: one crossing per remote
+   destination — a keyed repartition keeps ~1/w of the bytes home, which
+   the per-byte estimate rounds to one crossing. *)
+let predicted_crossings t (tr : transfer) ~mesh =
+  let w = t.cfg.workers in
+  let fanout =
+    if Array.length tr.key = 0 && tr.tkind <> Dprog.Gather then w else 1
+  in
+  if mesh then max 1 (fanout - 1)
+  else
+    match tr.tkind with
+    | Dprog.Gather -> 1
+    | Dprog.Scatter | Dprog.Repart ->
+        let src_remote =
+          match Loc.find t.dprog.locs tr.source with
+          | Loc.Dist _ | Loc.Random | Loc.Replicated -> true
+          | Loc.Local -> false
+        in
+        (if src_remote then 1 else 0) + fanout
+
+(* One mesh transfer: broadcast [Shuffle], barrier on every worker's
+   [Shuffle_done], fold the reported stats into the same modeled-byte
+   ledger the star path and the simulator fill — the workers apply the
+   simulator's free-when-origin-equals-destination rule locally, so
+   [net] ends up integer-identical and the modeled latency downstream is
+   bit-identical. Actual socket bytes land in [t.wire] and the per-link
+   counters instead. Returns (modeled ser bytes, per-worker shuffle
+   walls, (src, dst, wire bytes) per active link). *)
+let run_transfer_mesh t net (tr : transfer) =
+  let w = Array.length t.conns in
+  let idx =
+    match Hashtbl.find_opt t.tindex (tr.tname, tr.key, tr.source) with
+    | Some i -> i
+    | None ->
+        failwith
+          (Printf.sprintf "divm_node: transfer %s <- %s not in Dprog.transfers"
+             tr.tname tr.source)
+  in
+  let m = Protocol.Shuffle idx in
+  Array.iteri (fun wi _ -> send t wi m) t.conns;
+  let stats = Array.init w (fun wi -> expect_shuffle_done t wi) in
+  let ser = ref 0 in
+  let links = ref [] in
+  Array.iteri
+    (fun src (st : Protocol.shuffle_stat) ->
+      if Array.length st.ss_modeled <> w || Array.length st.ss_sent <> w then
+        failwith
+          (Printf.sprintf
+             "divm_node: worker %d: shuffle stat arity mismatch (%d/%d \
+              destinations, %d workers)"
+             src
+             (Array.length st.ss_modeled)
+             (Array.length st.ss_sent) w);
+      ser := !ser + st.ss_ser;
+      Array.iteri
+        (fun dst b ->
+          if dst <> src && b > 0 then begin
+            net.total_bytes <- net.total_bytes + b;
+            net.into_node.(dst) <- net.into_node.(dst) + b
+          end)
+        st.ss_modeled;
+      Array.iteri
+        (fun dst b ->
+          if dst <> src && b > 0 then begin
+            t.wire <- t.wire + b;
+            Obs.Counter.add t.mlinks.(src).(dst) b;
+            links := (src, dst, b) :: !links
+          end)
+        st.ss_sent)
+    stats;
+  ( !ser,
+    Array.map (fun (st : Protocol.shuffle_stat) -> st.Protocol.ss_wall) stats,
+    List.rev !links )
+
 (* ---- telemetry plane (coordinator side) ---- *)
 
 (* Lazily arm the workers' observers: collection can be switched on by
@@ -748,7 +1178,11 @@ let apply_batch t ~rel batch =
                       let before_max =
                         Array.fold_left max net.into_driver net.into_node
                       in
-                      let ser = run_transfer t net tr in
+                      let mesh = mesh_eligible t tr in
+                      let ser, mwalls, mlinks_l =
+                        if mesh then run_transfer_mesh t net tr
+                        else (run_transfer t net tr, [||], [])
+                      in
                       let wall = Unix.gettimeofday () -. wall0 in
                       if Prof.enabled () then
                         Prof.add tr.tslot ~ops:0 ~probes:0 ~misses:0 ~scanned:0
@@ -772,7 +1206,12 @@ let apply_batch t ~rel batch =
                           measured = wall;
                           sbytes = net.total_bytes - bytes_before;
                           swire = t.wire - wire0;
-                          swalls = [||];
+                          spwire =
+                            Costmodel.predicted_wire_bytes
+                              ~crossings:(predicted_crossings t tr ~mesh)
+                              ~workers:w ~ser_bytes:ser;
+                          swalls = mwalls;
+                          slinks = mlinks_l;
                         }
                         :: !stats;
                       if Obs.tracing () then begin
@@ -838,7 +1277,9 @@ let apply_batch t ~rel batch =
                   measured = wall;
                   sbytes = 0;
                   swire = t.wire - wire0;
+                  spwire = 0;
                   swalls = walls;
+                  slinks = [];
                 }
                 :: !stats;
               if Obs.tracing () then begin

@@ -15,12 +15,18 @@
     {!Divm_dist.Dprog.t} block structure the simulator executes: local
     blocks run compiled statements on the coordinator's driver runtime,
     distributed blocks are broadcast as [Run_block] and barrier on every
-    worker's [Block_done], and transfers pull source partitions and
-    deliver re-partitioned shares — through the coordinator, a star
-    topology. Workers compile the identical statements, shard identically
-    and hash-partition identically, so stores are bit-identical to a
-    {!Divm_cluster.Cluster} run of the same program (qcheck-verified in
-    [test_node]).
+    worker's [Block_done], and transfers move re-partitioned shares
+    between partitions. Worker-to-worker transfers travel over a
+    {!topology}: [Star] relays every payload byte through the coordinator
+    (pull, re-partition, deliver — two socket hops per byte), [Mesh] (the
+    default) ships them directly over an N×N worker connection mesh set
+    up at [create] time, leaving the coordinator as the barrier/ack
+    control plane. Gathers and replicated-source transfers stay on the
+    star path under either setting. Workers compile the identical
+    statements, shard identically, hash-partition identically, and apply
+    received shuffle buffers in ascending source order, so stores are
+    bit-identical to a {!Divm_cluster.Cluster} run of the same program
+    under both topologies (qcheck-verified in [test_node]).
 
     The {!Divm_dist.Costmodel} is evaluated over the real per-stage op
     counts and modeled shuffle bytes — the same formulas, over the same
@@ -31,6 +37,13 @@
 open Divm_storage
 open Divm_dist
 
+(** How worker-to-worker shuffle payloads travel (CLI: [--shuffle]).
+    Modeled latencies and [bytes_shuffled] are bit-identical under both;
+    only real wire traffic, [wire_bytes], and per-link metrics differ. *)
+type topology =
+  | Star  (** relay through the coordinator: 2 hops per payload byte *)
+  | Mesh  (** direct peer sockets: 1 hop, coordinator only barriers *)
+
 type config = {
   workers : int;
   cost : Costmodel.t;  (** predictor parameters ({!Costmodel.default}) *)
@@ -40,6 +53,7 @@ type config = {
       (** worker binary; default: [DIVM_NODE_EXE], else a [divm_node]
           executable next to the running binary (or in a sibling [bin/]
           directory), else fork fallback *)
+  shuffle : topology;  (** transfer data plane; default {!Mesh} *)
 }
 
 val config :
@@ -47,10 +61,12 @@ val config :
   ?cost:Costmodel.t ->
   ?socket_dir:string ->
   ?worker_exe:string ->
+  ?shuffle:topology ->
   unit ->
   config
 (** Defaults: 2 workers (real processes are heavier than simulated
-    nodes), {!Costmodel.default}, [TMPDIR], auto-discovered binary. *)
+    nodes), {!Costmodel.default}, [TMPDIR], auto-discovered binary,
+    [Mesh] shuffle. *)
 
 val default_config : config
 
@@ -62,9 +78,16 @@ type stage_stat = {
   measured : float;  (** wall-clock seconds *)
   sbytes : int;  (** modeled shuffled payload bytes *)
   swire : int;  (** actual framed bytes on the sockets *)
+  spwire : int;
+      (** a-priori wire prediction for transfers
+          ({!Costmodel.predicted_wire_bytes}); 0 for stages *)
   swalls : float array;
-      (** per-worker wall seconds the workers measured for this stage
-          (empty for transfers) — the straggler detector's input *)
+      (** per-worker wall seconds the workers measured for this stage or
+          mesh shuffle (empty for star transfers) — the straggler
+          detector's input *)
+  slinks : (int * int * int) list;
+      (** mesh transfers: [(src, dst, wire bytes)] per active link, in
+          ascending (src, dst) order; [[]] otherwise *)
 }
 
 type metrics = {
@@ -81,8 +104,11 @@ type metrics = {
 type t
 
 (** Spawn the worker processes, ship them the marshaled program, and wait
-    for every [Init] acknowledgment. Raises [Failure] when a worker
-    cannot be spawned or dies during the handshake. *)
+    for every [Init] acknowledgment. Under [Mesh], then distribute every
+    worker's peer socket path ([Peers]), barrier, and establish the full
+    worker connection mesh ([Mesh_connect]) before the first batch.
+    Raises [Failure] when a worker cannot be spawned or dies during the
+    handshake. *)
 val create : ?config:config -> Dprog.t -> t
 
 val workers : t -> int

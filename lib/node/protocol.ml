@@ -9,6 +9,13 @@ type telem = {
   t_spans : Obs.event list;
 }
 
+type shuffle_stat = {
+  ss_ser : int;
+  ss_modeled : int array;
+  ss_sent : int array;
+  ss_wall : float;
+}
+
 type msg =
   | Hello of int
   | Init of string
@@ -24,6 +31,11 @@ type msg =
   | Start_telemetry of bool * bool
   | Pull_telemetry
   | Telemetry of telem
+  | Peers of string array
+  | Mesh_connect
+  | Shuffle of int
+  | Shuffle_done of shuffle_stat
+  | Mesh_data of int * Gmr.t
 
 exception Error of string
 
@@ -227,6 +239,38 @@ let tag_of = function
   | Start_telemetry _ -> 12
   | Pull_telemetry -> 13
   | Telemetry _ -> 14
+  | Peers _ -> 15
+  | Mesh_connect -> 16
+  | Shuffle _ -> 17
+  | Shuffle_done _ -> 18
+  | Mesh_data _ -> 19
+
+let max_tag = 19
+
+(* Names for diagnostics only: a malformed frame's error message cites
+   the message it claimed to be, so a bad peer is debuggable from the
+   exception alone instead of a socket hexdump. *)
+let tag_name = function
+  | 1 -> "Hello"
+  | 2 -> "Init"
+  | 3 -> "Load_batch"
+  | 4 -> "Run_block"
+  | 5 -> "Block_done"
+  | 6 -> "Pull_map"
+  | 7 -> "Map_contents"
+  | 8 -> "Deliver"
+  | 9 -> "Clear_map"
+  | 10 -> "Ack"
+  | 11 -> "Shutdown"
+  | 12 -> "Start_telemetry"
+  | 13 -> "Pull_telemetry"
+  | 14 -> "Telemetry"
+  | 15 -> "Peers"
+  | 16 -> "Mesh_connect"
+  | 17 -> "Shuffle"
+  | 18 -> "Shuffle_done"
+  | 19 -> "Mesh_data"
+  | _ -> "unknown"
 
 let encode m =
   let b = Buffer.create 256 in
@@ -248,11 +292,28 @@ let encode m =
   | Deliver (name, g) ->
       add_string b name;
       add_gmr b g
-  | Ack | Shutdown | Pull_telemetry -> ()
+  | Ack | Shutdown | Pull_telemetry | Mesh_connect -> ()
   | Start_telemetry (profile, trace) ->
       Buffer.add_uint8 b (Bool.to_int profile);
       Buffer.add_uint8 b (Bool.to_int trace)
-  | Telemetry t -> add_telem b t);
+  | Telemetry t -> add_telem b t
+  | Peers paths ->
+      add_count b (Array.length paths);
+      Array.iter (add_string b) paths
+  | Shuffle idx -> Buffer.add_int32_be b (Int32.of_int idx)
+  | Shuffle_done st ->
+      (* control-plane reply on the hot per-transfer path: the per-peer
+         byte counts are bounded by max_frame, so they ship as i32, not
+         i64 — at w workers that is 8w fewer bytes on every transfer *)
+      add_i64 b st.ss_ser;
+      add_count b (Array.length st.ss_modeled);
+      Array.iter (fun v -> Buffer.add_int32_be b (Int32.of_int v)) st.ss_modeled;
+      add_count b (Array.length st.ss_sent);
+      Array.iter (fun v -> Buffer.add_int32_be b (Int32.of_int v)) st.ss_sent;
+      add_f64 b st.ss_wall
+  | Mesh_data (src, g) ->
+      Buffer.add_int32_be b (Int32.of_int src);
+      add_gmr b g);
   Buffer.contents b
 
 (* -------------------------------------------------------------- *)
@@ -454,38 +515,83 @@ let get_telem r =
   let t_spans = get_spans r in
   { t_now; t_snap; t_slots; t_spans }
 
+let get_nonneg r what =
+  let v = Int64.to_int (get_i64 r) in
+  if v < 0 then err "negative %s %d" what v;
+  v
+
+let get_nonneg32 r what =
+  let v = get_i32 r in
+  if v < 0 then err "negative %s %d" what v;
+  v
+
+let get_shuffle_stat r =
+  let ss_ser = get_nonneg r "serialized byte count" in
+  let nm = get_count r "modeled byte entry" in
+  let ss_modeled =
+    Array.init nm (fun _ -> get_nonneg32 r "modeled byte count")
+  in
+  let ns = get_count r "sent byte entry" in
+  let ss_sent = Array.init ns (fun _ -> get_nonneg32 r "sent byte count") in
+  let ss_wall = get_f64 r in
+  { ss_ser; ss_modeled; ss_sent; ss_wall }
+
 let decode s =
   let r = { buf = s; pos = 0 } in
+  let tag = get_u8 r in
+  if tag < 1 || tag > max_tag then err "unknown message tag %d" tag;
   let m =
-    match get_u8 r with
-    | 1 -> Hello (get_i32 r)
-    | 2 -> Init (get_string r)
-    | 3 ->
-        let rel = get_string r in
-        Load_batch (rel, get_gmr r)
-    | 4 ->
-        let rel = get_string r in
-        Run_block (rel, get_i32 r)
-    | 5 ->
-        let ops = Int64.to_int (get_i64 r) in
-        Block_done (ops, get_f64 r)
-    | 6 -> Pull_map (get_string r)
-    | 7 -> Map_contents (get_gmr r)
-    | 8 ->
-        let name = get_string r in
-        Deliver (name, get_gmr r)
-    | 9 -> Clear_map (get_string r)
-    | 10 -> Ack
-    | 11 -> Shutdown
-    | 12 ->
-        let profile = get_bool r "profile" in
-        Start_telemetry (profile, get_bool r "trace")
-    | 13 -> Pull_telemetry
-    | 14 -> Telemetry (get_telem r)
-    | t -> err "unknown message tag %d" t
+    (* Re-raise field-level defects with the frame's identity attached:
+       which message it claimed to be and how long the payload actually
+       was — the context that otherwise takes a socket hexdump. *)
+    try
+      match tag with
+      | 1 -> Hello (get_i32 r)
+      | 2 -> Init (get_string r)
+      | 3 ->
+          let rel = get_string r in
+          Load_batch (rel, get_gmr r)
+      | 4 ->
+          let rel = get_string r in
+          Run_block (rel, get_i32 r)
+      | 5 ->
+          let ops = Int64.to_int (get_i64 r) in
+          Block_done (ops, get_f64 r)
+      | 6 -> Pull_map (get_string r)
+      | 7 -> Map_contents (get_gmr r)
+      | 8 ->
+          let name = get_string r in
+          Deliver (name, get_gmr r)
+      | 9 -> Clear_map (get_string r)
+      | 10 -> Ack
+      | 11 -> Shutdown
+      | 12 ->
+          let profile = get_bool r "profile" in
+          Start_telemetry (profile, get_bool r "trace")
+      | 13 -> Pull_telemetry
+      | 14 -> Telemetry (get_telem r)
+      | 15 ->
+          let n = get_count r "peer" in
+          Peers (Array.init n (fun _ -> get_string r))
+      | 16 -> Mesh_connect
+      | 17 ->
+          let idx = get_i32 r in
+          if idx < 0 then err "negative transfer index %d" idx;
+          Shuffle idx
+      | 18 -> Shuffle_done (get_shuffle_stat r)
+      | 19 ->
+          let src = get_i32 r in
+          if src < 0 then err "negative mesh source id %d" src;
+          Mesh_data (src, get_gmr r)
+      | _ -> assert false
+    with Error msg ->
+      err "bad %s frame (tag %d, %d-byte payload): %s" (tag_name tag) tag
+        (String.length s) msg
   in
   if r.pos <> String.length s then
-    err "%d trailing bytes after message" (String.length s - r.pos);
+    err "bad %s frame (tag %d): %d trailing bytes after message"
+      (tag_name tag) tag
+      (String.length s - r.pos);
   m
 
 (* -------------------------------------------------------------- *)
@@ -495,17 +601,30 @@ let decode s =
 let encode_frame m =
   let payload = encode m in
   let n = String.length payload in
-  if n > max_frame then err "frame of %d bytes exceeds max_frame" n;
+  if n > max_frame then
+    err "%s frame (tag %d) of %d bytes exceeds max_frame %d"
+      (tag_name (tag_of m)) (tag_of m) n max_frame;
   let b = Buffer.create (n + 4) in
   Buffer.add_int32_be b (Int32.of_int n);
   Buffer.add_string b payload;
   Buffer.contents b
 
+(* When enough bytes follow a bad length prefix, cite the would-be tag:
+   a frame-cap trip usually means desynced framing, and the byte where
+   the tag should be says what the stream thinks it is sending. *)
+let describe_tag_byte s pos =
+  if String.length s > pos then
+    let t = Char.code s.[pos] in
+    Printf.sprintf " (first payload byte: tag %d, %s)" t (tag_name t)
+  else ""
+
 let frame_len s =
   if String.length s < 4 then err "truncated frame: no length prefix";
   let n = Int32.to_int (String.get_int32_be s 0) in
-  if n < 1 then err "frame length %d out of range" n;
-  if n > max_frame then err "frame length %d exceeds max_frame" n;
+  if n < 1 then err "declared frame length %d out of range%s" n (describe_tag_byte s 4);
+  if n > max_frame then
+    err "declared frame length %d exceeds max_frame %d%s" n max_frame
+      (describe_tag_byte s 4);
   n
 
 let decode_frame s =
@@ -544,6 +663,17 @@ let really_read fd n ~at_boundary =
 
 let read_msg fd =
   let header = really_read fd 4 ~at_boundary:true in
-  let n = frame_len header in
+  let n = Int32.to_int (String.get_int32_be header 0) in
+  if n < 1 || n > max_frame then begin
+    (* The stream is already lost; peek the would-be tag byte so the
+       error names the frame the peer thought it was sending. *)
+    let tag_info =
+      match really_read fd 1 ~at_boundary:false with
+      | s -> Printf.sprintf " (next byte: tag %d, %s)" (Char.code s.[0]) (tag_name (Char.code s.[0]))
+      | exception _ -> ""
+    in
+    err "declared frame length %d out of range (max_frame %d)%s" n max_frame
+      tag_info
+  end;
   let payload = really_read fd n ~at_boundary:false in
   (decode payload, 4 + n)

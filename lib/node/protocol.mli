@@ -35,8 +35,26 @@ type telem = {
   t_spans : Obs.event list;
 }
 
+(** One worker's report of a direct mesh shuffle it just finished, the
+    coordinator's only involvement in the data movement. [ss_modeled]
+    and [ss_sent] are indexed by destination worker: [ss_modeled] is the
+    cost model's byte accounting (origin = destination moves are free,
+    exactly the simulator's rule), [ss_sent] the framed bytes actually
+    written to each peer socket (0 at the worker's own index). [ss_ser]
+    is the modeled serialized size of everything this worker shuffled
+    out, and [ss_wall] the seconds the whole partition/exchange/apply
+    took. *)
+type shuffle_stat = {
+  ss_ser : int;
+  ss_modeled : int array;
+  ss_sent : int array;
+  ss_wall : float;
+}
+
 type msg =
-  | Hello of int  (** worker id, first message after connecting *)
+  | Hello of int
+      (** worker id, first message after connecting — to the coordinator,
+          and to an accepting peer on each mesh link *)
   | Init of string
       (** marshaled {!Divm_dist.Dprog.t}; the worker builds its runtime *)
   | Load_batch of string * Gmr.t  (** relation, this worker's batch share *)
@@ -54,8 +72,35 @@ type msg =
           tracer so subsequent pulls have something to ship *)
   | Pull_telemetry  (** coordinator requests a {!Telemetry} reply *)
   | Telemetry of telem  (** reply to [Pull_telemetry] *)
+  | Peers of string array
+      (** coordinator → worker: every worker's mesh listener socket path,
+          indexed by worker id; the receiver binds its own entry *)
+  | Mesh_connect
+      (** coordinator → worker: establish the full connection mesh now
+          (initiate to lower ids, accept from higher ids) *)
+  | Shuffle of int
+      (** coordinator → worker: run one direct transfer, named by its
+          index into {!Divm_dist.Dprog.transfers} — both ends derive the
+          identical table from the [Init] program, so four bytes replace
+          the (map name, key, source) strings on the hottest control
+          frame. An empty partition key in the table entry broadcasts to
+          every worker. *)
+  | Shuffle_done of shuffle_stat
+      (** reply to [Shuffle]. The per-peer byte arrays ride as i32 (each
+          entry is bounded by [max_frame]) to keep the per-transfer
+          control floor small. *)
+  | Mesh_data of int * Gmr.t
+      (** worker → worker, on a mesh link: [(source worker id, pre-summed
+          buffer)]. The destination map is implied — the exchange is a
+          synchronous barrier per [Shuffle], so a frame can only belong
+          to the transfer in flight; repeating the map name in every
+          frame would only pad the empty-buffer floor. The sender's slot
+          order is preserved, so replay stays bit-identical. *)
 
-(** Malformed frame or payload (message names the defect). *)
+(** Malformed frame or payload. The message names the defect, and for a
+    field-level failure also the frame's claimed message tag and payload
+    length; a bad length prefix cites the would-be tag byte when one is
+    available. *)
 exception Error of string
 
 (** Frames larger than this are rejected on both ends (64 MiB — far above

@@ -132,6 +132,24 @@ let gen_telem =
          (list_size (int_range 0 6) gen_row)
          (list_size (int_range 0 6) gen_event)))
 
+(* Byte counts in a shuffle stat are non-negative by construction (the
+   decoder rejects anything else — see the mesh strictness test). *)
+let gen_shuffle_stat =
+  QCheck.Gen.(
+    map3
+      (fun ser (modeled, sent) wall ->
+        {
+          Protocol.ss_ser = ser;
+          ss_modeled = Array.of_list modeled;
+          ss_sent = Array.of_list sent;
+          ss_wall = wall;
+        })
+      (int_range 0 1_000_000)
+      (pair
+         (list_size (int_range 0 4) (int_range 0 1_000_000))
+         (list_size (int_range 0 4) (int_range 0 1_000_000)))
+      gen_f)
+
 let gen_msg =
   QCheck.Gen.(
     frequency
@@ -157,6 +175,17 @@ let gen_msg =
             bool bool );
         (1, return Protocol.Pull_telemetry);
         (2, map (fun tm -> Protocol.Telemetry tm) gen_telem);
+        ( 1,
+          map
+            (fun ps -> Protocol.Peers (Array.of_list ps))
+            (list_size (int_range 0 4) gen_name) );
+        (1, return Protocol.Mesh_connect);
+        (1, map (fun i -> Protocol.Shuffle i) (int_range 0 1000));
+        (1, map (fun st -> Protocol.Shuffle_done st) gen_shuffle_stat);
+        ( 2,
+          map2
+            (fun src g -> Protocol.Mesh_data (src, g))
+            (int_range 0 8) gen_gmr );
       ])
 
 (* Bit-exact multiset equality: same tuples (values compared structurally,
@@ -217,6 +246,13 @@ let msg_equal (a : Protocol.msg) (b : Protocol.msg) =
   | Protocol.Block_done (o1, w1), Protocol.Block_done (o2, w2) ->
       o1 = o2 && fbits_equal w1 w2
   | Protocol.Telemetry t1, Protocol.Telemetry t2 -> telem_equal t1 t2
+  | Protocol.Mesh_data (s1, g1), Protocol.Mesh_data (s2, g2) ->
+      s1 = s2 && gmr_bits_equal g1 g2
+  | Protocol.Shuffle_done st1, Protocol.Shuffle_done st2 ->
+      st1.ss_ser = st2.ss_ser
+      && st1.ss_modeled = st2.ss_modeled
+      && st1.ss_sent = st2.ss_sent
+      && fbits_equal st1.ss_wall st2.ss_wall
   | a, b -> a = b
 
 let qcheck_codec_roundtrip =
@@ -369,6 +405,86 @@ let test_codec_dict_strict () =
       Protocol.decode (dict_payload ~entries:[| "x" |] ~codes:[| -1 |]))
 
 (* ------------------------------------------------------------------ *)
+(* Mesh frame strictness + error context                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let expect_error_with name substrings f =
+  match f () with
+  | exception Protocol.Error msg ->
+      List.iter
+        (fun sub ->
+          if not (contains msg sub) then
+            Alcotest.failf "%s: error %S lacks %S" name msg sub)
+        substrings
+  | exception e ->
+      Alcotest.failf "%s: expected Protocol.Error, got %s" name
+        (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: malformed input accepted" name
+
+(* The strict decoder rejects negative fields the encoder would never
+   produce, and every field-level failure cites the frame's claimed tag
+   and payload length — debuggable from the exception alone. *)
+let test_codec_mesh_strict () =
+  (* Negative transfer index: the i32 right after the tag byte. *)
+  let shuffle = Protocol.encode (Protocol.Shuffle 3) in
+  let neg_idx = Bytes.of_string shuffle in
+  Bytes.set neg_idx 1 '\xff';
+  expect_error_with "negative transfer index"
+    [ "Shuffle"; "tag 17"; "negative transfer index" ]
+    (fun () -> Protocol.decode (Bytes.to_string neg_idx));
+  (* Negative mesh source id: the i32 right after the tag byte. *)
+  let md = Protocol.encode (Protocol.Mesh_data (0, Gmr.create ())) in
+  let neg_src = Bytes.of_string md in
+  Bytes.set neg_src 1 '\xff';
+  expect_error_with "negative mesh source id"
+    [ "Mesh_data"; "tag 19"; "negative mesh source id" ]
+    (fun () -> Protocol.decode (Bytes.to_string neg_src));
+  (* Negative serialized byte count: the i64 right after the tag byte. *)
+  let sd =
+    Protocol.encode
+      (Protocol.Shuffle_done
+         {
+           Protocol.ss_ser = 1;
+           ss_modeled = [| 2 |];
+           ss_sent = [| 3 |];
+           ss_wall = 0.;
+         })
+  in
+  let neg_ser = Bytes.of_string sd in
+  Bytes.set neg_ser 1 '\xff';
+  expect_error_with "negative serialized byte count"
+    [ "Shuffle_done"; "tag 18"; "negative" ]
+    (fun () -> Protocol.decode (Bytes.to_string neg_ser));
+  (* Negative modeled byte count: the per-peer arrays ride as i32;
+     layout is tag(1) + ser i64(8) + count(4), then the first entry. *)
+  let neg_modeled = Bytes.of_string sd in
+  Bytes.set neg_modeled 13 '\xff';
+  expect_error_with "negative modeled byte count"
+    [ "Shuffle_done"; "tag 18"; "negative modeled byte count" ]
+    (fun () -> Protocol.decode (Bytes.to_string neg_modeled));
+  (* Truncation inside a payload names the claimed message and its
+     actual length. *)
+  expect_error_with "truncated Shuffle payload"
+    [ "Shuffle"; "tag 17" ]
+    (fun () -> Protocol.decode (String.sub shuffle 0 (String.length shuffle - 1)));
+  (* A frame-cap violation cites the declared length and the would-be
+     tag byte of the garbage that follows. *)
+  let oversized =
+    let b = Buffer.create 8 in
+    Buffer.add_int32_be b (Int32.of_int (Protocol.max_frame + 1));
+    Buffer.add_uint8 b 8 (* Deliver *);
+    Buffer.contents b
+  in
+  expect_error_with "frame-cap violation cites length and tag"
+    [ "declared frame length"; string_of_int (Protocol.max_frame + 1); "Deliver" ]
+    (fun () -> Protocol.decode_frame oversized)
+
+(* ------------------------------------------------------------------ *)
 (* Simulated vs multiprocess store equivalence                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -434,6 +550,127 @@ let qcheck_node_equiv =
                         qn m.mname)
                 prog.Divm_compiler.Prog.maps))
         tpch_queries;
+      true)
+
+(* Tentpole acceptance of the shuffle mesh: over the same random TPC-H
+   stream, the star and mesh topologies leave every non-transient store
+   bit-identical to each other and to the simulator — at 2 AND 4 workers
+   — while agreeing on every modeled quantity (the cost model never sees
+   the topology). And the point of the mesh: summed over all queries,
+   its transfer-stage wire bytes come to at most 0.6x the star's
+   (aggregate, because gather-only queries are wire-identical under
+   both). *)
+let qcheck_star_mesh_equiv =
+  let arb = QCheck.(make ~print:Print.int Gen.(int_range 0 10_000)) in
+  QCheck.Test.make
+    ~name:"star and mesh shuffles bit-identical to simulator at 2 and 4 workers"
+    ~count:1 arb
+    (fun seed ->
+      let stream =
+        Tpch.Gen.stream { Tpch.Gen.scale = 0.02; seed } ~batch_size:500
+      in
+      List.iter
+        (fun workers ->
+          let star_tw = ref 0 and mesh_tw = ref 0 in
+          let transfer_wire acc (m : Node.metrics) =
+            List.iter
+              (fun (s : Node.stage_stat) ->
+                if String.length s.Node.sname >= 9
+                   && String.sub s.Node.sname 0 9 = "transfer:"
+                then acc := !acc + s.Node.swire)
+              m.Node.stage_stats
+          in
+          List.iter
+            (fun qn ->
+              let w = Workload.find qn in
+              let prog = Workload.compile w in
+              let dp = Workload.distribute w prog in
+              let sim =
+                Cluster.create ~config:(Cluster.config ~workers ()) ~domains:1
+                  dp
+              in
+              let star =
+                Node.create
+                  ~config:(Node.config ~workers ~shuffle:Node.Star ())
+                  dp
+              in
+              let mesh =
+                Node.create
+                  ~config:(Node.config ~workers ~shuffle:Node.Mesh ())
+                  dp
+              in
+              Fun.protect
+                ~finally:(fun () ->
+                  Node.shutdown star;
+                  Node.shutdown mesh)
+                (fun () ->
+                  List.iter
+                    (fun (rel, b) ->
+                      let ms = Cluster.apply_batch sim ~rel b in
+                      let mst = Node.apply_batch star ~rel b in
+                      let mme = Node.apply_batch mesh ~rel b in
+                      transfer_wire star_tw mst;
+                      transfer_wire mesh_tw mme;
+                      List.iter
+                        (fun (which, (mn : Node.metrics)) ->
+                          if not (close_rel ms.Cluster.latency mn.Node.latency)
+                          then
+                            Alcotest.failf
+                              "%s/%dw/%s: predicted latency diverges from \
+                               simulator: %g vs %g"
+                              qn workers which mn.Node.latency
+                              ms.Cluster.latency;
+                          if
+                            ms.Cluster.bytes_shuffled
+                            <> mn.Node.bytes_shuffled
+                          then
+                            Alcotest.failf
+                              "%s/%dw/%s: modeled shuffle bytes diverge: %d \
+                               vs %d"
+                              qn workers which mn.Node.bytes_shuffled
+                              ms.Cluster.bytes_shuffled;
+                          if ms.Cluster.stages <> mn.Node.stages then
+                            Alcotest.failf
+                              "%s/%dw/%s: stage counts diverge: %d vs %d" qn
+                              workers which mn.Node.stages ms.Cluster.stages)
+                        [ ("star", mst); ("mesh", mme) ])
+                    stream;
+                  List.iter
+                    (fun (m : Divm_compiler.Prog.map_decl) ->
+                      if m.mkind <> Divm_compiler.Prog.Transient then begin
+                        let gs = Cluster.map_contents sim m.mname in
+                        let gst = Node.map_contents star m.mname in
+                        let gme = Node.map_contents mesh m.mname in
+                        if not (gmr_bits_equal gs gst) then
+                          Alcotest.failf
+                            "%s/%dw: store %s differs simulator vs star" qn
+                            workers m.mname;
+                        if not (gmr_bits_equal gst gme) then
+                          Alcotest.failf
+                            "%s/%dw: store %s differs star vs mesh" qn workers
+                            m.mname
+                      end)
+                    prog.Divm_compiler.Prog.maps))
+            tpch_queries;
+          if !mesh_tw = 0 then
+            Alcotest.failf "%dw: no mesh transfer wire traffic at all" workers;
+          (* The acceptance bar, aggregated over the suite: at 2 workers
+             mesh stays at or under 0.6x star even at this miniature
+             scale. At 4 workers the per-transfer control floors
+             (4 Shuffle + 4 Shuffle_done + 12 Mesh_data frames vs star's
+             pull/deliver round trips) are a larger share of these tiny
+             payloads, so the 0.6x bound belongs to benched scales (the
+             CI smoke job enforces it there) — here mesh must still be
+             strictly cheaper. *)
+          if workers = 2 && !mesh_tw * 10 > !star_tw * 6 then
+            Alcotest.failf
+              "%dw: mesh transfer wire bytes %d exceed 0.6x star's %d" workers
+              !mesh_tw !star_tw;
+          if !mesh_tw >= !star_tw then
+            Alcotest.failf
+              "%dw: mesh transfer wire bytes %d not below star's %d" workers
+              !mesh_tw !star_tw)
+        [ 2; 4 ];
       true)
 
 (* ------------------------------------------------------------------ *)
@@ -596,11 +833,6 @@ let test_cluster_domains_contradiction () =
 (* ------------------------------------------------------------------ *)
 (* Distributed telemetry                                               *)
 (* ------------------------------------------------------------------ *)
-
-let contains s sub =
-  let n = String.length sub in
-  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
-  go 0
 
 (* Restore every global observer flag no matter how a telemetry test
    exits — later suites assume the defaults. *)
@@ -801,7 +1033,10 @@ let suites =
           test_codec_dict_roundtrip;
         Alcotest.test_case "dict frames decode strictly" `Quick
           test_codec_dict_strict;
+        Alcotest.test_case "mesh frames decode strictly with error context"
+          `Quick test_codec_mesh_strict;
         QCheck_alcotest.to_alcotest qcheck_node_equiv;
+        QCheck_alcotest.to_alcotest qcheck_star_mesh_equiv;
         Alcotest.test_case "engine backends agree" `Quick test_engine_backends;
         Alcotest.test_case "columnar on/off stores agree on every backend"
           `Slow test_columnar_backend_equiv;
